@@ -1,0 +1,59 @@
+//! Criterion benches over the ExaMon pipeline: broker routing fan-out,
+//! time-series ingest, and range queries with downsampling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cimone_monitor::broker::Broker;
+use cimone_monitor::payload::Payload;
+use cimone_monitor::topic::{ExamonSchema, Topic};
+use cimone_monitor::tsdb::{Aggregation, TimeSeriesStore};
+use cimone_soc::units::{SimDuration, SimTime};
+
+fn bench_broker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("publish_100_subscribers", |bench| {
+        let broker = Broker::new();
+        let schema = ExamonSchema::monte_cimone();
+        let _subs: Vec<_> = (0..100)
+            .map(|i| broker.subscribe(schema.node_filter(&format!("mc-node-{:02}", i % 8 + 1))))
+            .collect();
+        let topic = schema.pmu_topic("mc-node-03", 1, "instret");
+        bench.iter(|| broker.publish(&topic, Payload::new(1.0, SimTime::ZERO)));
+    });
+    group.finish();
+}
+
+fn bench_tsdb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsdb");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert", |bench| {
+        let mut db = TimeSeriesStore::new();
+        let topic: Topic = "node/a/metric".parse().expect("valid");
+        let mut t = 0u64;
+        bench.iter(|| {
+            t += 1;
+            db.insert(&topic, Payload::new(t as f64, SimTime::from_micros(t)));
+        });
+    });
+    group.bench_function("downsample_100k_points", |bench| {
+        let mut db = TimeSeriesStore::new();
+        let topic: Topic = "node/a/metric".parse().expect("valid");
+        for t in 0..100_000u64 {
+            db.insert(&topic, Payload::new(t as f64, SimTime::from_millis(t)));
+        }
+        bench.iter(|| {
+            db.downsample(
+                "node/a/metric",
+                SimTime::ZERO,
+                SimTime::from_secs(100),
+                SimDuration::from_secs(1),
+                Aggregation::Mean,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_broker, bench_tsdb);
+criterion_main!(benches);

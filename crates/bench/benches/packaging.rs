@@ -1,0 +1,34 @@
+//! Criterion benches over the package manager: concretising the heaviest
+//! Table I stacks and installing the full DAG.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cimone_pkg::concretize::concretize;
+use cimone_pkg::install::InstallTree;
+use cimone_pkg::repo::PackageRepo;
+use cimone_pkg::spec::Spec;
+use cimone_pkg::target::TargetRegistry;
+
+fn bench_concretize(c: &mut Criterion) {
+    let repo = PackageRepo::builtin();
+    let targets = TargetRegistry::builtin();
+    let mut group = c.benchmark_group("pkg");
+    for name in ["quantum-espresso", "hpl", "gcc"] {
+        let spec: Spec = format!("{name} target=u74mc").parse().expect("valid");
+        group.bench_function(format!("concretize_{name}"), |bench| {
+            bench.iter(|| concretize(&spec, &repo, &targets).expect("resolves"))
+        });
+    }
+    group.bench_function("install_qe_dag", |bench| {
+        let spec: Spec = "quantum-espresso target=u74mc".parse().expect("valid");
+        let dag = concretize(&spec, &repo, &targets).expect("resolves");
+        bench.iter(|| {
+            let mut tree = InstallTree::new("/opt/cimone");
+            tree.install_dag(&dag).expect("installs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_concretize);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches over the simulator itself: engine step throughput,
+//! the cache simulator, and the thermal model — the costs that bound how
+//! much simulated machine-time a host second buys.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cimone_cluster::engine::{ClusterWorkload, EngineConfig, JobRequest, SimEngine};
+use cimone_cluster::thermal::{AirflowConfig, ThermalModel};
+use cimone_mem::cache::{AccessKind, CacheConfig, SetAssocCache};
+use cimone_soc::units::{Power, SimDuration};
+use cimone_soc::workload::Workload;
+
+fn bench_engine_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for (label, monitoring) in [("step_monitored", true), ("step_unmonitored", false)] {
+        group.bench_function(label, |bench| {
+            let mut engine = SimEngine::new(EngineConfig {
+                monitoring,
+                ..EngineConfig::default()
+            });
+            engine
+                .submit(JobRequest {
+                    name: "bench".into(),
+                    user: "bench".into(),
+                    nodes: 8,
+                    workload: ClusterWorkload::Synthetic {
+                        workload: Workload::Hpl,
+                        secs: 1_000_000,
+                    },
+                })
+                .expect("fits");
+            bench.iter(|| engine.step());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let accesses = 100_000u64;
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("sequential_stream", |bench| {
+        let mut l2 = SetAssocCache::new(CacheConfig::fu740_l2());
+        bench.iter(|| {
+            for addr in (0..accesses * 64).step_by(64) {
+                l2.access(addr % (16 << 20), AccessKind::Read);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    c.bench_function("thermal_step_8nodes", |bench| {
+        let mut model = ThermalModel::monte_cimone(AirflowConfig::LidOffSpaced);
+        let powers = [Power::from_watts(5.9); 8];
+        bench.iter(|| model.step(&powers, SimDuration::from_millis(500)))
+    });
+}
+
+criterion_group!(benches, bench_engine_step, bench_cache_sim, bench_thermal);
+criterion_main!(benches);

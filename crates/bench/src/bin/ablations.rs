@@ -1,0 +1,142 @@
+//! Ablation studies for the design choices DESIGN.md §8 calls out:
+//!
+//! 1. L2 prefetcher effectiveness sweep → STREAM DDR efficiency (the
+//!    paper's "margins for improvement" discussion);
+//! 2. interconnect: Gigabit Ethernet vs working InfiniBand FDR → HPL
+//!    scaling (the paper's "once RDMA is supported" expectation);
+//! 3. HPL block size NB sweep → communication granularity;
+//! 4. enclosure airflow configurations → steady-state temperature map;
+//! 5. scheduler backfill on/off → makespan of a mixed job trace.
+
+use cimone_cluster::engine::{ClusterWorkload, EngineConfig, JobRequest, SimEngine};
+use cimone_cluster::perf::{HplModel, HplProblem};
+use cimone_cluster::thermal::{AirflowConfig, ThermalModel};
+use cimone_kernels::stream::StreamKernel;
+use cimone_mem::bandwidth::{table_v_sizes, StreamBandwidthModel};
+use cimone_mem::prefetch::PrefetcherConfig;
+use cimone_net::link::LinkModel;
+use cimone_sched::scheduler::SchedulingPolicy;
+use cimone_soc::units::{Power, SimDuration};
+use cimone_soc::workload::Workload;
+
+fn prefetcher_sweep() {
+    println!("== Ablation 1: prefetcher effectiveness vs STREAM DDR bandwidth ==");
+    println!("{:>13} | {:>12} | {:>10}", "effectiveness", "triad [MB/s]", "of peak");
+    for step in 0..=10 {
+        let e = step as f64 / 10.0;
+        let model = StreamBandwidthModel::monte_cimone()
+            .with_prefetcher(PrefetcherConfig::u74_observed().with_effectiveness(e));
+        let bw = model.mean_bandwidth(StreamKernel::Triad, table_v_sizes::ddr(), 4);
+        println!(
+            "{e:>13.1} | {:>12.0} | {:>9.1}%",
+            bw / 1e6,
+            model.efficiency(bw) * 100.0
+        );
+    }
+    println!();
+}
+
+fn interconnect_sweep() {
+    println!("== Ablation 2: interconnect vs HPL scaling (N=40704, NB=192) ==");
+    let gbe = HplModel::monte_cimone(HplProblem::paper());
+    let ib = HplModel::monte_cimone(HplProblem::paper())
+        .with_link(LinkModel::infiniband_fdr(), 1.5);
+    println!(
+        "{:>5} | {:>14} | {:>14} | {:>8}",
+        "nodes", "GbE [GFLOP/s]", "IB  [GFLOP/s]", "IB gain"
+    );
+    for nodes in [1usize, 2, 4, 8] {
+        let (a, b) = (gbe.gflops(nodes), ib.gflops(nodes));
+        println!("{nodes:>5} | {a:>14.2} | {b:>14.2} | {:>7.1}%", (b / a - 1.0) * 100.0);
+    }
+    println!();
+}
+
+fn block_size_sweep() {
+    println!("== Ablation 3: HPL block size NB vs modelled performance (8 nodes) ==");
+    println!("{:>5} | {:>9} | {:>13} | {:>10}", "NB", "panels", "GFLOP/s", "comm frac");
+    for nb in [32usize, 64, 96, 128, 192, 256] {
+        let model = HplModel::monte_cimone(HplProblem::new(40704, nb));
+        println!(
+            "{nb:>5} | {:>9} | {:>13.2} | {:>9.1}%",
+            model.problem().panels(),
+            model.gflops(8),
+            model.comm_fraction(8) * 100.0
+        );
+    }
+    println!();
+}
+
+fn airflow_matrix() {
+    println!("== Ablation 4: airflow configuration vs steady HPL temperatures ==");
+    let hpl = [Power::from_watts(5.935); 8];
+    for config in [AirflowConfig::LidOnTightStack, AirflowConfig::LidOffSpaced] {
+        let mut model = ThermalModel::monte_cimone(config);
+        let mut trips = Vec::new();
+        for _ in 0..4000 {
+            trips.extend(model.step(&hpl, SimDuration::from_secs(1)));
+        }
+        let temps: Vec<String> = (0..8)
+            .map(|i| format!("{:.0}", model.temperature(i).as_f64()))
+            .collect();
+        println!(
+            "{config:?}: node temps [°C] = {} {}",
+            temps.join(" "),
+            if trips.is_empty() {
+                "(no trips)".to_owned()
+            } else {
+                format!("(TRIPPED: {:?})", trips.iter().map(|i| i + 1).collect::<Vec<_>>())
+            }
+        );
+    }
+    println!();
+}
+
+fn scheduler_ablation() {
+    println!("== Ablation 5: backfill on/off vs makespan of a mixed job trace ==");
+    for (label, policy) in [
+        ("backfill", SchedulingPolicy::Backfill),
+        ("fifo-only", SchedulingPolicy::FifoOnly),
+    ] {
+        let mut engine = SimEngine::new(EngineConfig::default()).with_policy(policy);
+        // A long wide job, then an 8-node job, then a stream of short
+        // narrow jobs that backfill can slot in.
+        let mut submit = |nodes, secs| {
+            engine
+                .submit(JobRequest {
+                    name: format!("job-{nodes}x{secs}"),
+                    user: "mix".into(),
+                    nodes,
+                    workload: ClusterWorkload::Synthetic {
+                        workload: Workload::Hpl,
+                        secs,
+                    },
+                })
+                .expect("job fits");
+        };
+        submit(6, 600);
+        submit(8, 120);
+        for _ in 0..6 {
+            submit(1, 60);
+        }
+        let drained = engine.run_until_idle(SimDuration::from_secs(4000));
+        assert!(drained, "trace must drain");
+        let makespan = engine
+            .scheduler()
+            .jobs()
+            .filter_map(|j| j.ended_at())
+            .max()
+            .expect("jobs ended");
+        let mean_wait = engine.accounting().mean_wait().expect("records exist");
+        println!("{label:>9}: makespan {makespan}, mean wait {mean_wait}");
+    }
+    println!();
+}
+
+fn main() {
+    prefetcher_sweep();
+    interconnect_sweep();
+    block_size_sweep();
+    airflow_matrix();
+    scheduler_ablation();
+}

@@ -1,0 +1,12 @@
+//! Extension study: dynamic power and thermal management (the paper's
+//! future-work item ii). Re-runs the Fig. 6 hazardous configuration with a
+//! per-node thermal DVFS governor: node 7 throttles instead of tripping
+//! and the HPL run completes.
+
+use cimone_bench::env_u64;
+use cimone_cluster::experiments::dvfs;
+
+fn main() {
+    let seed = env_u64("SEED", 2022);
+    print!("{}", dvfs::run(seed).render());
+}

@@ -1,0 +1,10 @@
+//! Extension study: energy to solution for single-node HPL at every fixed
+//! operating point — the race-to-idle analysis the DVFS capability makes
+//! possible.
+
+use cimone_cluster::experiments::energy;
+use cimone_cluster::perf::HplProblem;
+
+fn main() {
+    print!("{}", energy::run(HplProblem::paper()).render());
+}

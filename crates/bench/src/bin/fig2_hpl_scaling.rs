@@ -1,0 +1,14 @@
+//! Regenerates Fig. 2: HPL strong scaling on 1/2/4/8 nodes, plus the
+//! §V-A cross-ISA comparison. `REPS` and `SEED` env vars override the
+//! paper's 10 repetitions.
+
+use cimone_bench::env_u64;
+use cimone_cluster::experiments::hpl_scaling;
+use cimone_cluster::perf::HplProblem;
+
+fn main() {
+    let reps = env_u64("REPS", 10) as usize;
+    let seed = env_u64("SEED", 2022);
+    let result = hpl_scaling::run(HplProblem::paper(), reps, seed);
+    print!("{}", result.render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig. 3: 8-second power traces per benchmark at 1 ms
+//! averaging windows, grouped core / DDR / PCIe+PLL+IO.
+
+use cimone_bench::env_u64;
+use cimone_cluster::experiments::power_traces;
+
+fn main() {
+    let secs = env_u64("SECS", 8);
+    let seed = env_u64("SEED", 2022);
+    print!("{}", power_traces::run(secs, seed).render());
+}

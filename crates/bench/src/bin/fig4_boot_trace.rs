@@ -1,0 +1,10 @@
+//! Regenerates Fig. 4: the boot power trace with its R1/R2/R3 regions and
+//! the §V-B leakage / clock-tree / OS decomposition.
+
+use cimone_bench::env_u64;
+use cimone_cluster::experiments::boot_trace;
+
+fn main() {
+    let seed = env_u64("SEED", 2022);
+    print!("{}", boot_trace::run(seed).render());
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 5: ExaMon heatmaps (instructions/s, network traffic,
+//! memory usage) across the eight nodes during a monitored HPL run.
+//!
+//! `N` scales the HPL problem (default 4096 keeps the simulated run
+//! short); `BINS` sets the number of time columns.
+
+use cimone_bench::env_u64;
+use cimone_cluster::experiments::monitored_hpl;
+
+fn main() {
+    let n = env_u64("N", 16384) as usize;
+    let bins = env_u64("BINS", 48) as usize;
+    let seed = env_u64("SEED", 2022);
+    print!("{}", monitored_hpl::run(n, bins, seed).render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 6: the thermal runaway on node 7 during HPL with the
+//! lid-on enclosure, the ExaMon alarms, and the lid-off mitigation.
+
+use cimone_bench::env_u64;
+use cimone_cluster::experiments::thermal_runaway;
+
+fn main() {
+    let seed = env_u64("SEED", 2022);
+    print!("{}", thermal_runaway::run(seed).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates the §V-A QuantumESPRESSO LAX data point (1.44 GFLOP/s on a
+//! 512² blocked diagonalisation).
+
+use cimone_bench::env_u64;
+use cimone_cluster::experiments::qe_lax;
+
+fn main() {
+    let reps = env_u64("REPS", 10) as usize;
+    let seed = env_u64("SEED", 2022);
+    print!("{}", qe_lax::run(reps, seed).render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table I: the user-facing software stack, deployed with the
+//! Spack-like package manager for the `linux-sifive-u74mc` target.
+
+use cimone_cluster::experiments::software_stack;
+
+fn main() {
+    match software_stack::run() {
+        Ok(result) => print!("{}", result.render()),
+        Err(err) => {
+            eprintln!("concretisation failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table II: the ExaMon topic and payload formats.
+
+fn main() {
+    print!("{}", cimone_bench::render_table2());
+}

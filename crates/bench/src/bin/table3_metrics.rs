@@ -1,0 +1,5 @@
+//! Regenerates Table III: the stats_pub metric inventory.
+
+fn main() {
+    print!("{}", cimone_bench::render_table3());
+}

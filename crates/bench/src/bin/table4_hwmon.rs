@@ -1,0 +1,5 @@
+//! Regenerates Table IV: hwmon sysfs entries for the temperature sensors.
+
+fn main() {
+    print!("{}", cimone_bench::render_table4());
+}

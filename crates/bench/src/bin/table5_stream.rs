@@ -1,0 +1,11 @@
+//! Regenerates Table V: STREAM at 4 threads, DDR- and L2-resident, plus
+//! the §V-A cross-ISA bandwidth comparison.
+
+use cimone_bench::env_u64;
+use cimone_cluster::experiments::stream_table;
+
+fn main() {
+    let reps = env_u64("REPS", 10) as usize;
+    let seed = env_u64("SEED", 2022);
+    print!("{}", stream_table::run(reps, seed).render());
+}

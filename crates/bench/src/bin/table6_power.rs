@@ -1,0 +1,11 @@
+//! Regenerates Table VI: per-rail power for every workload plus the boot
+//! regions, measured from simulated shunt-resistor traces.
+
+use cimone_bench::env_u64;
+use cimone_cluster::experiments::power_table;
+
+fn main() {
+    let secs = env_u64("SECS", 8);
+    let seed = env_u64("SEED", 2022);
+    print!("{}", power_table::run(secs, seed).render());
+}

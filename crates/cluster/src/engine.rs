@@ -1,0 +1,845 @@
+//! The cluster simulation engine: scheduler-driven jobs running on the
+//! eight-node machine, with power, thermal and monitoring all advancing on
+//! one deterministic clock.
+//!
+//! Every experiment in the paper runs through this loop: submit a job,
+//! step the engine, read the results out of the scheduler's accounting and
+//! the ExaMon store.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cimone_monitor::broker::Broker;
+use cimone_monitor::collector::Collector;
+use cimone_monitor::payload::Payload;
+use cimone_monitor::plugins::{PluginRunner, PmuPlugin, StatsPlugin};
+use cimone_monitor::topic::{ExamonSchema, Topic};
+use cimone_monitor::tsdb::TimeSeriesStore;
+use cimone_sched::accounting::{AccountingLog, JobRecord};
+use cimone_sched::job::{JobId, JobSpec, JobState};
+use cimone_sched::partition::Partition;
+use cimone_sched::scheduler::{SchedError, Scheduler};
+use cimone_soc::power::PowerModel;
+use cimone_soc::units::{Celsius, Energy, Power, SimDuration, SimTime};
+use cimone_soc::workload::Workload;
+
+use crate::dpm::{GovernorAction, ThermalGovernor};
+use crate::node::{ComputeNode, NodeConditions};
+use crate::perf::{HplModel, HplProblem, LaxModel};
+use crate::thermal::{AirflowConfig, ThermalModel};
+
+/// What a job runs on its allocated nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterWorkload {
+    /// Distributed HPL.
+    Hpl(HplProblem),
+    /// The QE LAX driver (single node).
+    QeLax,
+    /// STREAM with the Table V DDR-resident working set, for `secs`.
+    StreamDdr {
+        /// Benchmark duration.
+        secs: u64,
+    },
+    /// STREAM with the L2-resident working set, for `secs`.
+    StreamL2 {
+        /// Benchmark duration.
+        secs: u64,
+    },
+    /// Any steady workload class for a fixed duration.
+    Synthetic {
+        /// The workload class.
+        workload: Workload,
+        /// Duration, seconds.
+        secs: u64,
+    },
+}
+
+/// A job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Job name.
+    pub name: String,
+    /// User.
+    pub user: String,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// The workload.
+    pub workload: ClusterWorkload,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Enclosure airflow.
+    pub airflow: AirflowConfig,
+    /// Simulation step.
+    pub dt: SimDuration,
+    /// RNG seed (drives run-to-run noise).
+    pub seed: u64,
+    /// Whether the ExaMon pipeline runs (costs simulation time).
+    pub monitoring: bool,
+    /// Optional per-node thermal DVFS governor (the paper's future-work
+    /// item: dynamic power and thermal management).
+    pub governor: Option<ThermalGovernor>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            airflow: AirflowConfig::LidOffSpaced,
+            dt: SimDuration::from_millis(500),
+            seed: 2022,
+            monitoring: true,
+            governor: None,
+        }
+    }
+}
+
+/// Notable events the engine emits (for tests and reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// A job started on the listed node indices.
+    JobStarted {
+        /// The job.
+        id: JobId,
+        /// When.
+        at: SimTime,
+        /// Allocated node indices.
+        nodes: Vec<usize>,
+    },
+    /// A job reached its natural end.
+    JobCompleted {
+        /// The job.
+        id: JobId,
+        /// When.
+        at: SimTime,
+    },
+    /// A node crossed the 107 °C trip point and shut down.
+    NodeTripped {
+        /// Node index.
+        node: usize,
+        /// When.
+        at: SimTime,
+        /// Temperature at the trip.
+        temperature: Celsius,
+    },
+    /// A job lost its allocation to a trip and went back to the queue.
+    JobRequeued {
+        /// The job.
+        id: JobId,
+        /// When.
+        at: SimTime,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct RunningJob {
+    id: JobId,
+    workload: ClusterWorkload,
+    node_indices: Vec<usize>,
+    started: SimTime,
+    duration: SimDuration,
+    /// Fraction of the job's work completed (advances slower when any of
+    /// its nodes is thermally throttled below the nominal clock).
+    progress: f64,
+    /// HPL communication phase structure.
+    comm_fraction: f64,
+    panel_cycle: SimDuration,
+    mem_per_node: f64,
+    energy: Energy,
+}
+
+/// The Monte Cimone simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_cluster::engine::{ClusterWorkload, EngineConfig, JobRequest, SimEngine};
+/// use cimone_soc::units::SimDuration;
+/// use cimone_soc::workload::Workload;
+///
+/// let mut engine = SimEngine::new(EngineConfig::default());
+/// engine.submit(JobRequest {
+///     name: "smoke".into(),
+///     user: "ci".into(),
+///     nodes: 1,
+///     workload: ClusterWorkload::Synthetic { workload: Workload::Hpl, secs: 10 },
+/// })?;
+/// engine.run_for(SimDuration::from_secs(20));
+/// assert_eq!(engine.accounting().len(), 1);
+/// # Ok::<(), cimone_sched::scheduler::SchedError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimEngine {
+    config: EngineConfig,
+    nodes: Vec<ComputeNode>,
+    thermal: ThermalModel,
+    power: PowerModel,
+    scheduler: Scheduler,
+    running: HashMap<JobId, RunningJob>,
+    workloads: HashMap<JobId, ClusterWorkload>,
+    accounting: AccountingLog,
+    broker: Broker,
+    collector: Collector,
+    store: TimeSeriesStore,
+    pmu: Vec<PluginRunner<PmuPlugin>>,
+    stats: Vec<PluginRunner<StatsPlugin>>,
+    schema: ExamonSchema,
+    events: Vec<EngineEvent>,
+    now: SimTime,
+    rng: StdRng,
+}
+
+impl SimEngine {
+    /// Builds the engine over the standard 8-node machine.
+    pub fn new(config: EngineConfig) -> Self {
+        let nodes: Vec<ComputeNode> = (0..8).map(ComputeNode::new).collect();
+        let schema = ExamonSchema::monte_cimone();
+        let broker = Broker::new();
+        let collector = Collector::attach(&broker, "#".parse().expect("valid filter"));
+        // The engine's power samples already include temperature-dependent
+        // leakage, so the thermal model's own feedback term is disabled to
+        // avoid double-counting the runaway loop.
+        let thermal = ThermalModel::monte_cimone(config.airflow).with_leakage_feedback(0.0);
+        // Thermal leakage feedback participates in the runaway loop. The
+        // reference is the idle steady-state silicon temperature, so the
+        // Table VI calibration holds at the machine's normal operating
+        // point.
+        let power = PowerModel::u740().with_thermal_leakage(0.012, Celsius::new(36.5));
+        let pmu = (0..nodes.len())
+            .map(|_| PluginRunner::new(PmuPlugin::new(schema.clone())))
+            .collect();
+        let stats = (0..nodes.len())
+            .map(|_| PluginRunner::new(StatsPlugin::new(schema.clone())))
+            .collect();
+        SimEngine {
+            config,
+            nodes,
+            thermal,
+            power,
+            scheduler: Scheduler::new(Partition::monte_cimone()),
+            running: HashMap::new(),
+            workloads: HashMap::new(),
+            accounting: AccountingLog::new(),
+            broker,
+            collector,
+            store: TimeSeriesStore::new(),
+            pmu,
+            stats,
+            schema,
+            events: Vec::new(),
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// Replaces the scheduling policy (must be called before any
+    /// submission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if jobs were already submitted.
+    pub fn with_policy(mut self, policy: cimone_sched::scheduler::SchedulingPolicy) -> Self {
+        assert!(
+            self.workloads.is_empty(),
+            "set the policy before submitting jobs"
+        );
+        self.scheduler = Scheduler::with_policy(Partition::monte_cimone(), policy);
+        self
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The ExaMon time-series store.
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// The topic schema in use.
+    pub fn schema(&self) -> &ExamonSchema {
+        &self.schema
+    }
+
+    /// The scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Completed-job accounting.
+    pub fn accounting(&self) -> &AccountingLog {
+        &self.accounting
+    }
+
+    /// The compute nodes.
+    pub fn nodes(&self) -> &[ComputeNode] {
+        &self.nodes
+    }
+
+    /// The thermal model.
+    pub fn thermal(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// Events so far.
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// Switches the enclosure airflow (the paper's mitigation) in place.
+    pub fn set_airflow(&mut self, airflow: AirflowConfig) {
+        self.config.airflow = airflow;
+        self.thermal.set_config(airflow);
+    }
+
+    /// The DVFS state of one node's core complex.
+    pub fn node_cpufreq(&self, node_index: usize) -> &cimone_soc::cpufreq::CpuFreq {
+        self.nodes[node_index].cpufreq()
+    }
+
+    /// Operator-style failure injection: takes a node out of service as a
+    /// hardware fault would, requeueing any job running on it. Returns the
+    /// requeued job, if any.
+    pub fn inject_node_failure(&mut self, node_index: usize) -> Option<JobId> {
+        let hostname = self.nodes[node_index].hostname().to_owned();
+        let victim = self.scheduler.fail_node(&hostname, self.now);
+        if let Some(id) = victim {
+            self.running.remove(&id);
+            self.events.push(EngineEvent::JobRequeued { id, at: self.now });
+        }
+        victim
+    }
+
+    /// Returns a tripped node to service after it cooled down.
+    pub fn resume_node(&mut self, node_index: usize) {
+        self.thermal.clear_trip(node_index);
+        let hostname = self.nodes[node_index].hostname().to_owned();
+        self.scheduler.resume_node(&hostname);
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler rejections (e.g. more nodes than the machine).
+    pub fn submit(&mut self, request: JobRequest) -> Result<JobId, SchedError> {
+        let limit = self.estimate_duration(&request.workload, request.nodes) * 3;
+        let spec = JobSpec::new(
+            request.name,
+            request.user,
+            request.nodes,
+            SimDuration::from_secs_f64(limit.as_secs_f64().max(60.0)),
+        );
+        let id = self.scheduler.submit(spec, self.now)?;
+        self.workloads.insert(id, request.workload);
+        Ok(id)
+    }
+
+    /// Submits a job with an explicit wall-time limit instead of the
+    /// engine's 3×-estimate default (`sbatch --time`). The engine kills
+    /// the job with [`JobState::TimedOut`] when the limit expires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler rejections.
+    pub fn submit_with_limit(
+        &mut self,
+        request: JobRequest,
+        time_limit: SimDuration,
+    ) -> Result<JobId, SchedError> {
+        let spec = JobSpec::new(request.name, request.user, request.nodes, time_limit);
+        let id = self.scheduler.submit(spec, self.now)?;
+        self.workloads.insert(id, request.workload);
+        Ok(id)
+    }
+
+    fn estimate_duration(&self, workload: &ClusterWorkload, nodes: usize) -> SimDuration {
+        let secs = match workload {
+            ClusterWorkload::Hpl(problem) => HplModel::monte_cimone(*problem).run_time(nodes),
+            ClusterWorkload::QeLax => LaxModel::paper().run_time(),
+            ClusterWorkload::StreamDdr { secs } | ClusterWorkload::StreamL2 { secs } => {
+                *secs as f64
+            }
+            ClusterWorkload::Synthetic { secs, .. } => *secs as f64,
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Advances one step.
+    pub fn step(&mut self) {
+        let dt = self.config.dt;
+
+        // 1. Start whatever the scheduler releases.
+        for id in self.scheduler.schedule(self.now) {
+            self.start_job(id);
+        }
+
+        // 2. Advance job progress (gated by the slowest allocated node's
+        //    DVFS state — HPL is bulk-synchronous) and complete finished
+        //    jobs.
+        let speeds: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|n| n.cpufreq().performance_scale())
+            .collect();
+        for job in self.running.values_mut() {
+            let speed = job
+                .node_indices
+                .iter()
+                .map(|&i| speeds[i])
+                .fold(1.0f64, f64::min);
+            job.progress += dt.as_secs_f64() / job.duration.as_secs_f64() * speed;
+        }
+        let finished: Vec<JobId> = self
+            .running
+            .values()
+            .filter(|job| job.progress >= 1.0)
+            .map(|job| job.id)
+            .collect();
+        for id in finished {
+            self.finish_job(id, JobState::Completed);
+        }
+        // Wall-time enforcement: Slurm kills jobs at their limit.
+        let timed_out: Vec<JobId> = self
+            .running
+            .values()
+            .filter(|job| {
+                let limit = self
+                    .scheduler
+                    .job(job.id)
+                    .expect("running job known")
+                    .spec()
+                    .time_limit;
+                self.now.saturating_since(job.started) >= limit
+            })
+            .map(|job| job.id)
+            .collect();
+        for id in timed_out {
+            self.finish_job(id, JobState::TimedOut);
+        }
+        self.refresh_conditions();
+
+        // 3. Advance node execution.
+        for node in &mut self.nodes {
+            node.advance(dt);
+        }
+
+        // 4. Power sampling, energy accounting, publication.
+        let mut node_power = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            let workload = self.nodes[i].effective_power_workload();
+            let temp = self.thermal.temperature(i);
+            let scale = self.nodes[i].cpufreq().scale();
+            let sample = self.power.sample_all_dvfs(workload, temp, scale, &mut self.rng);
+            let total = sample.total();
+            node_power.push(total);
+            if self.config.monitoring {
+                let topic = self.power_topic(i);
+                self.broker
+                    .publish(&topic, Payload::new(total.as_watts(), self.now));
+            }
+        }
+        for job in self.running.values_mut() {
+            let p: Power = job.node_indices.iter().map(|&i| node_power[i]).sum();
+            job.energy += p.energy_over(dt);
+        }
+
+        // 5. Thermal step and trip handling.
+        let tripped = self.thermal.step(&node_power, dt);
+        for node_index in tripped {
+            self.handle_trip(node_index);
+        }
+        for i in 0..self.nodes.len() {
+            let (cpu, mb, nvme) = (
+                self.thermal.temperature(i),
+                self.thermal.mb_temperature(i),
+                self.thermal.nvme_temperature(i),
+            );
+            self.nodes[i].set_temperatures(cpu, mb, nvme);
+        }
+
+        // 5b. The thermal governor, when enabled, throttles hot nodes and
+        //     recovers cool ones.
+        if let Some(governor) = self.config.governor {
+            for i in 0..self.nodes.len() {
+                match governor.decide(self.thermal.temperature(i)) {
+                    GovernorAction::StepDown => {
+                        self.nodes[i].cpufreq_mut().step_down();
+                    }
+                    GovernorAction::StepUp => {
+                        self.nodes[i].cpufreq_mut().step_up();
+                    }
+                    GovernorAction::Hold => {}
+                }
+            }
+        }
+
+        // 6. Monitoring plugins and ingestion.
+        if self.config.monitoring {
+            for i in 0..self.nodes.len() {
+                let snapshot = self.nodes[i].snapshot(self.now);
+                self.pmu[i].maybe_sample(self.now, &snapshot, &self.broker);
+                self.stats[i].maybe_sample(self.now, &snapshot, &self.broker);
+            }
+            self.collector.pump(&mut self.store);
+        }
+
+        self.now += dt;
+    }
+
+    /// Runs for a span of simulated time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let end = self.now + span;
+        while self.now < end {
+            self.step();
+        }
+    }
+
+    /// Runs until no job is pending or running, up to `max`. Returns
+    /// whether the machine drained.
+    pub fn run_until_idle(&mut self, max: SimDuration) -> bool {
+        let end = self.now + max;
+        while self.now < end {
+            if self.running.is_empty() && self.scheduler.pending().is_empty() {
+                return true;
+            }
+            self.step();
+        }
+        self.running.is_empty() && self.scheduler.pending().is_empty()
+    }
+
+    fn power_topic(&self, node_index: usize) -> Topic {
+        Topic::new(
+            [
+                "org",
+                "unibo",
+                "cluster",
+                "cimone",
+                "node",
+                self.nodes[node_index].hostname(),
+                "plugin",
+                "pwr_pub",
+                "chnl",
+                "data",
+                "total_power",
+            ]
+            .map(str::to_owned),
+        )
+    }
+
+    fn start_job(&mut self, id: JobId) {
+        let workload = self.workloads[&id];
+        let job = self.scheduler.job(id).expect("started job exists");
+        let node_indices: Vec<usize> = job
+            .allocated_nodes()
+            .iter()
+            .map(|h| hostname_index(h))
+            .collect();
+        let nodes = node_indices.len();
+
+        let (duration, comm_fraction, panel_cycle, mem_per_node) = match workload {
+            ClusterWorkload::Hpl(problem) => {
+                let model = HplModel::monte_cimone(problem);
+                let sample = model.simulate_run(nodes, &mut self.rng);
+                let duration = SimDuration::from_secs_f64(sample.seconds);
+                let cycle = duration / problem.panels().max(1) as u64;
+                let mem = (problem.n * problem.n * 8) as f64 / nodes as f64;
+                (duration, model.comm_fraction(nodes), cycle, mem)
+            }
+            ClusterWorkload::QeLax => {
+                let model = LaxModel::paper();
+                let (secs, _) = model.simulate_run(&mut self.rng);
+                (
+                    SimDuration::from_secs_f64(secs),
+                    0.05,
+                    SimDuration::from_secs(1),
+                    (model.matrix_n * model.matrix_n * 8 * 4) as f64,
+                )
+            }
+            ClusterWorkload::StreamDdr { secs } | ClusterWorkload::StreamL2 { secs } => (
+                SimDuration::from_secs(secs),
+                0.0,
+                SimDuration::from_secs(1),
+                2.0e9,
+            ),
+            ClusterWorkload::Synthetic { secs, .. } => (
+                SimDuration::from_secs(secs),
+                0.0,
+                SimDuration::from_secs(1),
+                1.0e9,
+            ),
+        };
+
+        self.events.push(EngineEvent::JobStarted {
+            id,
+            at: self.now,
+            nodes: node_indices.clone(),
+        });
+        self.running.insert(
+            id,
+            RunningJob {
+                id,
+                workload,
+                node_indices,
+                started: self.now,
+                duration,
+                progress: 0.0,
+                comm_fraction,
+                panel_cycle: if panel_cycle.is_zero() {
+                    SimDuration::from_secs(1)
+                } else {
+                    panel_cycle
+                },
+                mem_per_node,
+                energy: Energy::ZERO,
+            },
+        );
+    }
+
+    /// Re-derives every node's conditions from the running-job set.
+    fn refresh_conditions(&mut self) {
+        let mut conditions: Vec<NodeConditions> = vec![NodeConditions::default(); self.nodes.len()];
+        for job in self.running.values() {
+            let elapsed = self.now.saturating_since(job.started);
+            let workload_class = match job.workload {
+                ClusterWorkload::Hpl(_) => Workload::Hpl,
+                ClusterWorkload::QeLax => Workload::QeLax,
+                ClusterWorkload::StreamDdr { .. } => Workload::StreamDdr,
+                ClusterWorkload::StreamL2 { .. } => Workload::StreamL2,
+                ClusterWorkload::Synthetic { workload, .. } => workload,
+            };
+            // Communication burst at the head of each panel cycle.
+            let in_cycle = elapsed.as_micros() % job.panel_cycle.as_micros().max(1);
+            let communicating = job.node_indices.len() > 1
+                && (in_cycle as f64)
+                    < job.comm_fraction * job.panel_cycle.as_micros() as f64;
+            let net = if communicating { 60.0e6 } else { 0.2e6 };
+            for &i in &job.node_indices {
+                conditions[i] = NodeConditions {
+                    workload: workload_class,
+                    busy_cores: 4,
+                    communicating,
+                    net_recv: net,
+                    net_send: net,
+                    mem_used: job.mem_per_node,
+                };
+            }
+        }
+        for (node, cond) in self.nodes.iter_mut().zip(conditions) {
+            node.set_conditions(cond);
+        }
+    }
+
+    fn finish_job(&mut self, id: JobId, state: JobState) {
+        let job = self.running.remove(&id).expect("finishing job is running");
+        self.scheduler
+            .complete(id, self.now, state)
+            .expect("running job completes");
+        if let Some(record) = JobRecord::from_job(self.scheduler.job(id).expect("job exists")) {
+            self.accounting.record(record.with_energy(job.energy));
+        }
+        self.events.push(EngineEvent::JobCompleted { id, at: self.now });
+    }
+
+    fn handle_trip(&mut self, node_index: usize) {
+        let temperature = self.thermal.temperature(node_index);
+        self.events.push(EngineEvent::NodeTripped {
+            node: node_index,
+            at: self.now,
+            temperature,
+        });
+        let hostname = self.nodes[node_index].hostname().to_owned();
+        if let Some(victim) = self.scheduler.fail_node(&hostname, self.now) {
+            self.running.remove(&victim);
+            self.events.push(EngineEvent::JobRequeued {
+                id: victim,
+                at: self.now,
+            });
+        }
+    }
+}
+
+/// Maps `mc-node-XX` back to its 0-based index.
+fn hostname_index(hostname: &str) -> usize {
+    hostname
+        .rsplit('-')
+        .next()
+        .and_then(|n| n.parse::<usize>().ok())
+        .map(|n| n - 1)
+        .unwrap_or_else(|| panic!("malformed hostname {hostname}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SimEngine {
+        SimEngine::new(EngineConfig::default())
+    }
+
+    fn synthetic(nodes: usize, secs: u64) -> JobRequest {
+        JobRequest {
+            name: "test".into(),
+            user: "alice".into(),
+            nodes,
+            workload: ClusterWorkload::Synthetic {
+                workload: Workload::Hpl,
+                secs,
+            },
+        }
+    }
+
+    #[test]
+    fn jobs_run_to_completion_with_energy_accounted() {
+        let mut engine = engine();
+        let id = engine.submit(synthetic(2, 30)).unwrap();
+        assert!(engine.run_until_idle(SimDuration::from_secs(120)));
+        let record = &engine.accounting().records()[0];
+        assert_eq!(record.job_id, id.0);
+        assert_eq!(record.state, JobState::Completed);
+        // Two nodes at ~5.9 W for 30 s ≈ 355 J.
+        let energy = record.energy.unwrap().as_joules();
+        assert!((energy - 356.0).abs() < 30.0, "energy {energy}");
+    }
+
+    #[test]
+    fn monitoring_pipeline_fills_the_store() {
+        let mut engine = engine();
+        engine.submit(synthetic(1, 10)).unwrap();
+        engine.run_for(SimDuration::from_secs(12));
+        let store = engine.store();
+        assert!(store.series_count() > 8, "series: {}", store.series_count());
+        // pmu_pub sampled at 2 Hz on node 1 while the job ran.
+        let series =
+            "org/unibo/cluster/cimone/node/mc-node-01/plugin/pmu_pub/chnl/data/core/0/instret";
+        let points = store.query(series, SimTime::ZERO, SimTime::from_secs(12));
+        assert!(points.len() >= 20, "points: {}", points.len());
+        // Counters are cumulative, hence non-decreasing.
+        assert!(points.windows(2).all(|w| w[1].1 >= w[0].1));
+    }
+
+    #[test]
+    fn queued_jobs_start_when_resources_free() {
+        let mut engine = engine();
+        let a = engine.submit(synthetic(8, 20)).unwrap();
+        let b = engine.submit(synthetic(8, 20)).unwrap();
+        assert!(engine.run_until_idle(SimDuration::from_secs(200)));
+        let job_a = engine.scheduler().job(a).unwrap();
+        let job_b = engine.scheduler().job(b).unwrap();
+        assert!(job_b.started_at().unwrap() >= job_a.ended_at().unwrap());
+    }
+
+    #[test]
+    fn hpl_jobs_alternate_compute_and_communication() {
+        let mut engine = engine();
+        engine
+            .submit(JobRequest {
+                name: "hpl".into(),
+                user: "bench".into(),
+                nodes: 4,
+                // A small problem so panels cycle quickly.
+                workload: ClusterWorkload::Hpl(HplProblem::new(4096, 192)),
+            })
+            .unwrap();
+        let mut saw_comm = false;
+        let mut saw_compute = false;
+        for _ in 0..400 {
+            engine.step();
+            for node in engine.nodes().iter().take(4) {
+                if node.conditions().busy_cores == 4 {
+                    if node.conditions().communicating {
+                        saw_comm = true;
+                    } else {
+                        saw_compute = true;
+                    }
+                }
+            }
+        }
+        assert!(saw_comm, "never saw a communication phase");
+        assert!(saw_compute, "never saw a compute phase");
+    }
+
+    #[test]
+    fn idle_machine_power_sits_at_the_paper_level() {
+        let mut engine = engine();
+        engine.run_for(SimDuration::from_secs(30));
+        let series =
+            "org/unibo/cluster/cimone/node/mc-node-03/plugin/pwr_pub/chnl/data/total_power";
+        let mean = engine
+            .store()
+            .aggregate(
+                series,
+                SimTime::ZERO,
+                SimTime::from_secs(30),
+                cimone_monitor::tsdb::Aggregation::Mean,
+            )
+            .unwrap();
+        // Slightly below the 4.81 W steady figure: the silicon is still
+        // warming towards its idle operating point, so leakage is low.
+        assert!((mean - 4.81).abs() < 0.09, "idle power {mean} W");
+    }
+
+    #[test]
+    fn monitoring_can_be_disabled() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            ..EngineConfig::default()
+        });
+        engine.submit(synthetic(1, 5)).unwrap();
+        engine.run_for(SimDuration::from_secs(8));
+        assert!(engine.store().is_empty());
+    }
+
+    #[test]
+    fn jobs_are_killed_at_their_wall_time_limit() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            ..EngineConfig::default()
+        });
+        // A 100 s workload under a 10 s limit: killed, nodes freed.
+        let id = engine
+            .submit_with_limit(synthetic(2, 100), SimDuration::from_secs(10))
+            .unwrap();
+        assert!(engine.run_until_idle(SimDuration::from_secs(60)));
+        let job = engine.scheduler().job(id).unwrap();
+        assert_eq!(job.state(), JobState::TimedOut);
+        let elapsed = job.elapsed().unwrap().as_secs_f64();
+        assert!((elapsed - 10.0).abs() <= 1.0, "killed at {elapsed}s");
+        assert_eq!(engine.scheduler().partition().idle_count(), 8);
+        // The accounting record carries the TIMEOUT state.
+        assert_eq!(engine.accounting().records()[0].state, JobState::TimedOut);
+    }
+
+    #[test]
+    fn governor_throttles_hot_nodes_and_recovers_cool_ones() {
+        use crate::dpm::ThermalGovernor;
+        let mut engine = SimEngine::new(EngineConfig {
+            airflow: crate::thermal::AirflowConfig::LidOnTightStack,
+            dt: SimDuration::from_secs(2),
+            monitoring: false,
+            governor: Some(ThermalGovernor::fu740_default()),
+            ..EngineConfig::default()
+        });
+        engine.submit(synthetic(8, 3000)).unwrap();
+        engine.run_for(SimDuration::from_secs(2000));
+        // Node 7 (worst airflow) must have been throttled below nominal...
+        assert!(!engine.node_cpufreq(6).is_nominal(), "node 7 should throttle");
+        // ...and never tripped.
+        assert!(!engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::NodeTripped { .. })));
+        // An edge node stays at (or recovers to) nominal.
+        assert!(engine.node_cpufreq(0).is_nominal(), "edge node should stay nominal");
+    }
+
+    #[test]
+    fn hostname_index_round_trips() {
+        assert_eq!(hostname_index("mc-node-01"), 0);
+        assert_eq!(hostname_index("mc-node-08"), 7);
+    }
+}

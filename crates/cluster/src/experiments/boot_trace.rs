@@ -1,0 +1,148 @@
+//! Fig. 4: the 80-second boot power trace with its R1/R2/R3 regions, plus
+//! the §V-B leakage / clock-tree / OS decomposition derived from it.
+
+use cimone_soc::boot::{BootRegion, BootSequence, PowerDecomposition};
+use cimone_soc::power::{PowerModel, PowerTrace};
+use cimone_soc::rails::Rail;
+use cimone_soc::units::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Stats;
+
+/// The experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootTraceResult {
+    /// The boot timing used.
+    pub sequence: BootSequence,
+    /// The recorded trace (100 ms windows over 80 s).
+    pub trace: PowerTrace,
+    /// Decomposition of the core rail (paper: 32 % / 51 % / 17 %).
+    pub core: PowerDecomposition,
+    /// Decomposition of the DDR devices rail (paper: 68 % leakage).
+    pub ddr_mem: PowerDecomposition,
+}
+
+/// Records the Fig. 4 trace and derives the decomposition.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_cluster::experiments::boot_trace;
+///
+/// let result = boot_trace::run(42);
+/// assert!((result.core.leakage_percent() - 32.0).abs() < 1.0);
+/// ```
+pub fn run(seed: u64) -> BootTraceResult {
+    let model = PowerModel::u740();
+    let sequence = BootSequence::u740_default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = sequence.trace(
+        &model,
+        SimDuration::from_secs(80),
+        SimDuration::from_millis(100),
+        &mut rng,
+    );
+    BootTraceResult {
+        core: sequence.decompose(&model, Rail::Core),
+        ddr_mem: sequence.decompose(&model, Rail::DdrMem),
+        sequence,
+        trace,
+    }
+}
+
+impl BootTraceResult {
+    /// Mean core power measured inside one region of the trace.
+    pub fn measured_region_mean(&self, region: BootRegion) -> Option<Stats> {
+        let samples: Vec<f64> = self
+            .trace
+            .rail_series(Rail::Core)
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let t = SimTime::ZERO + self.trace.window() * *i as u64;
+                // Exclude the R2→R3 OS-boot ramp from the R2 statistics.
+                self.sequence.region_at(t) == region
+                    && (region != BootRegion::R2 || t < SimTime::from_secs(30))
+            })
+            .map(|(_, p)| p.as_watts())
+            .collect();
+        if samples.is_empty() {
+            None
+        } else {
+            Some(Stats::from_samples(&samples))
+        }
+    }
+
+    /// Renders the figure (core-rail sparkline with region markers) and
+    /// the decomposition block.
+    pub fn render(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let series = self.trace.rail_series(Rail::Core);
+        let bucket = (series.len() / 80).max(1);
+        let points: Vec<f64> = series
+            .chunks(bucket)
+            .map(|c| c.iter().map(|p| p.as_watts()).sum::<f64>() / c.len() as f64)
+            .collect();
+        let hi = points.iter().fold(f64::MIN_POSITIVE, |a, &b| a.max(b));
+        let strip: String = points
+            .iter()
+            .map(|v| {
+                let idx = ((v / hi) * (BARS.len() - 1) as f64).round() as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            })
+            .collect();
+
+        let mut out = String::from("Fig. 4 — Core power during boot (80 s, 100 ms windows)\n");
+        out.push_str(&format!("core: {strip}\n"));
+        out.push_str("       off |  R1  |<-PLL        R2 (bootloader)        ->| R3 (OS idle)\n\n");
+        for (label, d) in [("core", &self.core), ("ddr_mem", &self.ddr_mem)] {
+            out.push_str(&format!(
+                "{label}: leakage {:.3} W ({:.0}%), dynamic+clock-tree {:.3} W ({:.0}%), OS {:.3} W ({:.0}%) of {:.3} W idle\n",
+                d.leakage().as_watts(),
+                d.leakage_percent(),
+                d.dynamic_and_clock_tree().as_watts(),
+                d.dynamic_percent(),
+                d.os().as_watts(),
+                d.os_percent(),
+                d.idle_total().as_watts(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_regions_match_the_paper_levels() {
+        let result = run(2022);
+        let r1 = result.measured_region_mean(BootRegion::R1).unwrap();
+        assert!((r1.mean - 0.984).abs() < 0.02, "R1 {:?}", r1);
+        let r2 = result.measured_region_mean(BootRegion::R2).unwrap();
+        assert!((r2.mean - 2.561).abs() < 0.02, "R2 {:?}", r2);
+        let r3 = result.measured_region_mean(BootRegion::R3).unwrap();
+        assert!((r3.mean - 3.075).abs() < 0.02, "R3 {:?}", r3);
+        let off = result.measured_region_mean(BootRegion::Off).unwrap();
+        assert_eq!(off.mean, 0.0);
+    }
+
+    #[test]
+    fn decomposition_percentages_match_the_paper() {
+        let result = run(1);
+        assert!((result.core.leakage_percent() - 32.0).abs() < 0.5);
+        assert!((result.core.dynamic_percent() - 51.0).abs() < 0.5);
+        assert!((result.core.os_percent() - 17.0).abs() < 0.5);
+        assert!((result.ddr_mem.leakage_percent() - 68.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn render_shows_regions_and_decomposition() {
+        let text = run(5).render();
+        assert!(text.contains("Fig. 4"));
+        assert!(text.contains("R3 (OS idle)"));
+        assert!(text.contains("leakage 0.984 W (32%)"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Fig. 3: 8-second power traces per benchmark, 1 ms averaging windows,
+//! grouped into the paper's three panels (core / DDR / PCIe+PLL+IO).
+
+use cimone_soc::power::{PowerModel, PowerTrace};
+use cimone_soc::rails::Subsystem;
+use cimone_soc::units::{Celsius, SimDuration};
+use cimone_soc::workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Stats;
+
+/// The trace set: one full-board trace per characterised workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTracesResult {
+    /// `(workload, trace)` pairs in Table VI column order.
+    pub traces: Vec<(Workload, PowerTrace)>,
+}
+
+/// Records the Fig. 3 traces (`secs` seconds per workload at 1 ms windows).
+///
+/// # Panics
+///
+/// Panics if `secs` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_cluster::experiments::power_traces;
+///
+/// let result = power_traces::run(1, 42);
+/// assert_eq!(result.traces.len(), 5);
+/// assert_eq!(result.traces[0].1.len(), 1000); // 1 s at 1 ms windows
+/// ```
+pub fn run(secs: u64, seed: u64) -> PowerTracesResult {
+    assert!(secs > 0, "need a non-empty trace");
+    let model = PowerModel::u740();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let traces = Workload::ALL
+        .into_iter()
+        .map(|w| {
+            let trace = model.trace(
+                w,
+                SimDuration::from_secs(secs),
+                SimDuration::from_millis(1),
+                Celsius::new(45.0),
+                &mut rng,
+            );
+            (w, trace)
+        })
+        .collect();
+    PowerTracesResult { traces }
+}
+
+impl PowerTracesResult {
+    /// Per-subsystem summary statistics for one workload's trace.
+    pub fn subsystem_stats(&self, workload: Workload, subsystem: Subsystem) -> Option<Stats> {
+        self.traces.iter().find(|(w, _)| *w == workload).map(|(_, trace)| {
+            let watts: Vec<f64> = trace
+                .subsystem_series(subsystem)
+                .iter()
+                .map(|p| p.as_watts())
+                .collect();
+            Stats::from_samples(&watts)
+        })
+    }
+
+    /// Renders the three-panel figure as sparkline strips with summary
+    /// statistics.
+    pub fn render(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let mut out = String::from(
+            "Fig. 3 — Power traces per benchmark (1 ms windows, downsampled for display)\n",
+        );
+        for subsystem in Subsystem::ALL {
+            out.push_str(&format!("\n[{subsystem}]\n"));
+            for (workload, trace) in &self.traces {
+                let series = trace.subsystem_series(subsystem);
+                // Downsample to 60 buckets for display.
+                let bucket = (series.len() / 60).max(1);
+                let points: Vec<f64> = series
+                    .chunks(bucket)
+                    .map(|c| c.iter().map(|p| p.as_watts()).sum::<f64>() / c.len() as f64)
+                    .collect();
+                let (lo, hi) = points.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                    (a.min(v), b.max(v))
+                });
+                let span = (hi - lo).max(1e-9);
+                let strip: String = points
+                    .iter()
+                    .map(|v| {
+                        let idx = ((v - lo) / span * (BARS.len() - 1) as f64).round() as usize;
+                        BARS[idx.min(BARS.len() - 1)]
+                    })
+                    .collect();
+                let stats = Stats::from_samples(&points);
+                out.push_str(&format!(
+                    "{:>10}: {strip} ({} W)\n",
+                    workload.name(),
+                    stats.format(3)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_means_rank_like_the_paper() {
+        let result = run(8, 2022);
+        // Core power: HPL > QE > STREAM.L2 > STREAM.DDR > Idle (Table VI).
+        let core = |w| result.subsystem_stats(w, Subsystem::Core).unwrap().mean;
+        assert!(core(Workload::Hpl) > core(Workload::QeLax));
+        assert!(core(Workload::QeLax) > core(Workload::StreamL2));
+        assert!(core(Workload::StreamL2) > core(Workload::StreamDdr));
+        assert!(core(Workload::StreamDdr) > core(Workload::Idle));
+        // DDR power peaks under STREAM.DDR.
+        let ddr = |w| result.subsystem_stats(w, Subsystem::Ddr).unwrap().mean;
+        for w in [Workload::Idle, Workload::Hpl, Workload::StreamL2, Workload::QeLax] {
+            assert!(ddr(Workload::StreamDdr) > ddr(w));
+        }
+    }
+
+    #[test]
+    fn pcie_subsystem_is_workload_insensitive() {
+        // The paper: PCIe draws ~1.07 W regardless of workload.
+        let result = run(4, 9);
+        let idle = result.subsystem_stats(Workload::Idle, Subsystem::Other).unwrap();
+        let hpl = result.subsystem_stats(Workload::Hpl, Subsystem::Other).unwrap();
+        assert!((idle.mean - hpl.mean).abs() < 0.02, "{} vs {}", idle.mean, hpl.mean);
+        assert!((idle.mean - 1.097).abs() < 0.02, "pcie+pll+io {}", idle.mean);
+    }
+
+    #[test]
+    fn traces_show_sensor_noise() {
+        let result = run(2, 4);
+        let core = result.subsystem_stats(Workload::Hpl, Subsystem::Core).unwrap();
+        assert!(core.std_dev > 0.0, "traces must jitter");
+        assert!(core.std_dev < 0.1, "jitter should stay small: {}", core.std_dev);
+    }
+
+    #[test]
+    fn render_has_a_strip_per_workload_per_panel() {
+        let text = run(1, 1).render();
+        assert_eq!(text.matches("Idle").count(), 3);
+        assert_eq!(text.matches("STREAM.DDR").count(), 3);
+        assert!(text.contains("[core]"));
+        assert!(text.contains("[pcie+pll+io]"));
+    }
+}

@@ -1,0 +1,15 @@
+//! The essential system services the paper ports to RISC-V alongside the
+//! scheduler (§IV-A: "namely NFS, LDAP and the SLURM job scheduler").
+//!
+//! * [`ldap`] — the directory service: POSIX accounts and groups, bind
+//!   (authentication) and getent-style lookups;
+//! * [`nfs`] — the shared filesystem every node mounts: exports, an
+//!   in-memory file tree with UNIX-style ownership checks, per-export
+//!   quotas, and network-cost accounting over the cluster's Gigabit
+//!   Ethernet.
+
+pub mod ldap;
+pub mod nfs;
+
+pub use ldap::{LdapDirectory, LdapError, PosixAccount, PosixGroup};
+pub use nfs::{MountHandle, NfsError, NfsServer};

@@ -1,0 +1,444 @@
+//! Symmetric eigensolver: Householder tridiagonalisation followed by
+//! implicit-shift QL — the dense diagonalisation at the heart of
+//! QuantumESPRESSO's LAX test driver.
+//!
+//! The implementation follows the classical EISPACK `tred2`/`tql2` pair,
+//! rewritten for zero-based, column-major Rust.
+
+use std::fmt;
+
+use crate::matrix::Matrix;
+
+/// Maximum QL iterations per eigenvalue before giving up.
+const MAX_QL_ITERATIONS: usize = 50;
+
+/// An eigendecomposition `A = Z · diag(λ) · Zᵀ` of a symmetric matrix,
+/// with eigenvalues sorted ascending and eigenvectors in the columns of
+/// `Z`.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_kernels::eig::EigenDecomposition;
+/// use cimone_kernels::matrix::Matrix;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let a = Matrix::random_symmetric(12, &mut rng);
+/// let eig = EigenDecomposition::compute(&a)?;
+/// assert!(eig.reconstruction_error(&a) < 1e-10);
+/// # Ok::<(), cimone_kernels::eig::EigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    values: Vec<f64>,
+    vectors: Matrix,
+}
+
+/// Errors from the eigensolver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EigError {
+    /// Input was not square.
+    NotSquare {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+    /// Input was not symmetric within tolerance.
+    NotSymmetric,
+    /// The QL iteration failed to converge.
+    NoConvergence {
+        /// The eigenvalue index that stalled.
+        index: usize,
+    },
+}
+
+impl fmt::Display for EigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EigError::NotSquare { rows, cols } => {
+                write!(f, "eigensolver requires a square matrix, got {rows}x{cols}")
+            }
+            EigError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            EigError::NoConvergence { index } => {
+                write!(f, "QL iteration failed to converge for eigenvalue {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EigError {}
+
+impl EigenDecomposition {
+    /// Diagonalises the symmetric matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for non-square or non-symmetric inputs, or if QL stalls (which
+    /// does not happen for finite symmetric input in practice).
+    pub fn compute(a: &Matrix) -> Result<Self, EigError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(EigError::NotSquare {
+                rows: n,
+                cols: a.cols(),
+            });
+        }
+        let scale = a.norm_inf().max(1.0);
+        for j in 0..n {
+            for i in 0..j {
+                if (a[(i, j)] - a[(j, i)]).abs() > 1e-10 * scale {
+                    return Err(EigError::NotSymmetric);
+                }
+            }
+        }
+        if n == 0 {
+            return Ok(EigenDecomposition {
+                values: Vec::new(),
+                vectors: Matrix::zeros(0, 0),
+            });
+        }
+
+        let (mut z, mut d, mut e) = tred2(a);
+        tql2(&mut d, &mut e, &mut z)?;
+
+        // Sort ascending, permuting eigenvector columns alongside.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| d[i].total_cmp(&d[j]));
+        let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+        let vectors = Matrix::from_fn(n, n, |i, j| z[(i, order[j])]);
+
+        Ok(EigenDecomposition { values, vectors })
+    }
+
+    /// The eigenvalues, ascending.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The eigenvectors (column `j` pairs with `values()[j]`).
+    pub fn vectors(&self) -> &Matrix {
+        &self.vectors
+    }
+
+    /// Max-norm error of `A·zⱼ − λⱼ·zⱼ` over all eigenpairs, scaled by
+    /// `‖A‖∞`.
+    pub fn residual(&self, a: &Matrix) -> f64 {
+        let n = self.values.len();
+        let norm = a.norm_inf().max(f64::MIN_POSITIVE);
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            let v = self.vectors.col(j);
+            let av = a.matvec(v);
+            for i in 0..n {
+                worst = worst.max((av[i] - self.values[j] * v[i]).abs());
+            }
+        }
+        worst / norm
+    }
+
+    /// Max-norm deviation of `ZᵀZ` from the identity.
+    pub fn orthogonality_error(&self) -> f64 {
+        let n = self.values.len();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let dot: f64 = self
+                    .vectors
+                    .col(i)
+                    .iter()
+                    .zip(self.vectors.col(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expected = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((dot - expected).abs());
+            }
+        }
+        worst
+    }
+
+    /// Max-norm error of `Z·diag(λ)·Zᵀ − A`, scaled by `‖A‖∞`.
+    pub fn reconstruction_error(&self, a: &Matrix) -> f64 {
+        let n = self.values.len();
+        let norm = a.norm_inf().max(f64::MIN_POSITIVE);
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += self.vectors[(i, k)] * self.values[k] * self.vectors[(j, k)];
+                }
+                worst = worst.max((acc - a[(i, j)]).abs());
+            }
+        }
+        worst / norm
+    }
+}
+
+/// Householder reduction to tridiagonal form with accumulated transform
+/// (EISPACK `tred2`). Returns `(Z, d, e)` with the diagonal in `d` and the
+/// subdiagonal in `e[1..]`.
+fn tred2(a: &Matrix) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let n = a.rows();
+    let mut z = a.clone();
+    let mut d = vec![0.0; n];
+    let mut e = vec![0.0; n];
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| z[(i, k)].abs()).sum();
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    let v = z[(i, k)] / scale;
+                    z[(i, k)] = v;
+                    h += v * v;
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in j + 1..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let fj = z[(i, j)];
+                    let gj = e[j] - hh * fj;
+                    e[j] = gj;
+                    for k in 0..=j {
+                        let delta = fj * e[k] + gj * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+
+    // Accumulate the transformation matrix.
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * z[(k, i)];
+                    z[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+    (z, d, e)
+}
+
+/// QL iteration with implicit shifts (EISPACK `tql2`), accumulating the
+/// rotations into `z`.
+fn tql2(d: &mut [f64], e: &mut [f64], z: &mut Matrix) -> Result<(), EigError> {
+    let n = d.len();
+    if n == 0 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        'iteration: loop {
+            // Look for a negligible subdiagonal element to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERATIONS {
+                return Err(EigError::NoConvergence { index: l });
+            }
+            // Implicit shift from the 2x2 leading block.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r } else { -r };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 && i > l {
+                    // Underflow guard: recover and retry the sweep.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    continue 'iteration;
+                }
+                if r == 0.0 {
+                    s = 0.0;
+                    c = 1.0;
+                } else {
+                    s = f / r;
+                    c = g / r;
+                }
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector columns.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Approximate FLOP count of a full symmetric eigendecomposition of order
+/// `n` with eigenvectors: `4/3·n³` for the tridiagonalisation plus `≈3·n³`
+/// for accumulating QL rotations (the convention used when reporting the
+/// LAX driver's GFLOP/s).
+pub fn eig_flops(n: usize) -> f64 {
+    let n = n as f64;
+    (4.0 / 3.0 + 3.0) * n * n * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_its_entries() {
+        let mut a = Matrix::zeros(4, 4);
+        for (i, v) in [3.0, -1.0, 7.0, 0.5].into_iter().enumerate() {
+            a[(i, i)] = v;
+        }
+        let eig = EigenDecomposition::compute(&a).unwrap();
+        assert_eq!(eig.values(), &[-1.0, 0.5, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn two_by_two_analytic_case() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let eig = EigenDecomposition::compute(&a).unwrap();
+        assert!((eig.values()[0] - 1.0).abs() < 1e-12);
+        assert!((eig.values()[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_matrices_decompose_accurately() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1, 2, 5, 16, 40, 64] {
+            let a = Matrix::random_symmetric(n, &mut rng);
+            let eig = EigenDecomposition::compute(&a).unwrap();
+            assert!(eig.residual(&a) < 1e-10, "n={n} residual too large");
+            assert!(
+                eig.orthogonality_error() < 1e-10,
+                "n={n} vectors not orthonormal"
+            );
+            assert!(
+                eig.reconstruction_error(&a) < 1e-10,
+                "n={n} reconstruction failed"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 32;
+        let a = Matrix::random_symmetric(n, &mut rng);
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let eig = EigenDecomposition::compute(&a).unwrap();
+        let sum: f64 = eig.values().iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_ascending() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::random_symmetric(24, &mut rng);
+        let eig = EigenDecomposition::compute(&a).unwrap();
+        assert!(eig.values().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn asymmetric_input_is_rejected() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 1)] = 1.0;
+        assert_eq!(
+            EigenDecomposition::compute(&a).unwrap_err(),
+            EigError::NotSymmetric
+        );
+    }
+
+    #[test]
+    fn rectangular_input_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(
+            EigenDecomposition::compute(&a).unwrap_err(),
+            EigError::NotSquare { rows: 2, cols: 3 }
+        );
+    }
+
+    #[test]
+    fn empty_matrix_is_trivial() {
+        let a = Matrix::zeros(0, 0);
+        let eig = EigenDecomposition::compute(&a).unwrap();
+        assert!(eig.values().is_empty());
+    }
+
+    #[test]
+    fn flops_scale_cubically() {
+        assert!(eig_flops(100) > 4.0e6);
+        assert!((eig_flops(200) / eig_flops(100) - 8.0).abs() < 1e-12);
+    }
+}

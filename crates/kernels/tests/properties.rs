@@ -1,0 +1,111 @@
+//! Property-based tests for the numerical kernels: the invariants hold for
+//! *every* well-formed input, not just the unit-test fixtures.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cimone_kernels::dgemm;
+use cimone_kernels::eig::EigenDecomposition;
+use cimone_kernels::lu::{hpl_residual, LuFactorization, HPL_RESIDUAL_THRESHOLD};
+use cimone_kernels::matrix::Matrix;
+use cimone_kernels::stream::{StreamConfig, StreamRun};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_always_passes_the_hpl_residual_check(
+        n in 1usize..48,
+        nb in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(n, n, &mut rng);
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7).cos()).collect();
+        let lu = LuFactorization::factor(a.clone(), nb).expect("random matrices are nonsingular");
+        let x = lu.solve(&b);
+        let r = hpl_residual(&a, &x, &b);
+        prop_assert!(r < HPL_RESIDUAL_THRESHOLD, "n={n} nb={nb} seed={seed}: residual {r}");
+    }
+
+    #[test]
+    fn lu_block_size_does_not_change_the_factors(
+        n in 2usize..32,
+        nb_a in 1usize..40,
+        nb_b in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(n, n, &mut rng);
+        let lu_a = LuFactorization::factor(a.clone(), nb_a).expect("nonsingular");
+        let lu_b = LuFactorization::factor(a, nb_b).expect("nonsingular");
+        prop_assert_eq!(lu_a.pivots(), lu_b.pivots());
+        prop_assert!(lu_a.packed().max_abs_diff(lu_b.packed()) < 1e-10);
+    }
+
+    #[test]
+    fn blocked_dgemm_matches_naive(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        block in 1usize..32,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        let mut c1 = Matrix::random(m, n, &mut rng);
+        let mut c2 = c1.clone();
+        dgemm::naive(0.75, &a, &b, -0.25, &mut c1);
+        dgemm::blocked(0.75, &a, &b, -0.25, &mut c2, block);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-12);
+    }
+
+    #[test]
+    fn eigendecomposition_invariants(
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random_symmetric(n, &mut rng);
+        let eig = EigenDecomposition::compute(&a).expect("symmetric input");
+        prop_assert!(eig.values().windows(2).all(|w| w[0] <= w[1]), "sorted");
+        prop_assert!(eig.residual(&a) < 1e-9, "residual {}", eig.residual(&a));
+        prop_assert!(eig.orthogonality_error() < 1e-9);
+        // Trace preservation.
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.values().iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-9 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn stream_validates_after_any_iteration_count(
+        elements in 1usize..2000,
+        threads in 1usize..6,
+        iterations in 0usize..5,
+    ) {
+        let mut run = StreamRun::new(StreamConfig::new(elements, threads));
+        for _ in 0..iterations {
+            run.run_iteration();
+        }
+        prop_assert!(run.validate(iterations).is_ok());
+    }
+
+    #[test]
+    fn matvec_is_linear(
+        n in 1usize..16,
+        alpha in -3.0f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(n, n, &mut rng);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).recip()).collect();
+        let scaled: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+        let ax = a.matvec(&x);
+        let a_scaled = a.matvec(&scaled);
+        for (lhs, rhs) in a_scaled.iter().zip(ax.iter().map(|v| alpha * v)) {
+            prop_assert!((lhs - rhs).abs() < 1e-12 * (1.0 + rhs.abs()));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the cache simulator and the bandwidth model.
+
+use proptest::prelude::*;
+
+use cimone_kernels::stream::StreamKernel;
+use cimone_mem::bandwidth::StreamBandwidthModel;
+use cimone_mem::cache::{AccessKind, CacheConfig, SetAssocCache};
+use cimone_mem::prefetch::PrefetcherConfig;
+use cimone_soc::units::Bytes;
+
+fn kernel_strategy() -> impl Strategy<Value = StreamKernel> {
+    prop::sample::select(StreamKernel::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accounting identity: hits + misses == accesses, for any trace.
+    #[test]
+    fn cache_stats_are_conserved(addrs in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            capacity: Bytes::from_kib(16),
+            line: Bytes::new(64),
+            ways: 4,
+        });
+        for (i, addr) in addrs.iter().enumerate() {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            cache.access(*addr, kind);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.writebacks <= s.misses, "writebacks only happen on misses");
+    }
+
+    /// Temporal locality: re-accessing the most recent address always hits
+    /// (it cannot have been evicted by its own access).
+    #[test]
+    fn immediate_reuse_always_hits(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cache = SetAssocCache::new(CacheConfig::fu740_l2());
+        for addr in addrs {
+            cache.access(addr, AccessKind::Read);
+            prop_assert!(!cache.access(addr, AccessKind::Read).is_miss());
+        }
+    }
+
+    /// A working set that fits entirely in the cache never misses on the
+    /// second pass.
+    #[test]
+    fn resident_working_sets_have_no_capacity_misses(lines in 1u64..256) {
+        let mut cache = SetAssocCache::new(CacheConfig {
+            capacity: Bytes::from_kib(16), // 256 lines
+            line: Bytes::new(64),
+            ways: 16,
+        });
+        let bytes = lines * 64;
+        cache.stream(0, bytes, AccessKind::Read);
+        cache.reset_stats();
+        let misses = cache.stream(0, bytes, AccessKind::Read);
+        prop_assert_eq!(misses, 0);
+    }
+
+    /// Bandwidth grows (weakly) with thread count in both regimes.
+    #[test]
+    fn bandwidth_is_monotone_in_threads(kernel in kernel_strategy(), threads in 1usize..4) {
+        let model = StreamBandwidthModel::monte_cimone();
+        for ws in [Bytes::from_mib(1), Bytes::from_mib(512)] {
+            let fewer = model.mean_bandwidth(kernel, ws, threads);
+            let more = model.mean_bandwidth(kernel, ws, threads + 1);
+            prop_assert!(more >= fewer, "{kernel} at {ws}: {more} < {fewer}");
+        }
+    }
+
+    /// Bandwidth grows (weakly) with prefetcher effectiveness and never
+    /// exceeds the attainable DDR peak.
+    #[test]
+    fn bandwidth_is_monotone_in_effectiveness_and_bounded(
+        kernel in kernel_strategy(),
+        e1 in 0.0f64..1.0,
+        e2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        let ws = Bytes::from_mib(512);
+        let at = |e| {
+            StreamBandwidthModel::monte_cimone()
+                .with_prefetcher(PrefetcherConfig::u74_observed().with_effectiveness(e))
+                .mean_bandwidth(kernel, ws, 4)
+        };
+        prop_assert!(at(hi) >= at(lo));
+        prop_assert!(at(hi) <= 7760.0e6 + 1.0, "{} exceeds the peak", at(hi));
+    }
+
+    /// Any mixed-residency working set lands between the two pure regimes.
+    #[test]
+    fn mixed_residency_interpolates(kernel in kernel_strategy(), mib in 2u64..4) {
+        let model = StreamBandwidthModel::monte_cimone();
+        let l2 = model.mean_bandwidth(kernel, Bytes::from_mib(1), 4);
+        let ddr = model.mean_bandwidth(kernel, Bytes::from_mib(512), 4);
+        let mid = model.mean_bandwidth(kernel, Bytes::from_mib(mib), 4);
+        prop_assert!(mid <= l2 + 1.0 && mid >= ddr - 1.0, "{ddr} <= {mid} <= {l2}");
+    }
+}

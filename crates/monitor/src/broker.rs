@@ -1,0 +1,261 @@
+//! The MQTT-style broker at the heart of the ExaMon transport layer.
+//!
+//! Thread-safe topic-tree pub/sub: plugins publish from sampling threads,
+//! collectors drain subscriptions into the time-series store. QoS 0
+//! (fire-and-forget) semantics, matching ExaMon's MQTT usage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::RwLock;
+
+use crate::payload::Payload;
+use crate::topic::{Topic, TopicFilter};
+
+/// A message as delivered to subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishedMessage {
+    /// The concrete topic it was published under.
+    pub topic: Topic,
+    /// The decoded payload.
+    pub payload: Payload,
+}
+
+/// Identifies a subscription for unsubscribe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(u64);
+
+/// A live subscription handle; drop it (or unsubscribe) to stop receiving.
+#[derive(Debug)]
+pub struct Subscription {
+    id: SubscriptionId,
+    filter: TopicFilter,
+    rx: Receiver<PublishedMessage>,
+}
+
+impl Subscription {
+    /// The subscription id.
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// The filter subscribed to.
+    pub fn filter(&self) -> &TopicFilter {
+        &self.filter
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<PublishedMessage> {
+        match self.rx.try_recv() {
+            Ok(msg) => Some(msg),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<PublishedMessage> {
+        let mut out = Vec::new();
+        while let Some(m) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Blocking receive (used by collector threads).
+    pub fn recv(&self) -> Option<PublishedMessage> {
+        self.rx.recv().ok()
+    }
+}
+
+#[derive(Debug)]
+struct SubEntry {
+    id: SubscriptionId,
+    filter: TopicFilter,
+    tx: Sender<PublishedMessage>,
+}
+
+/// Broker counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrokerStats {
+    /// Messages published.
+    pub published: u64,
+    /// Deliveries fanned out (one per matching subscriber).
+    pub delivered: u64,
+}
+
+/// The broker.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_monitor::broker::Broker;
+/// use cimone_monitor::payload::Payload;
+/// use cimone_soc::units::SimTime;
+///
+/// let broker = Broker::new();
+/// let sub = broker.subscribe("sensors/#".parse()?);
+/// broker.publish(&"sensors/temp".parse()?, Payload::new(48.0, SimTime::ZERO));
+/// assert_eq!(sub.try_recv().unwrap().payload.value, 48.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Broker {
+    subs: RwLock<Vec<SubEntry>>,
+    next_id: AtomicU64,
+    published: AtomicU64,
+    delivered: AtomicU64,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Broker::default()
+    }
+
+    /// Subscribes to `filter`.
+    pub fn subscribe(&self, filter: TopicFilter) -> Subscription {
+        let id = SubscriptionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        self.subs.write().push(SubEntry {
+            id,
+            filter: filter.clone(),
+            tx,
+        });
+        Subscription { id, filter, rx }
+    }
+
+    /// Removes a subscription; returns whether it existed.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        let mut subs = self.subs.write();
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        subs.len() != before
+    }
+
+    /// Publishes `payload` under `topic`; returns the number of
+    /// subscribers it reached. Dead subscriptions (dropped receivers) are
+    /// pruned lazily.
+    pub fn publish(&self, topic: &Topic, payload: Payload) -> usize {
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let mut reached = 0;
+        let mut dead = Vec::new();
+        {
+            let subs = self.subs.read();
+            for sub in subs.iter() {
+                if sub.filter.matches(topic) {
+                    let msg = PublishedMessage {
+                        topic: topic.clone(),
+                        payload,
+                    };
+                    if sub.tx.send(msg).is_ok() {
+                        reached += 1;
+                    } else {
+                        dead.push(sub.id);
+                    }
+                }
+            }
+        }
+        if !dead.is_empty() {
+            self.subs.write().retain(|s| !dead.contains(&s.id));
+        }
+        self.delivered.fetch_add(reached as u64, Ordering::Relaxed);
+        reached
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BrokerStats {
+        BrokerStats {
+            published: self.published.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimone_soc::units::SimTime;
+
+    fn t(s: &str) -> Topic {
+        s.parse().unwrap()
+    }
+
+    fn f(s: &str) -> TopicFilter {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn routing_respects_filters() {
+        let broker = Broker::new();
+        let all = broker.subscribe(f("#"));
+        let temps = broker.subscribe(f("node/+/temp"));
+        broker.publish(&t("node/a/temp"), Payload::new(1.0, SimTime::ZERO));
+        broker.publish(&t("node/a/power"), Payload::new(2.0, SimTime::ZERO));
+        assert_eq!(all.drain().len(), 2);
+        let got = temps.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload.value, 1.0);
+    }
+
+    #[test]
+    fn publish_reports_reach() {
+        let broker = Broker::new();
+        let _a = broker.subscribe(f("x/#"));
+        let _b = broker.subscribe(f("x/y"));
+        let reach = broker.publish(&t("x/y"), Payload::new(0.0, SimTime::ZERO));
+        assert_eq!(reach, 2);
+        assert_eq!(broker.publish(&t("z"), Payload::new(0.0, SimTime::ZERO)), 0);
+        let stats = broker.stats();
+        assert_eq!(stats.published, 2);
+        assert_eq!(stats.delivered, 2);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let broker = Broker::new();
+        let sub = broker.subscribe(f("#"));
+        assert!(broker.unsubscribe(sub.id()));
+        assert!(!broker.unsubscribe(sub.id()));
+        broker.publish(&t("a"), Payload::new(0.0, SimTime::ZERO));
+        assert!(sub.try_recv().is_none());
+        assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_on_publish() {
+        let broker = Broker::new();
+        let sub = broker.subscribe(f("#"));
+        drop(sub);
+        assert_eq!(broker.subscription_count(), 1);
+        broker.publish(&t("a"), Payload::new(0.0, SimTime::ZERO));
+        assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_publishers_do_not_lose_messages() {
+        let broker = std::sync::Arc::new(Broker::new());
+        let sub = broker.subscribe(f("#"));
+        let mut handles = Vec::new();
+        for thread in 0..4 {
+            let b = broker.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    b.publish(
+                        &format!("t/{thread}/{i}").parse().unwrap(),
+                        Payload::new(i as f64, SimTime::ZERO),
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sub.drain().len(), 1000);
+        assert_eq!(broker.stats().published, 1000);
+    }
+}

@@ -1,0 +1,119 @@
+//! The broker→store collector (ExaMon's ingestion path).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::broker::{Broker, Subscription};
+use crate::topic::TopicFilter;
+use crate::tsdb::TimeSeriesStore;
+
+/// Subscribes to a broker and drains matching messages into a store.
+///
+/// `pump` is deterministic and used by the simulation loop; `spawn` runs a
+/// real ingestion thread for the threaded integration tests.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_monitor::broker::Broker;
+/// use cimone_monitor::collector::Collector;
+/// use cimone_monitor::payload::Payload;
+/// use cimone_monitor::tsdb::TimeSeriesStore;
+/// use cimone_soc::units::SimTime;
+///
+/// let broker = Broker::new();
+/// let mut collector = Collector::attach(&broker, "#".parse()?);
+/// broker.publish(&"a/b".parse()?, Payload::new(1.0, SimTime::ZERO));
+/// let mut db = TimeSeriesStore::new();
+/// assert_eq!(collector.pump(&mut db), 1);
+/// assert_eq!(db.point_count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Collector {
+    subscription: Subscription,
+}
+
+impl Collector {
+    /// Subscribes `filter` on `broker`.
+    pub fn attach(broker: &Broker, filter: TopicFilter) -> Self {
+        Collector {
+            subscription: broker.subscribe(filter),
+        }
+    }
+
+    /// Drains everything queued into `store`; returns the points ingested.
+    pub fn pump(&mut self, store: &mut TimeSeriesStore) -> usize {
+        let mut n = 0;
+        while let Some(msg) = self.subscription.try_recv() {
+            store.insert_message(&msg);
+            n += 1;
+        }
+        n
+    }
+
+    /// Spawns an ingestion thread feeding a shared store. The thread exits
+    /// when the broker drops the subscription's sender side (i.e. when the
+    /// broker itself is dropped) — or, in practice, when the process ends.
+    pub fn spawn(self, store: Arc<Mutex<TimeSeriesStore>>) -> std::thread::JoinHandle<usize> {
+        std::thread::spawn(move || {
+            let mut ingested = 0;
+            while let Some(msg) = self.subscription.recv() {
+                store.lock().insert_message(&msg);
+                ingested += 1;
+            }
+            ingested
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Payload;
+    use cimone_soc::units::SimTime;
+
+    #[test]
+    fn pump_ingests_only_matching_topics() {
+        let broker = Broker::new();
+        let mut collector = Collector::attach(&broker, "temp/#".parse().unwrap());
+        broker.publish(&"temp/a".parse().unwrap(), Payload::new(1.0, SimTime::ZERO));
+        broker.publish(&"power/a".parse().unwrap(), Payload::new(2.0, SimTime::ZERO));
+        let mut db = TimeSeriesStore::new();
+        assert_eq!(collector.pump(&mut db), 1);
+        assert_eq!(db.series_count(), 1);
+        assert!(db.latest("temp/a").is_some());
+    }
+
+    #[test]
+    fn pump_is_incremental() {
+        let broker = Broker::new();
+        let mut collector = Collector::attach(&broker, "#".parse().unwrap());
+        let mut db = TimeSeriesStore::new();
+        broker.publish(&"x".parse().unwrap(), Payload::new(1.0, SimTime::ZERO));
+        assert_eq!(collector.pump(&mut db), 1);
+        assert_eq!(collector.pump(&mut db), 0);
+        broker.publish(&"x".parse().unwrap(), Payload::new(2.0, SimTime::from_secs(1)));
+        assert_eq!(collector.pump(&mut db), 1);
+        assert_eq!(db.point_count(), 2);
+    }
+
+    #[test]
+    fn threaded_collector_ingests_until_disconnect() {
+        let broker = Broker::new();
+        let collector = Collector::attach(&broker, "#".parse().unwrap());
+        let store = Arc::new(Mutex::new(TimeSeriesStore::new()));
+        let handle = collector.spawn(store.clone());
+        for i in 0..100u64 {
+            broker.publish(
+                &"series".parse().unwrap(),
+                Payload::new(i as f64, SimTime::from_secs(i)),
+            );
+        }
+        drop(broker); // closes the subscription channel
+        let ingested = handle.join().unwrap();
+        assert_eq!(ingested, 100);
+        assert_eq!(store.lock().point_count(), 100);
+    }
+}

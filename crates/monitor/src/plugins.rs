@@ -1,0 +1,404 @@
+//! Sampling plugins: `pmu_pub` (per-core performance counters, 2 Hz) and
+//! `stats_pub` (OS statistics, 0.2 Hz), as configured on Monte Cimone
+//! (paper §IV-B, Tables II–IV).
+
+use std::collections::BTreeMap;
+
+use cimone_soc::units::{Celsius, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::broker::Broker;
+use crate::payload::Payload;
+use crate::topic::{ExamonSchema, Topic};
+
+/// Cumulative counters for one core, as read through the perf interface.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoreCounters {
+    /// The fixed CYCLE counter.
+    pub cycles: u64,
+    /// The fixed INSTRET counter.
+    pub instret: u64,
+    /// Programmable counters, by event name (present only with the U-Boot
+    /// HPM patch applied).
+    pub events: BTreeMap<String, u64>,
+}
+
+/// Board temperatures, one per hwmon sensor (paper Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Temperatures {
+    /// Motherboard sensor.
+    pub mb: Celsius,
+    /// SoC sensor.
+    pub cpu: Celsius,
+    /// NVMe SSD sensor.
+    pub nvme: Celsius,
+}
+
+/// The `hwmon` sysfs paths of the three sensors (paper Table IV).
+pub const HWMON_SYSFS: [(&str, &str); 3] = [
+    ("nvme_temp", "/sys/class/hwmon/hwmon0/temp1_input"),
+    ("mb_temp", "/sys/class/hwmon/hwmon1/temp1_input"),
+    ("cpu_temp", "/sys/class/hwmon/hwmon1/temp2_input"),
+];
+
+/// Everything the plugins can observe about one node at one instant.
+/// Filled in by the cluster simulator each monitoring tick.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// Hostname (`mc-node-01` …).
+    pub hostname: String,
+    /// Snapshot time.
+    pub time: SimTime,
+    /// Per-core cumulative counters.
+    pub cores: Vec<CoreCounters>,
+    /// 1/5/15-minute load averages.
+    pub load_avg: (f64, f64, f64),
+    /// Memory usage, bytes: used/free/buffers/cache.
+    pub memory: MemoryUsage,
+    /// Pages in/out per second.
+    pub paging: (f64, f64),
+    /// Running/blocked/new processes.
+    pub procs: (f64, f64, f64),
+    /// Filesystem I/O read/write bytes per second.
+    pub io_total: (f64, f64),
+    /// Raw disk read/write bytes per second.
+    pub dsk_total: (f64, f64),
+    /// Interrupts and context switches per second.
+    pub system: (f64, f64),
+    /// CPU usage percentages: usr/sys/idl/wai/stl.
+    pub cpu_usage: CpuUsage,
+    /// Network receive/send bytes per second.
+    pub net_total: (f64, f64),
+    /// hwmon temperatures.
+    pub temperatures: Temperatures,
+}
+
+/// Memory usage in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MemoryUsage {
+    /// Used.
+    pub used: f64,
+    /// Free.
+    pub free: f64,
+    /// Buffers.
+    pub buff: f64,
+    /// Page cache.
+    pub cach: f64,
+}
+
+/// CPU usage percentages.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CpuUsage {
+    /// User.
+    pub usr: f64,
+    /// System.
+    pub sys: f64,
+    /// Idle.
+    pub idl: f64,
+    /// I/O wait.
+    pub wai: f64,
+    /// Steal.
+    pub stl: f64,
+}
+
+/// A sampling plugin: turns a node snapshot into topic/payload pairs.
+pub trait Plugin {
+    /// The plugin's name.
+    fn name(&self) -> &str;
+
+    /// The sampling period.
+    fn period(&self) -> SimDuration;
+
+    /// Produces the messages for one sample.
+    fn sample(&mut self, snapshot: &NodeSnapshot) -> Vec<(Topic, Payload)>;
+}
+
+/// The `pmu_pub` plugin: per-core CYCLE/INSTRET (and any programmed HPM
+/// events) at 2 Hz.
+#[derive(Debug, Clone)]
+pub struct PmuPlugin {
+    schema: ExamonSchema,
+}
+
+impl PmuPlugin {
+    /// Creates the plugin under `schema`.
+    pub fn new(schema: ExamonSchema) -> Self {
+        PmuPlugin { schema }
+    }
+}
+
+impl Plugin for PmuPlugin {
+    fn name(&self) -> &str {
+        "pmu_pub"
+    }
+
+    fn period(&self) -> SimDuration {
+        SimDuration::from_millis(500) // 2 Hz
+    }
+
+    fn sample(&mut self, snapshot: &NodeSnapshot) -> Vec<(Topic, Payload)> {
+        let mut out = Vec::new();
+        for (core_id, counters) in snapshot.cores.iter().enumerate() {
+            let mut push = |metric: &str, value: f64| {
+                out.push((
+                    self.schema.pmu_topic(&snapshot.hostname, core_id, metric),
+                    Payload::new(value, snapshot.time),
+                ));
+            };
+            push("cycles", counters.cycles as f64);
+            push("instret", counters.instret as f64);
+            for (event, value) in &counters.events {
+                push(event, *value as f64);
+            }
+        }
+        out
+    }
+}
+
+/// Metric names published by `stats_pub`, exactly the inventory of the
+/// paper's Table III.
+pub const STATS_METRICS: [&str; 28] = [
+    "load_avg.1m",
+    "load_avg.5m",
+    "load_avg.15m",
+    "io_total.read",
+    "io_total.writ",
+    "procs.run",
+    "procs.blk",
+    "procs.new",
+    "memory_usage.used",
+    "memory_usage.free",
+    "memory_usage.buff",
+    "memory_usage.cach",
+    "paging.in",
+    "paging.out",
+    "dsk_total.read",
+    "dsk_total.writ",
+    "system.int",
+    "system.csw",
+    "total_cpu_usage.usr",
+    "total_cpu_usage.sys",
+    "total_cpu_usage.idl",
+    "total_cpu_usage.wai",
+    "total_cpu_usage.stl",
+    "net_total.recv",
+    "net_total.send",
+    "temperature.mb_temp",
+    "temperature.cpu_temp",
+    "temperature.nvme_temp",
+];
+
+/// The `stats_pub` plugin: OS statistics and hwmon temperatures at 0.2 Hz.
+#[derive(Debug, Clone)]
+pub struct StatsPlugin {
+    schema: ExamonSchema,
+}
+
+impl StatsPlugin {
+    /// Creates the plugin under `schema`.
+    pub fn new(schema: ExamonSchema) -> Self {
+        StatsPlugin { schema }
+    }
+
+    fn metric_value(snapshot: &NodeSnapshot, metric: &str) -> f64 {
+        match metric {
+            "load_avg.1m" => snapshot.load_avg.0,
+            "load_avg.5m" => snapshot.load_avg.1,
+            "load_avg.15m" => snapshot.load_avg.2,
+            "io_total.read" => snapshot.io_total.0,
+            "io_total.writ" => snapshot.io_total.1,
+            "procs.run" => snapshot.procs.0,
+            "procs.blk" => snapshot.procs.1,
+            "procs.new" => snapshot.procs.2,
+            "memory_usage.used" => snapshot.memory.used,
+            "memory_usage.free" => snapshot.memory.free,
+            "memory_usage.buff" => snapshot.memory.buff,
+            "memory_usage.cach" => snapshot.memory.cach,
+            "paging.in" => snapshot.paging.0,
+            "paging.out" => snapshot.paging.1,
+            "dsk_total.read" => snapshot.dsk_total.0,
+            "dsk_total.writ" => snapshot.dsk_total.1,
+            "system.int" => snapshot.system.0,
+            "system.csw" => snapshot.system.1,
+            "total_cpu_usage.usr" => snapshot.cpu_usage.usr,
+            "total_cpu_usage.sys" => snapshot.cpu_usage.sys,
+            "total_cpu_usage.idl" => snapshot.cpu_usage.idl,
+            "total_cpu_usage.wai" => snapshot.cpu_usage.wai,
+            "total_cpu_usage.stl" => snapshot.cpu_usage.stl,
+            "net_total.recv" => snapshot.net_total.0,
+            "net_total.send" => snapshot.net_total.1,
+            "temperature.mb_temp" => snapshot.temperatures.mb.as_f64(),
+            "temperature.cpu_temp" => snapshot.temperatures.cpu.as_f64(),
+            "temperature.nvme_temp" => snapshot.temperatures.nvme.as_f64(),
+            other => unreachable!("unknown stats metric {other}"),
+        }
+    }
+}
+
+impl Plugin for StatsPlugin {
+    fn name(&self) -> &str {
+        "stats_pub"
+    }
+
+    fn period(&self) -> SimDuration {
+        SimDuration::from_secs(5) // 0.2 Hz
+    }
+
+    fn sample(&mut self, snapshot: &NodeSnapshot) -> Vec<(Topic, Payload)> {
+        STATS_METRICS
+            .iter()
+            .map(|metric| {
+                (
+                    self.schema.stats_topic(&snapshot.hostname, metric),
+                    Payload::new(Self::metric_value(snapshot, metric), snapshot.time),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Drives one plugin at its period, publishing to a broker.
+#[derive(Debug)]
+pub struct PluginRunner<P> {
+    plugin: P,
+    next_due: SimTime,
+}
+
+impl<P: Plugin> PluginRunner<P> {
+    /// Wraps `plugin`; the first sample fires at the first `maybe_sample`
+    /// call.
+    pub fn new(plugin: P) -> Self {
+        PluginRunner {
+            plugin,
+            next_due: SimTime::ZERO,
+        }
+    }
+
+    /// The wrapped plugin.
+    pub fn plugin(&self) -> &P {
+        &self.plugin
+    }
+
+    /// Samples and publishes if the period has elapsed; returns the number
+    /// of messages published (0 when not due).
+    pub fn maybe_sample(
+        &mut self,
+        now: SimTime,
+        snapshot: &NodeSnapshot,
+        broker: &Broker,
+    ) -> usize {
+        if now < self.next_due {
+            return 0;
+        }
+        self.next_due = now + self.plugin.period();
+        let messages = self.plugin.sample(snapshot);
+        let count = messages.len();
+        for (topic, payload) in messages {
+            broker.publish(&topic, payload);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> NodeSnapshot {
+        NodeSnapshot {
+            hostname: "mc-node-01".to_owned(),
+            time: SimTime::from_secs(10),
+            cores: vec![
+                CoreCounters {
+                    cycles: 1_200_000,
+                    instret: 900_000,
+                    events: BTreeMap::from([("dcache_miss".to_owned(), 42u64)]),
+                },
+                CoreCounters::default(),
+            ],
+            load_avg: (3.5, 2.0, 1.0),
+            temperatures: Temperatures {
+                mb: Celsius::new(40.0),
+                cpu: Celsius::new(55.5),
+                nvme: Celsius::new(35.0),
+            },
+            ..NodeSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn stats_metric_inventory_matches_table_iii() {
+        assert_eq!(STATS_METRICS.len(), 28);
+        // Spot-check each Table III group is present.
+        for probe in [
+            "load_avg.15m",
+            "io_total.writ",
+            "procs.new",
+            "memory_usage.cach",
+            "paging.out",
+            "dsk_total.read",
+            "system.csw",
+            "total_cpu_usage.stl",
+            "net_total.send",
+            "temperature.nvme_temp",
+        ] {
+            assert!(STATS_METRICS.contains(&probe), "missing {probe}");
+        }
+    }
+
+    #[test]
+    fn hwmon_paths_match_table_iv() {
+        let map: BTreeMap<&str, &str> = HWMON_SYSFS.into_iter().collect();
+        assert_eq!(map["nvme_temp"], "/sys/class/hwmon/hwmon0/temp1_input");
+        assert_eq!(map["mb_temp"], "/sys/class/hwmon/hwmon1/temp1_input");
+        assert_eq!(map["cpu_temp"], "/sys/class/hwmon/hwmon1/temp2_input");
+    }
+
+    #[test]
+    fn pmu_plugin_publishes_per_core_counters() {
+        let mut plugin = PmuPlugin::new(ExamonSchema::monte_cimone());
+        let messages = plugin.sample(&snapshot());
+        // Core 0: cycles + instret + 1 event; core 1: cycles + instret.
+        assert_eq!(messages.len(), 5);
+        let (topic, payload) = &messages[0];
+        assert!(topic.to_string().ends_with("core/0/cycles"));
+        assert_eq!(payload.value, 1_200_000.0);
+        assert_eq!(payload.timestamp, SimTime::from_secs(10));
+        assert!(messages
+            .iter()
+            .any(|(t, p)| t.to_string().ends_with("core/0/dcache_miss") && p.value == 42.0));
+    }
+
+    #[test]
+    fn stats_plugin_publishes_every_table_iii_metric() {
+        let mut plugin = StatsPlugin::new(ExamonSchema::monte_cimone());
+        let messages = plugin.sample(&snapshot());
+        assert_eq!(messages.len(), STATS_METRICS.len());
+        let cpu_temp = messages
+            .iter()
+            .find(|(t, _)| t.to_string().ends_with("temperature.cpu_temp"))
+            .expect("cpu temp published");
+        assert_eq!(cpu_temp.1.value, 55.5);
+    }
+
+    #[test]
+    fn plugin_periods_match_paper_rates() {
+        let pmu = PmuPlugin::new(ExamonSchema::monte_cimone());
+        let stats = StatsPlugin::new(ExamonSchema::monte_cimone());
+        assert_eq!(pmu.period(), SimDuration::from_millis(500));
+        assert_eq!(stats.period(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn runner_respects_the_sampling_period() {
+        let broker = Broker::new();
+        let sub = broker.subscribe("#".parse().unwrap());
+        let mut runner = PluginRunner::new(PmuPlugin::new(ExamonSchema::monte_cimone()));
+        let snap = snapshot();
+        assert!(runner.maybe_sample(SimTime::ZERO, &snap, &broker) > 0);
+        // 100 ms later: not due (2 Hz).
+        assert_eq!(runner.maybe_sample(SimTime::from_millis(100), &snap, &broker), 0);
+        assert!(runner.maybe_sample(SimTime::from_millis(500), &snap, &broker) > 0);
+        assert_eq!(sub.drain().len(), 10);
+    }
+}

@@ -1,0 +1,229 @@
+//! The RESTful-style query interface (ExaMon exposes its store over HTTP
+//! with JSON; batch analysis scripts consume it). Requests and responses
+//! are JSON-serialisable structures evaluated directly against the store.
+
+use serde::{Deserialize, Serialize};
+
+use cimone_soc::units::{SimDuration, SimTime};
+
+use crate::topic::TopicFilter;
+use crate::tsdb::{Aggregation, TimeSeriesStore};
+
+/// A query over the store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Topic filter selecting series (MQTT wildcard syntax).
+    pub filter: String,
+    /// Range start, seconds.
+    pub from_secs: f64,
+    /// Range end (exclusive), seconds.
+    pub to_secs: f64,
+    /// Optional downsampling bin, seconds.
+    pub bin_secs: Option<f64>,
+    /// Aggregation for downsampling (default mean).
+    pub aggregation: Option<Aggregation>,
+}
+
+/// One series in a response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesData {
+    /// Series (topic) name.
+    pub name: String,
+    /// `[seconds, value]` pairs.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A query response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// Matched series.
+    pub series: Vec<SeriesData>,
+}
+
+/// Query evaluation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The filter string failed to parse.
+    BadFilter(String),
+    /// `to <= from` or a non-finite bound.
+    BadRange,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::BadFilter(s) => write!(f, "bad filter: {s}"),
+            QueryError::BadRange => write!(f, "range must be finite with to > from >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Evaluates `request` against `store`.
+///
+/// # Errors
+///
+/// Fails for malformed filters or ranges.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_monitor::payload::Payload;
+/// use cimone_monitor::query::{evaluate, QueryRequest};
+/// use cimone_monitor::tsdb::TimeSeriesStore;
+/// use cimone_soc::units::SimTime;
+///
+/// let mut db = TimeSeriesStore::new();
+/// db.insert(&"a/b".parse()?, Payload::new(7.0, SimTime::from_secs(3)));
+/// let resp = evaluate(
+///     &db,
+///     &QueryRequest {
+///         filter: "a/#".to_owned(),
+///         from_secs: 0.0,
+///         to_secs: 10.0,
+///         bin_secs: None,
+///         aggregation: None,
+///     },
+/// )?;
+/// assert_eq!(resp.series[0].points, vec![(3.0, 7.0)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate(store: &TimeSeriesStore, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
+    let filter: TopicFilter = request
+        .filter
+        .parse()
+        .map_err(|e| QueryError::BadFilter(format!("{e}")))?;
+    if !request.from_secs.is_finite()
+        || !request.to_secs.is_finite()
+        || request.from_secs < 0.0
+        || request.to_secs <= request.from_secs
+    {
+        return Err(QueryError::BadRange);
+    }
+    let from = SimTime::from_micros((request.from_secs * 1e6) as u64);
+    let to = SimTime::from_micros((request.to_secs * 1e6) as u64);
+    let aggregation = request.aggregation.unwrap_or(Aggregation::Mean);
+
+    let mut series = Vec::new();
+    for (name, points) in store.query_filter(&filter, from, to) {
+        let points: Vec<(f64, f64)> = match request.bin_secs {
+            Some(bin_secs) if bin_secs > 0.0 => store
+                .downsample(&name, from, to, SimDuration::from_secs_f64(bin_secs), aggregation)
+                .into_iter()
+                .map(|(t, v)| (t.as_secs_f64(), v))
+                .collect(),
+            _ => points
+                .into_iter()
+                .map(|(t, v)| (t.as_secs_f64(), v))
+                .collect(),
+        };
+        series.push(SeriesData { name, points });
+    }
+    Ok(QueryResponse { series })
+}
+
+/// Evaluates a JSON request and returns a JSON response — the full
+/// REST-over-HTTP round trip minus the socket.
+///
+/// # Errors
+///
+/// Returns a JSON error object string for malformed input.
+pub fn evaluate_json(store: &TimeSeriesStore, request_json: &str) -> Result<String, String> {
+    let request: QueryRequest =
+        serde_json::from_str(request_json).map_err(|e| format!("{{\"error\":\"{e}\"}}"))?;
+    match evaluate(store, &request) {
+        Ok(resp) => serde_json::to_string(&resp).map_err(|e| format!("{{\"error\":\"{e}\"}}")),
+        Err(e) => Err(format!("{{\"error\":\"{e}\"}}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Payload;
+
+    fn db() -> TimeSeriesStore {
+        let mut db = TimeSeriesStore::new();
+        for t in 0..10u64 {
+            db.insert(
+                &"node/a/power".parse().unwrap(),
+                Payload::new(t as f64, SimTime::from_secs(t)),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn raw_queries_return_points_in_range() {
+        let resp = evaluate(
+            &db(),
+            &QueryRequest {
+                filter: "node/+/power".to_owned(),
+                from_secs: 2.0,
+                to_secs: 5.0,
+                bin_secs: None,
+                aggregation: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(resp.series.len(), 1);
+        assert_eq!(resp.series[0].points.len(), 3);
+    }
+
+    #[test]
+    fn binned_queries_downsample() {
+        let resp = evaluate(
+            &db(),
+            &QueryRequest {
+                filter: "node/a/power".to_owned(),
+                from_secs: 0.0,
+                to_secs: 10.0,
+                bin_secs: Some(5.0),
+                aggregation: Some(Aggregation::Max),
+            },
+        )
+        .unwrap();
+        assert_eq!(resp.series[0].points, vec![(0.0, 4.0), (5.0, 9.0)]);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let store = db();
+        assert!(matches!(
+            evaluate(
+                &store,
+                &QueryRequest {
+                    filter: "a//b".to_owned(),
+                    from_secs: 0.0,
+                    to_secs: 1.0,
+                    bin_secs: None,
+                    aggregation: None,
+                }
+            ),
+            Err(QueryError::BadFilter(_))
+        ));
+        assert!(matches!(
+            evaluate(
+                &store,
+                &QueryRequest {
+                    filter: "#".to_owned(),
+                    from_secs: 5.0,
+                    to_secs: 5.0,
+                    bin_secs: None,
+                    aggregation: None,
+                }
+            ),
+            Err(QueryError::BadRange)
+        ));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let json = r#"{"filter":"node/a/power","from_secs":0,"to_secs":3,"bin_secs":null,"aggregation":null}"#;
+        let out = evaluate_json(&db(), json).unwrap();
+        let parsed: QueryResponse = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed.series[0].points.len(), 3);
+        assert!(evaluate_json(&db(), "not json").is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! MQTT-style topics and wildcard filters, plus the ExaMon topic schema of
+//! the paper's Table II.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A concrete (wildcard-free) topic such as
+/// `org/unibo/cluster/cimone/node/mc-node-01/plugin/pmu_pub/chnl/data/core/2/instret`.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_monitor::topic::Topic;
+///
+/// let t: Topic = "a/b/c".parse()?;
+/// assert_eq!(t.segments().len(), 3);
+/// # Ok::<(), cimone_monitor::topic::TopicParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Topic {
+    segments: Vec<String>,
+}
+
+impl Topic {
+    /// Builds a topic from segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment is empty, contains `/`, or contains a
+    /// wildcard character.
+    pub fn new(segments: impl IntoIterator<Item = String>) -> Self {
+        let segments: Vec<String> = segments.into_iter().collect();
+        assert!(!segments.is_empty(), "topic needs at least one segment");
+        for s in &segments {
+            assert!(
+                !s.is_empty() && !s.contains(['/', '+', '#']),
+                "invalid topic segment {s:?}"
+            );
+        }
+        Topic { segments }
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.segments.join("/"))
+    }
+}
+
+/// A malformed topic or filter string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicParseError {
+    input: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for TopicParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid topic {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for TopicParseError {}
+
+impl FromStr for Topic {
+    type Err = TopicParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(TopicParseError {
+                input: s.to_owned(),
+                reason: "empty topic",
+            });
+        }
+        let segments: Vec<String> = s.split('/').map(str::to_owned).collect();
+        for seg in &segments {
+            if seg.is_empty() {
+                return Err(TopicParseError {
+                    input: s.to_owned(),
+                    reason: "empty segment",
+                });
+            }
+            if seg.contains(['+', '#']) {
+                return Err(TopicParseError {
+                    input: s.to_owned(),
+                    reason: "wildcards are only valid in filters",
+                });
+            }
+        }
+        Ok(Topic { segments })
+    }
+}
+
+/// A subscription filter with MQTT semantics: `+` matches one segment, `#`
+/// (final segment only) matches any suffix.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_monitor::topic::{Topic, TopicFilter};
+///
+/// let f: TopicFilter = "org/+/cluster/+/node/#".parse()?;
+/// let t: Topic = "org/unibo/cluster/cimone/node/mc-node-01/plugin/x".parse()?;
+/// assert!(f.matches(&t));
+/// # Ok::<(), cimone_monitor::topic::TopicParseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TopicFilter {
+    segments: Vec<FilterSegment>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+enum FilterSegment {
+    Literal(String),
+    SingleLevel,
+    MultiLevel,
+}
+
+impl TopicFilter {
+    /// Whether the filter matches `topic`.
+    pub fn matches(&self, topic: &Topic) -> bool {
+        let mut ti = 0;
+        for (fi, seg) in self.segments.iter().enumerate() {
+            match seg {
+                FilterSegment::MultiLevel => {
+                    // '#' must be last (enforced at parse); matches the rest
+                    // including zero segments only if something remains per
+                    // MQTT: '#' also matches the parent level; we adopt
+                    // "zero or more remaining segments".
+                    debug_assert_eq!(fi, self.segments.len() - 1);
+                    return true;
+                }
+                FilterSegment::SingleLevel => {
+                    if ti >= topic.segments.len() {
+                        return false;
+                    }
+                    ti += 1;
+                }
+                FilterSegment::Literal(lit) => {
+                    if topic.segments.get(ti) != Some(lit) {
+                        return false;
+                    }
+                    ti += 1;
+                }
+            }
+        }
+        ti == topic.segments.len()
+    }
+}
+
+impl fmt::Display for TopicFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<&str> = self
+            .segments
+            .iter()
+            .map(|s| match s {
+                FilterSegment::Literal(l) => l.as_str(),
+                FilterSegment::SingleLevel => "+",
+                FilterSegment::MultiLevel => "#",
+            })
+            .collect();
+        f.write_str(&parts.join("/"))
+    }
+}
+
+impl FromStr for TopicFilter {
+    type Err = TopicParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(TopicParseError {
+                input: s.to_owned(),
+                reason: "empty filter",
+            });
+        }
+        let raw: Vec<&str> = s.split('/').collect();
+        let mut segments = Vec::with_capacity(raw.len());
+        for (i, seg) in raw.iter().enumerate() {
+            let parsed = match *seg {
+                "" => {
+                    return Err(TopicParseError {
+                        input: s.to_owned(),
+                        reason: "empty segment",
+                    })
+                }
+                "+" => FilterSegment::SingleLevel,
+                "#" => {
+                    if i != raw.len() - 1 {
+                        return Err(TopicParseError {
+                            input: s.to_owned(),
+                            reason: "'#' must be the final segment",
+                        });
+                    }
+                    FilterSegment::MultiLevel
+                }
+                lit => {
+                    if lit.contains(['+', '#']) {
+                        return Err(TopicParseError {
+                            input: s.to_owned(),
+                            reason: "wildcards must occupy a whole segment",
+                        });
+                    }
+                    FilterSegment::Literal(lit.to_owned())
+                }
+            };
+            segments.push(parsed);
+        }
+        Ok(TopicFilter { segments })
+    }
+}
+
+/// The ExaMon topic schema (paper Table II).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExamonSchema {
+    /// Organisation segment value.
+    pub org: String,
+    /// Cluster segment value.
+    pub cluster: String,
+}
+
+impl ExamonSchema {
+    /// The schema for the Monte Cimone deployment.
+    pub fn monte_cimone() -> Self {
+        ExamonSchema {
+            org: "unibo".to_owned(),
+            cluster: "cimone".to_owned(),
+        }
+    }
+
+    /// Table II, row 1: pmu_pub per-core metric topic:
+    /// `org/<org>/cluster/<cluster>/node/<hostname>/plugin/pmu_pub/chnl/data/core/<id>/<metric>`.
+    pub fn pmu_topic(&self, hostname: &str, core: usize, metric: &str) -> Topic {
+        Topic::new(
+            [
+                "org",
+                &self.org,
+                "cluster",
+                &self.cluster,
+                "node",
+                hostname,
+                "plugin",
+                "pmu_pub",
+                "chnl",
+                "data",
+                "core",
+                &core.to_string(),
+                metric,
+            ]
+            .map(str::to_owned),
+        )
+    }
+
+    /// Table II, row 2: stats_pub node metric topic (the plugin publishes
+    /// under the `dstat_pub` name, exactly as in the paper):
+    /// `org/<org>/cluster/<cluster>/node/<hostname>/plugin/dstat_pub/chnl/data/<metric>`.
+    ///
+    /// Dotted metric names (`load_avg.1m`) stay one segment.
+    pub fn stats_topic(&self, hostname: &str, metric: &str) -> Topic {
+        Topic::new(
+            [
+                "org",
+                &self.org,
+                "cluster",
+                &self.cluster,
+                "node",
+                hostname,
+                "plugin",
+                "dstat_pub",
+                "chnl",
+                "data",
+                metric,
+            ]
+            .map(str::to_owned),
+        )
+    }
+
+    /// A filter matching every metric of one node.
+    pub fn node_filter(&self, hostname: &str) -> TopicFilter {
+        format!(
+            "org/{}/cluster/{}/node/{hostname}/#",
+            self.org, self.cluster
+        )
+        .parse()
+        .expect("schema filters are well-formed")
+    }
+
+    /// A filter matching one pmu metric across all nodes and cores.
+    pub fn pmu_metric_filter(&self, metric: &str) -> TopicFilter {
+        format!(
+            "org/{}/cluster/{}/node/+/plugin/pmu_pub/chnl/data/core/+/{metric}",
+            self.org, self.cluster
+        )
+        .parse()
+        .expect("schema filters are well-formed")
+    }
+
+    /// A filter matching one stats metric across all nodes.
+    pub fn stats_metric_filter(&self, metric: &str) -> TopicFilter {
+        format!(
+            "org/{}/cluster/{}/node/+/plugin/dstat_pub/chnl/data/{metric}",
+            self.org, self.cluster
+        )
+        .parse()
+        .expect("schema filters are well-formed")
+    }
+
+    /// Extracts the hostname segment from a schema-conforming topic.
+    pub fn hostname_of(topic: &Topic) -> Option<&str> {
+        let segs = topic.segments();
+        segs.iter()
+            .position(|s| s == "node")
+            .and_then(|i| segs.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Extracts the trailing metric name.
+    pub fn metric_of(topic: &Topic) -> Option<&str> {
+        topic.segments().last().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmu_topic_matches_table_ii_shape() {
+        let schema = ExamonSchema::monte_cimone();
+        let t = schema.pmu_topic("mc-node-01", 2, "instret");
+        assert_eq!(
+            t.to_string(),
+            "org/unibo/cluster/cimone/node/mc-node-01/plugin/pmu_pub/chnl/data/core/2/instret"
+        );
+    }
+
+    #[test]
+    fn stats_topic_uses_dstat_pub_plugin_segment() {
+        let schema = ExamonSchema::monte_cimone();
+        let t = schema.stats_topic("mc-node-05", "load_avg.1m");
+        assert_eq!(
+            t.to_string(),
+            "org/unibo/cluster/cimone/node/mc-node-05/plugin/dstat_pub/chnl/data/load_avg.1m"
+        );
+    }
+
+    #[test]
+    fn single_level_wildcard_matches_exactly_one_segment() {
+        let f: TopicFilter = "a/+/c".parse().unwrap();
+        assert!(f.matches(&"a/b/c".parse().unwrap()));
+        assert!(!f.matches(&"a/b/b/c".parse().unwrap()));
+        assert!(!f.matches(&"a/b".parse().unwrap()));
+    }
+
+    #[test]
+    fn multi_level_wildcard_matches_any_suffix() {
+        let f: TopicFilter = "a/#".parse().unwrap();
+        assert!(f.matches(&"a/b".parse().unwrap()));
+        assert!(f.matches(&"a/b/c/d".parse().unwrap()));
+        assert!(f.matches(&"a".parse().unwrap()));
+        assert!(!f.matches(&"b/a".parse().unwrap()));
+    }
+
+    #[test]
+    fn literal_filters_require_equality() {
+        let f: TopicFilter = "a/b".parse().unwrap();
+        assert!(f.matches(&"a/b".parse().unwrap()));
+        assert!(!f.matches(&"a/c".parse().unwrap()));
+    }
+
+    #[test]
+    fn schema_filters_route_correctly() {
+        let schema = ExamonSchema::monte_cimone();
+        let pmu = schema.pmu_topic("mc-node-03", 1, "cycles");
+        let stats = schema.stats_topic("mc-node-03", "temperature.cpu_temp");
+        assert!(schema.node_filter("mc-node-03").matches(&pmu));
+        assert!(schema.node_filter("mc-node-03").matches(&stats));
+        assert!(!schema.node_filter("mc-node-04").matches(&pmu));
+        assert!(schema.pmu_metric_filter("cycles").matches(&pmu));
+        assert!(!schema.pmu_metric_filter("instret").matches(&pmu));
+        assert!(schema
+            .stats_metric_filter("temperature.cpu_temp")
+            .matches(&stats));
+    }
+
+    #[test]
+    fn hostname_and_metric_extraction() {
+        let schema = ExamonSchema::monte_cimone();
+        let t = schema.pmu_topic("mc-node-07", 0, "instret");
+        assert_eq!(ExamonSchema::hostname_of(&t), Some("mc-node-07"));
+        assert_eq!(ExamonSchema::metric_of(&t), Some("instret"));
+    }
+
+    #[test]
+    fn invalid_filters_are_rejected() {
+        assert!("a/#/b".parse::<TopicFilter>().is_err());
+        assert!("a//b".parse::<TopicFilter>().is_err());
+        assert!("a/b+".parse::<TopicFilter>().is_err());
+        assert!("a/+b".parse::<TopicFilter>().is_err());
+    }
+
+    #[test]
+    fn topics_reject_wildcards() {
+        assert!("a/+/c".parse::<Topic>().is_err());
+        assert!("a/#".parse::<Topic>().is_err());
+    }
+}

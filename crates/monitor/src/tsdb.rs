@@ -1,0 +1,344 @@
+//! The time-series storage backend (ExaMon's KairosDB role).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cimone_soc::units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::broker::PublishedMessage;
+use crate::payload::Payload;
+use crate::topic::{Topic, TopicFilter};
+
+/// One stored data point.
+pub type Point = (SimTime, f64);
+
+/// Aggregation functions for range queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Point count.
+    Count,
+    /// Last value in the range.
+    Last,
+}
+
+impl Aggregation {
+    fn apply(self, points: &[Point]) -> Option<f64> {
+        if points.is_empty() {
+            return None;
+        }
+        let values = points.iter().map(|(_, v)| *v);
+        Some(match self {
+            Aggregation::Mean => values.sum::<f64>() / points.len() as f64,
+            Aggregation::Min => values.fold(f64::INFINITY, f64::min),
+            Aggregation::Max => values.fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Sum => values.sum(),
+            Aggregation::Count => points.len() as f64,
+            Aggregation::Last => points.last().map(|(_, v)| *v).expect("non-empty"),
+        })
+    }
+}
+
+impl fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Aggregation::Mean => "mean",
+            Aggregation::Min => "min",
+            Aggregation::Max => "max",
+            Aggregation::Sum => "sum",
+            Aggregation::Count => "count",
+            Aggregation::Last => "last",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An in-memory, per-topic time-series store.
+///
+/// Points are kept time-sorted per series; out-of-order inserts are placed
+/// correctly.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_monitor::tsdb::{Aggregation, TimeSeriesStore};
+/// use cimone_monitor::payload::Payload;
+/// use cimone_soc::units::SimTime;
+///
+/// let mut db = TimeSeriesStore::new();
+/// let topic = "sensors/temp".parse()?;
+/// for i in 0..10u64 {
+///     db.insert(&topic, Payload::new(i as f64, SimTime::from_secs(i)));
+/// }
+/// let mean = db
+///     .aggregate("sensors/temp", SimTime::ZERO, SimTime::from_secs(100), Aggregation::Mean)
+///     .unwrap();
+/// assert_eq!(mean, 4.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeriesStore {
+    series: BTreeMap<String, Vec<Point>>,
+}
+
+impl TimeSeriesStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TimeSeriesStore::default()
+    }
+
+    /// Inserts one sample under `topic`.
+    pub fn insert(&mut self, topic: &Topic, payload: Payload) {
+        let series = self.series.entry(topic.to_string()).or_default();
+        let point = (payload.timestamp, payload.value);
+        match series.last() {
+            Some((last, _)) if *last > payload.timestamp => {
+                // Out-of-order arrival: binary-search the slot.
+                let idx = series.partition_point(|(t, _)| *t <= payload.timestamp);
+                series.insert(idx, point);
+            }
+            _ => series.push(point),
+        }
+    }
+
+    /// Inserts a broker message.
+    pub fn insert_message(&mut self, message: &PublishedMessage) {
+        self.insert(&message.topic, message.payload);
+    }
+
+    /// Series names, sorted.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Number of series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total stored points.
+    pub fn point_count(&self) -> usize {
+        self.series.values().map(Vec::len).sum()
+    }
+
+    /// Whether the store has no data.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Points of `series` in `[from, to)`.
+    pub fn query(&self, series: &str, from: SimTime, to: SimTime) -> &[Point] {
+        match self.series.get(series) {
+            None => &[],
+            Some(points) => {
+                let lo = points.partition_point(|(t, _)| *t < from);
+                let hi = points.partition_point(|(t, _)| *t < to);
+                &points[lo..hi]
+            }
+        }
+    }
+
+    /// The latest point of `series`.
+    pub fn latest(&self, series: &str) -> Option<Point> {
+        self.series.get(series).and_then(|p| p.last().copied())
+    }
+
+    /// Aggregates `series` over `[from, to)`.
+    pub fn aggregate(
+        &self,
+        series: &str,
+        from: SimTime,
+        to: SimTime,
+        aggregation: Aggregation,
+    ) -> Option<f64> {
+        aggregation.apply(self.query(series, from, to))
+    }
+
+    /// Downsamples `series` over `[from, to)` into fixed `bin`s, applying
+    /// `aggregation` per bin. Empty bins are omitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn downsample(
+        &self,
+        series: &str,
+        from: SimTime,
+        to: SimTime,
+        bin: SimDuration,
+        aggregation: Aggregation,
+    ) -> Vec<Point> {
+        assert!(!bin.is_zero(), "bin width must be non-zero");
+        let mut out = Vec::new();
+        let mut bin_start = from;
+        while bin_start < to {
+            let bin_end = (bin_start + bin).min(to);
+            if let Some(v) = self.aggregate(series, bin_start, bin_end, aggregation) {
+                out.push((bin_start, v));
+            }
+            bin_start = bin_end;
+        }
+        out
+    }
+
+    /// Drops every point older than `cutoff` (retention policy: the
+    /// paper's ODA deployments cap storage by age). Series left empty are
+    /// removed entirely. Returns the number of points evicted.
+    pub fn evict_before(&mut self, cutoff: SimTime) -> usize {
+        let mut evicted = 0;
+        self.series.retain(|_, points| {
+            let keep_from = points.partition_point(|(t, _)| *t < cutoff);
+            evicted += keep_from;
+            points.drain(..keep_from);
+            !points.is_empty()
+        });
+        evicted
+    }
+
+    /// Keeps only the trailing `window` of data relative to `now`.
+    pub fn retain_window(&mut self, now: SimTime, window: SimDuration) -> usize {
+        let cutoff = if now.as_micros() >= window.as_micros() {
+            now - window
+        } else {
+            SimTime::ZERO
+        };
+        self.evict_before(cutoff)
+    }
+
+    /// All series whose name (as a topic) matches `filter`, with their
+    /// points in `[from, to)`; series with no points in range are omitted.
+    pub fn query_filter(
+        &self,
+        filter: &TopicFilter,
+        from: SimTime,
+        to: SimTime,
+    ) -> BTreeMap<String, Vec<Point>> {
+        let mut out = BTreeMap::new();
+        for name in self.series.keys() {
+            let Ok(topic) = name.parse::<Topic>() else {
+                continue;
+            };
+            if filter.matches(&topic) {
+                let points = self.query(name, from, to);
+                if !points.is_empty() {
+                    out.insert(name.clone(), points.to_vec());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(series: &str, points: &[(u64, f64)]) -> TimeSeriesStore {
+        let mut db = TimeSeriesStore::new();
+        let topic: Topic = series.parse().unwrap();
+        for (t, v) in points {
+            db.insert(&topic, Payload::new(*v, SimTime::from_secs(*t)));
+        }
+        db
+    }
+
+    #[test]
+    fn range_queries_are_half_open() {
+        let db = store_with("s", &[(0, 1.0), (5, 2.0), (10, 3.0)]);
+        let pts = db.query("s", SimTime::from_secs(0), SimTime::from_secs(10));
+        assert_eq!(pts.len(), 2);
+        let all = db.query("s", SimTime::ZERO, SimTime::from_secs(11));
+        assert_eq!(all.len(), 3);
+        assert!(db.query("missing", SimTime::ZERO, SimTime::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_inserts_are_sorted() {
+        let db = store_with("s", &[(10, 3.0), (0, 1.0), (5, 2.0)]);
+        let pts = db.query("s", SimTime::ZERO, SimTime::from_secs(100));
+        let times: Vec<u64> = pts.iter().map(|(t, _)| t.as_micros()).collect();
+        assert_eq!(times, vec![0, 5_000_000, 10_000_000]);
+    }
+
+    #[test]
+    fn aggregations() {
+        let db = store_with("s", &[(0, 1.0), (1, 5.0), (2, 3.0)]);
+        let range = (SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Mean), Some(3.0));
+        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Min), Some(1.0));
+        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Max), Some(5.0));
+        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Sum), Some(9.0));
+        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Count), Some(3.0));
+        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Last), Some(3.0));
+        assert_eq!(db.aggregate("s", range.1, range.1, Aggregation::Mean), None);
+    }
+
+    #[test]
+    fn downsampling_bins_correctly() {
+        let db = store_with("s", &[(0, 2.0), (1, 4.0), (10, 10.0), (11, 20.0)]);
+        let bins = db.downsample(
+            "s",
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+            SimDuration::from_secs(10),
+            Aggregation::Mean,
+        );
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0], (SimTime::ZERO, 3.0));
+        assert_eq!(bins[1], (SimTime::from_secs(10), 15.0));
+    }
+
+    #[test]
+    fn filter_queries_group_series() {
+        let mut db = TimeSeriesStore::new();
+        for node in ["a", "b"] {
+            let topic: Topic = format!("node/{node}/temp").parse().unwrap();
+            db.insert(&topic, Payload::new(40.0, SimTime::from_secs(1)));
+        }
+        let other: Topic = "node/a/power".parse().unwrap();
+        db.insert(&other, Payload::new(5.0, SimTime::from_secs(1)));
+        let filter: TopicFilter = "node/+/temp".parse().unwrap();
+        let grouped = db.query_filter(&filter, SimTime::ZERO, SimTime::from_secs(10));
+        assert_eq!(grouped.len(), 2);
+        assert!(grouped.contains_key("node/a/temp"));
+        assert!(grouped.contains_key("node/b/temp"));
+    }
+
+    #[test]
+    fn retention_evicts_old_points_and_empty_series() {
+        let mut db = store_with("old", &[(0, 1.0), (5, 2.0)]);
+        let topic: Topic = "fresh".parse().unwrap();
+        db.insert(&topic, Payload::new(9.0, SimTime::from_secs(100)));
+        let evicted = db.evict_before(SimTime::from_secs(50));
+        assert_eq!(evicted, 2);
+        assert_eq!(db.series_count(), 1, "empty series removed");
+        assert!(db.latest("fresh").is_some());
+        assert!(db.query("old", SimTime::ZERO, SimTime::from_secs(1000)).is_empty());
+    }
+
+    #[test]
+    fn retain_window_keeps_the_trailing_span() {
+        let mut db = store_with("s", &[(0, 1.0), (50, 2.0), (99, 3.0)]);
+        db.retain_window(SimTime::from_secs(100), SimDuration::from_secs(60));
+        let points = db.query("s", SimTime::ZERO, SimTime::from_secs(1000));
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].0, SimTime::from_secs(50));
+        // A window larger than the history evicts nothing.
+        assert_eq!(db.retain_window(SimTime::from_secs(100), SimDuration::from_secs(9999)), 0);
+    }
+
+    #[test]
+    fn latest_returns_newest_point() {
+        let db = store_with("s", &[(3, 1.0), (7, 9.0)]);
+        assert_eq!(db.latest("s"), Some((SimTime::from_secs(7), 9.0)));
+        assert_eq!(db.latest("missing"), None);
+    }
+}

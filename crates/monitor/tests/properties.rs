@@ -1,0 +1,142 @@
+//! Property-based tests for the topic algebra and the time-series store.
+
+use proptest::prelude::*;
+
+use cimone_monitor::payload::Payload;
+use cimone_monitor::topic::{Topic, TopicFilter};
+use cimone_monitor::tsdb::{Aggregation, TimeSeriesStore};
+use cimone_soc::units::{SimDuration, SimTime};
+
+fn segment_strategy() -> impl Strategy<Value = String> {
+    "[a-z0-9_.-]{1,8}"
+}
+
+fn topic_strategy() -> impl Strategy<Value = Topic> {
+    prop::collection::vec(segment_strategy(), 1..8).prop_map(Topic::new)
+}
+
+proptest! {
+    #[test]
+    fn topic_display_parse_round_trips(t in topic_strategy()) {
+        let back: Topic = t.to_string().parse().expect("display parses");
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn hash_filter_matches_everything(t in topic_strategy()) {
+        let f: TopicFilter = "#".parse().expect("valid");
+        prop_assert!(f.matches(&t));
+    }
+
+    #[test]
+    fn a_topic_used_as_filter_matches_exactly_itself(
+        a in topic_strategy(),
+        b in topic_strategy(),
+    ) {
+        let f: TopicFilter = a.to_string().parse().expect("literal filter");
+        prop_assert!(f.matches(&a));
+        prop_assert_eq!(f.matches(&b), a == b);
+    }
+
+    #[test]
+    fn prefix_hash_filter_matches_all_extensions(
+        t in topic_strategy(),
+        ext in prop::collection::vec(segment_strategy(), 0..4),
+    ) {
+        let f: TopicFilter = format!("{t}/#").parse().expect("valid");
+        let extended = Topic::new(
+            t.segments().iter().cloned().chain(ext).collect::<Vec<_>>(),
+        );
+        prop_assert!(f.matches(&extended));
+    }
+
+    #[test]
+    fn plus_wildcard_matches_any_single_segment(
+        prefix in segment_strategy(),
+        middle in segment_strategy(),
+        suffix in segment_strategy(),
+    ) {
+        let f: TopicFilter = format!("{prefix}/+/{suffix}").parse().expect("valid");
+        let t: Topic = format!("{prefix}/{middle}/{suffix}").parse().expect("valid");
+        prop_assert!(f.matches(&t));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inserting points in any order yields a time-sorted series whose
+    /// full-range query returns everything.
+    #[test]
+    fn tsdb_inserts_in_any_order_stay_sorted(
+        mut times in prop::collection::vec(0u64..10_000, 1..80),
+    ) {
+        let mut db = TimeSeriesStore::new();
+        let topic: Topic = "prop/series".parse().expect("valid");
+        for &t in &times {
+            db.insert(&topic, Payload::new(t as f64, SimTime::from_micros(t)));
+        }
+        let points = db.query("prop/series", SimTime::ZERO, SimTime::from_secs(3600));
+        prop_assert_eq!(points.len(), times.len());
+        prop_assert!(points.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+        // The multiset of timestamps is preserved.
+        let mut got: Vec<u64> = points.iter().map(|(t, _)| t.as_micros()).collect();
+        times.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, times);
+    }
+
+    #[test]
+    fn tsdb_mean_lies_between_min_and_max(
+        values in prop::collection::vec(-1e6f64..1e6, 1..60),
+    ) {
+        let mut db = TimeSeriesStore::new();
+        let topic: Topic = "prop/agg".parse().expect("valid");
+        for (i, v) in values.iter().enumerate() {
+            db.insert(&topic, Payload::new(*v, SimTime::from_millis(i as u64)));
+        }
+        let (from, to) = (SimTime::ZERO, SimTime::from_secs(100));
+        let mean = db.aggregate("prop/agg", from, to, Aggregation::Mean).expect("points");
+        let min = db.aggregate("prop/agg", from, to, Aggregation::Min).expect("points");
+        let max = db.aggregate("prop/agg", from, to, Aggregation::Max).expect("points");
+        prop_assert!(min <= mean + 1e-9 && mean <= max + 1e-9, "{min} <= {mean} <= {max}");
+    }
+
+    #[test]
+    fn downsampled_bins_never_exceed_the_requested_count(
+        count in 1usize..100,
+        bin_ms in 1u64..500,
+    ) {
+        let mut db = TimeSeriesStore::new();
+        let topic: Topic = "prop/bins".parse().expect("valid");
+        for i in 0..count {
+            db.insert(&topic, Payload::new(i as f64, SimTime::from_millis(i as u64 * 10)));
+        }
+        let to = SimTime::from_millis(count as u64 * 10);
+        let bins = db.downsample(
+            "prop/bins",
+            SimTime::ZERO,
+            to,
+            SimDuration::from_millis(bin_ms),
+            Aggregation::Count,
+        );
+        let expected_max = (count as u64 * 10).div_ceil(bin_ms) as usize;
+        prop_assert!(bins.len() <= expected_max, "{} > {}", bins.len(), expected_max);
+        let total: f64 = bins.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total as usize, count, "no point lost or duplicated");
+    }
+
+    #[test]
+    fn payload_round_trips_through_the_wire_format(
+        value in -1e9f64..1e9,
+        // Bounded so the seconds-as-f64 wire encoding keeps µs resolution.
+        micros in 0u64..1_000_000_000_000,
+    ) {
+        let p = Payload::new(value, SimTime::from_micros(micros));
+        let decoded = Payload::decode(&p.encode()).expect("wire format decodes");
+        prop_assert_eq!(decoded.value, p.value);
+        // Timestamps survive to microsecond resolution.
+        let dt = decoded.timestamp.as_micros().abs_diff(p.timestamp.as_micros());
+        prop_assert!(dt <= 1, "timestamp drifted by {dt} µs");
+    }
+}

@@ -1,0 +1,261 @@
+//! A functional message fabric: in-memory mailboxes with simulated
+//! delivery times.
+//!
+//! Where [`crate::mpi`] only *costs* communication, `Fabric` actually
+//! moves payloads between endpoints (threads or sequential test drivers),
+//! stamping each message with the simulated arrival time implied by the
+//! link model. The integration tests use it to exercise ordering and
+//! accounting semantics; the cluster monitor uses its traffic counters for
+//! the per-node network series in Fig. 5.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use cimone_soc::units::{Bytes, SimDuration, SimTime};
+
+use crate::link::LinkModel;
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending endpoint.
+    pub from: usize,
+    /// Application tag.
+    pub tag: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Simulated arrival time.
+    pub arrives_at: SimTime,
+}
+
+/// Per-endpoint cumulative traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrafficCounters {
+    /// Bytes sent.
+    pub sent: u64,
+    /// Bytes received.
+    pub received: u64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Messages received.
+    pub messages_received: u64,
+}
+
+/// Errors from fabric operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// Endpoint id out of range.
+    UnknownEndpoint {
+        /// The offending id.
+        endpoint: usize,
+        /// Number of endpoints in the fabric.
+        size: usize,
+    },
+    /// Receive on an empty mailbox.
+    Empty,
+    /// The far side of a mailbox was dropped.
+    Disconnected,
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::UnknownEndpoint { endpoint, size } => {
+                write!(f, "endpoint {endpoint} out of range (fabric has {size})")
+            }
+            FabricError::Empty => write!(f, "mailbox empty"),
+            FabricError::Disconnected => write!(f, "mailbox disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// The fabric: `size` endpoints fully connected through one link model.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_net::fabric::Fabric;
+/// use cimone_net::link::LinkModel;
+/// use cimone_soc::units::SimTime;
+///
+/// let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
+/// fabric.send(0, 1, 7, b"hello".to_vec(), SimTime::ZERO)?;
+/// let msg = fabric.try_recv(1)?;
+/// assert_eq!(msg.payload, b"hello");
+/// assert!(msg.arrives_at > SimTime::ZERO);
+/// # Ok::<(), cimone_net::fabric::FabricError>(())
+/// ```
+#[derive(Debug)]
+pub struct Fabric {
+    link: LinkModel,
+    senders: Vec<Sender<Message>>,
+    receivers: Vec<Receiver<Message>>,
+    counters: Mutex<HashMap<usize, TrafficCounters>>,
+}
+
+impl Fabric {
+    /// Creates a fabric with `size` endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize, link: LinkModel) -> Self {
+        assert!(size > 0, "fabric needs at least one endpoint");
+        let (senders, receivers) = (0..size).map(|_| unbounded()).unzip();
+        Fabric {
+            link,
+            senders,
+            receivers,
+            counters: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Sends `payload` from `from` to `to`, stamping the arrival time
+    /// `now + link transfer time`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown endpoints or a dropped receiver.
+    pub fn send(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
+        payload: Vec<u8>,
+        now: SimTime,
+    ) -> Result<SimTime, FabricError> {
+        let size = self.size();
+        if from >= size {
+            return Err(FabricError::UnknownEndpoint { endpoint: from, size });
+        }
+        let tx = self
+            .senders
+            .get(to)
+            .ok_or(FabricError::UnknownEndpoint { endpoint: to, size })?;
+        let bytes = payload.len() as u64;
+        let arrives_at = now + self.transfer_time(Bytes::new(bytes));
+        tx.send(Message {
+            from,
+            tag,
+            payload,
+            arrives_at,
+        })
+        .map_err(|_| FabricError::Disconnected)?;
+        let mut counters = self.counters.lock();
+        let s = counters.entry(from).or_default();
+        s.sent += bytes;
+        s.messages_sent += 1;
+        Ok(arrives_at)
+    }
+
+    /// Non-blocking receive at endpoint `at`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown endpoints, an empty mailbox, or a dropped sender.
+    pub fn try_recv(&self, at: usize) -> Result<Message, FabricError> {
+        let size = self.size();
+        let rx = self
+            .receivers
+            .get(at)
+            .ok_or(FabricError::UnknownEndpoint { endpoint: at, size })?;
+        match rx.try_recv() {
+            Ok(msg) => {
+                let mut counters = self.counters.lock();
+                let s = counters.entry(at).or_default();
+                s.received += msg.payload.len() as u64;
+                s.messages_received += 1;
+                Ok(msg)
+            }
+            Err(TryRecvError::Empty) => Err(FabricError::Empty),
+            Err(TryRecvError::Disconnected) => Err(FabricError::Disconnected),
+        }
+    }
+
+    /// Simulated time to move `bytes` between any two endpoints.
+    pub fn transfer_time(&self, bytes: Bytes) -> SimDuration {
+        self.link.transfer_time(bytes)
+    }
+
+    /// Cumulative counters for one endpoint.
+    pub fn counters(&self, endpoint: usize) -> TrafficCounters {
+        self.counters
+            .lock()
+            .get(&endpoint)
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_preserves_order_per_pair() {
+        let fabric = Fabric::new(3, LinkModel::gigabit_ethernet());
+        for i in 0..5u8 {
+            fabric.send(0, 2, i as u64, vec![i], SimTime::ZERO).unwrap();
+        }
+        for i in 0..5u8 {
+            let msg = fabric.try_recv(2).unwrap();
+            assert_eq!(msg.payload, vec![i]);
+            assert_eq!(msg.from, 0);
+        }
+        assert_eq!(fabric.try_recv(2), Err(FabricError::Empty));
+    }
+
+    #[test]
+    fn arrival_times_follow_the_link_model() {
+        let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
+        let payload = vec![0u8; 125_000]; // 1 ms of serialisation at 125 MB/s
+        let eta = fabric.send(0, 1, 0, payload, SimTime::from_secs(1)).unwrap();
+        assert_eq!(eta.as_micros(), 1_000_000 + 50 + 1_000);
+    }
+
+    #[test]
+    fn counters_accumulate_both_sides() {
+        let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
+        fabric.send(0, 1, 0, vec![0u8; 100], SimTime::ZERO).unwrap();
+        fabric.send(0, 1, 0, vec![0u8; 50], SimTime::ZERO).unwrap();
+        fabric.try_recv(1).unwrap();
+        assert_eq!(fabric.counters(0).sent, 150);
+        assert_eq!(fabric.counters(0).messages_sent, 2);
+        assert_eq!(fabric.counters(1).received, 100);
+        assert_eq!(fabric.counters(1).messages_received, 1);
+    }
+
+    #[test]
+    fn unknown_endpoints_are_rejected() {
+        let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
+        assert!(matches!(
+            fabric.send(0, 9, 0, vec![], SimTime::ZERO),
+            Err(FabricError::UnknownEndpoint { endpoint: 9, size: 2 })
+        ));
+        assert!(matches!(
+            fabric.try_recv(5),
+            Err(FabricError::UnknownEndpoint { endpoint: 5, size: 2 })
+        ));
+    }
+
+    #[test]
+    fn cross_thread_delivery_works() {
+        let fabric = std::sync::Arc::new(Fabric::new(2, LinkModel::infiniband_fdr()));
+        let f2 = fabric.clone();
+        let handle = std::thread::spawn(move || {
+            f2.send(0, 1, 42, b"from thread".to_vec(), SimTime::ZERO).unwrap();
+        });
+        handle.join().unwrap();
+        let msg = fabric.try_recv(1).unwrap();
+        assert_eq!(msg.tag, 42);
+    }
+}

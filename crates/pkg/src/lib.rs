@@ -1,0 +1,54 @@
+//! A Spack-like package manager for the Monte Cimone reproduction.
+//!
+//! The paper deploys its entire user-facing stack (Table I) with Spack
+//! 0.17.0, resolving the `linux-sifive-u74mc` target through archspec and
+//! exposing packages via environment modules. This crate rebuilds that
+//! machinery:
+//!
+//! * [`version`] — dotted versions and Spack-style requirements;
+//! * [`spec`] — abstract specs (`hpl@2.3 +openmp %gcc@10.3.0 target=u74mc`);
+//! * [`target`] — archspec-style microarchitecture registry, including the
+//!   GCC-version-gated Zba/Zbb flag emission the paper discusses;
+//! * [`repo`] — the builtin package snapshot (Table I plus transitive
+//!   dependencies);
+//! * [`concretize`](mod@concretize) — the resolver: conditional dependencies, unified
+//!   versions, content hashes, topological build order;
+//! * [`modules`] / [`install`] — modulefile generation and the simulated
+//!   hash-addressed install tree.
+//!
+//! # Examples
+//!
+//! ```
+//! use cimone_pkg::concretize::concretize;
+//! use cimone_pkg::install::InstallTree;
+//! use cimone_pkg::repo::PackageRepo;
+//! use cimone_pkg::target::TargetRegistry;
+//!
+//! let dag = concretize(
+//!     &"hpl target=u74mc".parse()?,
+//!     &PackageRepo::builtin(),
+//!     &TargetRegistry::builtin(),
+//! )?;
+//! let mut tree = InstallTree::new("/opt/cimone");
+//! tree.install_dag(&dag)?;
+//! assert!(tree.module_avail().iter().any(|m| m.starts_with("hpl/2.3")));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod concretize;
+pub mod install;
+pub mod modules;
+pub mod repo;
+pub mod spec;
+pub mod target;
+pub mod version;
+
+pub use concretize::{concretize, Concretization, ConcreteSpec, ConcretizeError};
+pub use install::InstallTree;
+pub use repo::{PackageRepo, TABLE_I_STACK};
+pub use spec::Spec;
+pub use target::TargetRegistry;
+pub use version::{Version, VersionReq};

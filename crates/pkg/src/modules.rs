@@ -1,0 +1,103 @@
+//! Environment-modules generation (Furlani-style Tcl modulefiles).
+//!
+//! The paper exposes the Spack-installed stack to users through environment
+//! modules; this module renders the same artefacts from a concretised DAG.
+
+use crate::concretize::{ConcreteSpec, Concretization};
+
+/// The modulefile name for a concrete spec: `<name>/<version>-<compiler>`.
+pub fn module_name(spec: &ConcreteSpec) -> String {
+    format!(
+        "{}/{}-{}-{}",
+        spec.name, spec.version, spec.compiler.name, spec.compiler.version
+    )
+}
+
+/// Renders the Tcl modulefile for one installed package.
+pub fn render_modulefile(spec: &ConcreteSpec, prefix: &str) -> String {
+    let upper = spec.name.to_uppercase().replace('-', "_");
+    let mut out = String::new();
+    out.push_str("#%Module1.0\n");
+    out.push_str(&format!(
+        "## {} — generated from spec hash {}\n",
+        module_name(spec),
+        spec.hash
+    ));
+    out.push_str(&format!(
+        "module-whatis \"{} {} built with {}@{} for {}\"\n",
+        spec.name, spec.version, spec.compiler.name, spec.compiler.version, spec.target
+    ));
+    for dep in &spec.deps {
+        out.push_str(&format!("prereq {dep}\n"));
+    }
+    out.push_str(&format!("prepend-path PATH {prefix}/bin\n"));
+    out.push_str(&format!("prepend-path LD_LIBRARY_PATH {prefix}/lib\n"));
+    out.push_str(&format!("prepend-path MANPATH {prefix}/share/man\n"));
+    out.push_str(&format!("setenv {upper}_ROOT {prefix}\n"));
+    out
+}
+
+/// Renders the `module avail` listing for a whole concretisation, sorted.
+pub fn module_avail(dag: &Concretization) -> Vec<String> {
+    let mut names: Vec<String> = dag.specs().map(module_name).collect();
+    names.sort();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concretize::concretize;
+    use crate::repo::PackageRepo;
+    use crate::target::TargetRegistry;
+
+    fn hpl_dag() -> Concretization {
+        concretize(
+            &"hpl target=u74mc".parse().unwrap(),
+            &PackageRepo::builtin(),
+            &TargetRegistry::builtin(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn module_names_follow_the_convention() {
+        let dag = hpl_dag();
+        assert_eq!(module_name(dag.root()), "hpl/2.3-gcc-10.3.0");
+    }
+
+    #[test]
+    fn modulefile_contains_the_essential_directives() {
+        let dag = hpl_dag();
+        let text = render_modulefile(dag.root(), "/opt/cimone/u74mc/hpl-2.3-abc");
+        assert!(text.starts_with("#%Module1.0"));
+        assert!(text.contains("prepend-path PATH /opt/cimone/u74mc/hpl-2.3-abc/bin"));
+        assert!(text.contains("setenv HPL_ROOT"));
+        assert!(text.contains("prereq openblas"));
+        assert!(text.contains("prereq openmpi"));
+    }
+
+    #[test]
+    fn avail_lists_every_package_in_the_dag() {
+        let dag = hpl_dag();
+        let avail = module_avail(&dag);
+        assert_eq!(avail.len(), dag.len());
+        assert!(avail.iter().any(|m| m.starts_with("openmpi/4.1.1")));
+        // Sorted.
+        let mut sorted = avail.clone();
+        sorted.sort();
+        assert_eq!(avail, sorted);
+    }
+
+    #[test]
+    fn dashed_names_become_valid_env_vars() {
+        let dag = concretize(
+            &"netlib-lapack".parse().unwrap(),
+            &PackageRepo::builtin(),
+            &TargetRegistry::builtin(),
+        )
+        .unwrap();
+        let text = render_modulefile(dag.root(), "/opt/x");
+        assert!(text.contains("setenv NETLIB_LAPACK_ROOT"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for versions, specs and the concretizer.
+
+use proptest::prelude::*;
+
+use cimone_pkg::concretize::concretize;
+use cimone_pkg::repo::PackageRepo;
+use cimone_pkg::spec::Spec;
+use cimone_pkg::target::TargetRegistry;
+use cimone_pkg::version::{Version, VersionReq};
+
+fn version_strategy() -> impl Strategy<Value = Version> {
+    prop::collection::vec(0u64..50, 1..5).prop_map(Version::new)
+}
+
+proptest! {
+    #[test]
+    fn version_display_parse_round_trips(v in version_strategy()) {
+        let text = v.to_string();
+        let back: Version = text.parse().expect("display output parses");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn version_ordering_is_total_and_antisymmetric(
+        a in version_strategy(),
+        b in version_strategy(),
+    ) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => {
+                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+                prop_assert_eq!(&a, &b);
+            }
+        }
+    }
+
+    #[test]
+    fn version_ordering_is_transitive(
+        a in version_strategy(),
+        b in version_strategy(),
+        c in version_strategy(),
+    ) {
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    #[test]
+    fn trailing_zeros_do_not_change_equality(v in version_strategy()) {
+        let mut padded = v.components().to_vec();
+        padded.push(0);
+        padded.push(0);
+        prop_assert_eq!(Version::new(padded), v);
+    }
+
+    #[test]
+    fn series_requirement_matches_its_own_version(v in version_strategy()) {
+        let req = VersionReq::Series(v.clone());
+        prop_assert!(req.matches(&v));
+    }
+
+    #[test]
+    fn range_with_matching_bounds_contains_the_bound(v in version_strategy()) {
+        let req = VersionReq::Range { min: Some(v.clone()), max: Some(v.clone()) };
+        prop_assert!(req.matches(&v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concretisation of any builtin package, with any subset of its
+    /// declared variants toggled, yields a sound DAG: topologically
+    /// ordered, closed under dependencies, with stable hashes.
+    #[test]
+    fn concretizer_soundness(
+        pkg_index in 0usize..21,
+        toggles in prop::collection::vec(any::<bool>(), 0..3),
+    ) {
+        let repo = PackageRepo::builtin();
+        let targets = TargetRegistry::builtin();
+        let names: Vec<&str> = repo.names().collect();
+        let name = names[pkg_index % names.len()];
+        let def = repo.get(name).expect("exists");
+
+        let mut spec = Spec::bare(name).with_target("u74mc");
+        for (variant, value) in def.variants().keys().zip(&toggles) {
+            spec = spec.with_variant(variant.clone(), *value);
+        }
+
+        let dag = concretize(&spec, &repo, &targets).expect("builtin repo resolves");
+        // Root present and matching.
+        prop_assert_eq!(dag.root().name.as_str(), name);
+        // Build order is a topological order over the DAG.
+        let order = dag.build_order();
+        let pos = |n: &str| order.iter().position(|o| o == n).expect("in order");
+        for s in dag.specs() {
+            for dep in &s.deps {
+                prop_assert!(dag.get(dep).is_some(), "{} dep {} missing", s.name, dep);
+                prop_assert!(pos(dep) < pos(&s.name), "{} before {}", dep, s.name);
+            }
+        }
+        // Hashes are stable across a second resolution.
+        let again = concretize(&spec, &repo, &targets).expect("still resolves");
+        prop_assert_eq!(dag.root().hash.clone(), again.root().hash.clone());
+        // Every resolved version is a known version of its package.
+        for s in dag.specs() {
+            let def = repo.get(&s.name).expect("exists");
+            prop_assert!(def.versions().contains(&s.version));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Batch jobs and their lifecycle.
+
+use std::fmt;
+
+use cimone_soc::units::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A unique job identifier, assigned at submission (Slurm's `JOBID`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {}", self.0)
+    }
+}
+
+/// What the user asked for (`sbatch`-level information).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job name.
+    pub name: String,
+    /// Submitting user.
+    pub user: String,
+    /// Whole nodes requested (Monte Cimone schedules exclusively by node).
+    pub nodes: usize,
+    /// Wall-time limit; used both as the kill limit and the backfill
+    /// estimate.
+    pub time_limit: SimDuration,
+}
+
+impl JobSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or the time limit is zero.
+    pub fn new(
+        name: impl Into<String>,
+        user: impl Into<String>,
+        nodes: usize,
+        time_limit: SimDuration,
+    ) -> Self {
+        assert!(nodes > 0, "a job needs at least one node");
+        assert!(!time_limit.is_zero(), "time limit must be non-zero");
+        JobSpec {
+            name: name.into(),
+            user: user.into(),
+            nodes,
+            time_limit,
+        }
+    }
+}
+
+/// Lifecycle states (a subset of Slurm's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobState {
+    /// Queued, waiting for resources.
+    Pending,
+    /// Allocated and executing.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Killed at its wall-time limit.
+    TimedOut,
+    /// Exited with failure.
+    Failed,
+    /// Lost its allocation to a node failure and was requeued.
+    Requeued,
+    /// Cancelled by the user or operator.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the state is terminal.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::TimedOut | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobState::Pending => "PENDING",
+            JobState::Running => "RUNNING",
+            JobState::Completed => "COMPLETED",
+            JobState::TimedOut => "TIMEOUT",
+            JobState::Failed => "FAILED",
+            JobState::Requeued => "REQUEUED",
+            JobState::Cancelled => "CANCELLED",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A job as tracked by the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    id: JobId,
+    spec: JobSpec,
+    state: JobState,
+    submitted_at: SimTime,
+    started_at: Option<SimTime>,
+    ended_at: Option<SimTime>,
+    allocated_nodes: Vec<String>,
+    /// Times the job was requeued after a node failure.
+    requeue_count: u32,
+}
+
+impl Job {
+    pub(crate) fn new(id: JobId, spec: JobSpec, submitted_at: SimTime) -> Self {
+        Job {
+            id,
+            spec,
+            state: JobState::Pending,
+            submitted_at,
+            started_at: None,
+            ended_at: None,
+            allocated_nodes: Vec::new(),
+            requeue_count: 0,
+        }
+    }
+
+    /// The job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The submitted spec.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Current state.
+    pub fn state(&self) -> JobState {
+        self.state
+    }
+
+    /// Submission time.
+    pub fn submitted_at(&self) -> SimTime {
+        self.submitted_at
+    }
+
+    /// Start time, if it ever started.
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    /// End time, if terminal.
+    pub fn ended_at(&self) -> Option<SimTime> {
+        self.ended_at
+    }
+
+    /// Node names currently (or last) allocated.
+    pub fn allocated_nodes(&self) -> &[String] {
+        &self.allocated_nodes
+    }
+
+    /// How many times a node failure sent the job back to the queue.
+    pub fn requeue_count(&self) -> u32 {
+        self.requeue_count
+    }
+
+    /// Estimated end, used by the backfill scheduler.
+    pub fn estimated_end(&self) -> Option<SimTime> {
+        self.started_at.map(|s| s + self.spec.time_limit)
+    }
+
+    /// Queue wait (start − submit), if started.
+    pub fn wait_time(&self) -> Option<SimDuration> {
+        self.started_at.map(|s| s.saturating_since(self.submitted_at))
+    }
+
+    /// Elapsed run time, if terminal.
+    pub fn elapsed(&self) -> Option<SimDuration> {
+        match (self.started_at, self.ended_at) {
+            (Some(s), Some(e)) => Some(e.saturating_since(s)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn start(&mut self, now: SimTime, nodes: Vec<String>) {
+        debug_assert_eq!(self.state, JobState::Pending);
+        self.state = JobState::Running;
+        self.started_at = Some(now);
+        self.allocated_nodes = nodes;
+    }
+
+    pub(crate) fn finish(&mut self, now: SimTime, state: JobState) {
+        debug_assert!(state.is_terminal());
+        self.state = state;
+        self.ended_at = Some(now);
+    }
+
+    pub(crate) fn requeue(&mut self) {
+        self.state = JobState::Pending;
+        self.started_at = None;
+        self.allocated_nodes.clear();
+        self.requeue_count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec::new("hpl", "alice", 2, SimDuration::from_secs(3600))
+    }
+
+    #[test]
+    fn lifecycle_start_finish() {
+        let mut job = Job::new(JobId(1), spec(), SimTime::from_secs(10));
+        assert_eq!(job.state(), JobState::Pending);
+        job.start(SimTime::from_secs(30), vec!["mc-node-01".into(), "mc-node-02".into()]);
+        assert_eq!(job.state(), JobState::Running);
+        assert_eq!(job.wait_time(), Some(SimDuration::from_secs(20)));
+        assert_eq!(
+            job.estimated_end(),
+            Some(SimTime::from_secs(3630))
+        );
+        job.finish(SimTime::from_secs(100), JobState::Completed);
+        assert_eq!(job.elapsed(), Some(SimDuration::from_secs(70)));
+        assert!(job.state().is_terminal());
+    }
+
+    #[test]
+    fn requeue_resets_allocation_and_counts() {
+        let mut job = Job::new(JobId(2), spec(), SimTime::ZERO);
+        job.start(SimTime::from_secs(5), vec!["mc-node-03".into()]);
+        job.requeue();
+        assert_eq!(job.state(), JobState::Pending);
+        assert!(job.allocated_nodes().is_empty());
+        assert_eq!(job.requeue_count(), 1);
+        assert_eq!(job.started_at(), None);
+    }
+
+    #[test]
+    fn state_display_matches_slurm_vocabulary() {
+        assert_eq!(JobState::Pending.to_string(), "PENDING");
+        assert_eq!(JobState::TimedOut.to_string(), "TIMEOUT");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_spec_panics() {
+        let _ = JobSpec::new("x", "y", 0, SimDuration::from_secs(1));
+    }
+}

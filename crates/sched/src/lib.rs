@@ -1,0 +1,46 @@
+//! A Slurm-like batch scheduler for the Monte Cimone reproduction.
+//!
+//! The paper ports Slurm to the RISC-V cluster and runs every experiment
+//! through it. This crate implements the slice of that behaviour the
+//! machine exercises: node-exclusive allocation over a partition of eight
+//! nodes, FIFO dispatch with EASY backfill, wall-time limits, node-failure
+//! requeue (which the thermal-runaway experiment triggers), and `sacct`
+//! style accounting.
+//!
+//! * [`job`] — job specs, states and lifecycle records;
+//! * [`partition`] — named node sets with availability tracking;
+//! * [`scheduler`] — the controller: submit, schedule, complete, fail;
+//! * [`accounting`] — completed-job records and utilisation statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use cimone_sched::job::{JobSpec, JobState};
+//! use cimone_sched::partition::Partition;
+//! use cimone_sched::scheduler::Scheduler;
+//! use cimone_soc::units::{SimDuration, SimTime};
+//!
+//! let mut sched = Scheduler::new(Partition::monte_cimone());
+//! let id = sched.submit(
+//!     JobSpec::new("quickstart", "user", 1, SimDuration::from_secs(60)),
+//!     SimTime::ZERO,
+//! )?;
+//! sched.schedule(SimTime::ZERO);
+//! sched.complete(id, SimTime::from_secs(42), JobState::Completed)?;
+//! assert!(sched.job(id)?.state().is_terminal());
+//! # Ok::<(), cimone_sched::scheduler::SchedError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accounting;
+pub mod job;
+pub mod partition;
+pub mod render;
+pub mod scheduler;
+
+pub use accounting::{AccountingLog, JobRecord};
+pub use job::{Job, JobId, JobSpec, JobState};
+pub use partition::{NodeAvailability, Partition};
+pub use scheduler::{SchedError, Scheduler, SchedulingPolicy};

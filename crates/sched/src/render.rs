@@ -1,0 +1,202 @@
+//! Operator-facing text views: `sinfo` and `squeue` for the simulated
+//! cluster, matching the columns an operator of the real machine reads.
+
+use cimone_soc::units::SimTime;
+
+use crate::job::JobState;
+use crate::partition::NodeAvailability;
+use crate::scheduler::Scheduler;
+
+/// Renders the `sinfo`-style node summary, one line per availability
+/// state.
+pub fn sinfo(scheduler: &Scheduler) -> String {
+    let partition = scheduler.partition();
+    let mut out = format!(
+        "{:<10} {:<6} {:<6} NODELIST\n",
+        "PARTITION", "AVAIL", "NODES"
+    );
+    for state in [
+        NodeAvailability::Idle,
+        NodeAvailability::Allocated,
+        NodeAvailability::Down,
+    ] {
+        let nodes: Vec<&str> = partition
+            .iter()
+            .filter(|(_, a)| *a == state)
+            .map(|(n, _)| n)
+            .collect();
+        if nodes.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<10} {:<6} {:<6} {}\n",
+            partition.name(),
+            state.to_string(),
+            nodes.len(),
+            compress_nodelist(&nodes)
+        ));
+    }
+    out
+}
+
+/// Renders the `squeue`-style job listing at time `now` (running first,
+/// then pending in queue order).
+pub fn squeue(scheduler: &Scheduler, now: SimTime) -> String {
+    let mut out = format!(
+        "{:>6} {:<12} {:<8} {:<8} {:>6} {:>10} NODELIST(REASON)\n",
+        "JOBID", "NAME", "USER", "ST", "NODES", "TIME"
+    );
+    let mut render = |id: &crate::job::JobId, reason: Option<&str>| {
+        let job = scheduler.job(*id).expect("listed jobs exist");
+        let st = match job.state() {
+            JobState::Running => "R",
+            JobState::Pending => "PD",
+            _ => return, // terminal states never appear in squeue
+        };
+        let time = job
+            .started_at()
+            .map(|s| format_elapsed(now.saturating_since(s).as_secs_f64()))
+            .unwrap_or_else(|| "0:00".to_owned());
+        let nodelist = if let Some(reason) = reason {
+            format!("({reason})")
+        } else {
+            let nodes: Vec<&str> = job.allocated_nodes().iter().map(String::as_str).collect();
+            compress_nodelist(&nodes)
+        };
+        out.push_str(&format!(
+            "{:>6} {:<12} {:<8} {:<8} {:>6} {:>10} {}\n",
+            job.id().0,
+            truncate(&job.spec().name, 12),
+            truncate(&job.spec().user, 8),
+            st,
+            job.spec().nodes,
+            time,
+            nodelist
+        ));
+    };
+    for id in scheduler.running().to_vec() {
+        render(&id, None);
+    }
+    for id in scheduler.pending().to_vec() {
+        render(&id, Some("Resources"));
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_owned()
+    } else {
+        format!("{}+", &s[..max - 1])
+    }
+}
+
+fn format_elapsed(secs: f64) -> String {
+    let total = secs.round() as u64;
+    let (h, m, s) = (total / 3600, (total % 3600) / 60, total % 60);
+    if h > 0 {
+        format!("{h}:{m:02}:{s:02}")
+    } else {
+        format!("{m}:{s:02}")
+    }
+}
+
+/// Compresses `mc-node-01 mc-node-02 mc-node-03` into `mc-node-[01-03]`
+/// (Slurm's hostlist syntax), falling back to commas for non-contiguous
+/// or non-conforming names.
+fn compress_nodelist(nodes: &[&str]) -> String {
+    let mut numbers: Vec<u32> = Vec::new();
+    let mut prefix: Option<&str> = None;
+    for node in nodes {
+        match node.rsplit_once('-') {
+            Some((p, digits)) if digits.len() == 2 => match digits.parse::<u32>() {
+                Ok(n) if prefix.is_none() || prefix == Some(p) => {
+                    prefix = Some(p);
+                    numbers.push(n);
+                }
+                _ => return nodes.join(","),
+            },
+            _ => return nodes.join(","),
+        }
+    }
+    let Some(prefix) = prefix else {
+        return String::new();
+    };
+    numbers.sort_unstable();
+    let contiguous = numbers.windows(2).all(|w| w[1] == w[0] + 1);
+    match (numbers.first(), numbers.last()) {
+        (Some(first), Some(last)) if contiguous && first != last => {
+            format!("{prefix}-[{first:02}-{last:02}]")
+        }
+        (Some(first), _) if numbers.len() == 1 => format!("{prefix}-{first:02}"),
+        _ => nodes.join(","),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use crate::partition::Partition;
+    use cimone_soc::units::SimDuration;
+
+    fn busy_scheduler() -> Scheduler {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        s.submit(
+            JobSpec::new("hpl-full", "alice", 4, SimDuration::from_secs(3600)),
+            SimTime::ZERO,
+        )
+        .expect("fits");
+        s.submit(
+            JobSpec::new("qe-lax-with-long-name", "bench", 8, SimDuration::from_secs(60)),
+            SimTime::ZERO,
+        )
+        .expect("fits");
+        s.schedule(SimTime::ZERO);
+        s
+    }
+
+    #[test]
+    fn sinfo_groups_by_availability() {
+        let mut s = busy_scheduler();
+        s.fail_node("mc-node-08", SimTime::from_secs(1));
+        let text = sinfo(&s);
+        assert!(text.contains("alloc"), "{text}");
+        assert!(text.contains("idle"), "{text}");
+        assert!(text.contains("down"), "{text}");
+        assert!(text.contains("mc-node-[01-04]"), "{text}");
+    }
+
+    #[test]
+    fn squeue_lists_running_then_pending() {
+        let s = busy_scheduler();
+        let text = squeue(&s, SimTime::from_secs(125));
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains(" R "), "{text}");
+        assert!(lines[1].contains("2:05"), "{text}");
+        assert!(lines[2].contains("PD"), "{text}");
+        assert!(lines[2].contains("(Resources)"), "{text}");
+        assert!(lines[2].contains("qe-lax-with+"), "long names truncate: {text}");
+    }
+
+    #[test]
+    fn nodelist_compression() {
+        assert_eq!(
+            compress_nodelist(&["mc-node-01", "mc-node-02", "mc-node-03"]),
+            "mc-node-[01-03]"
+        );
+        assert_eq!(compress_nodelist(&["mc-node-05"]), "mc-node-05");
+        assert_eq!(
+            compress_nodelist(&["mc-node-01", "mc-node-03"]),
+            "mc-node-01,mc-node-03"
+        );
+        assert_eq!(compress_nodelist(&["weird"]), "weird");
+    }
+
+    #[test]
+    fn elapsed_formatting() {
+        assert_eq!(format_elapsed(59.0), "0:59");
+        assert_eq!(format_elapsed(61.0), "1:01");
+        assert_eq!(format_elapsed(3661.0), "1:01:01");
+    }
+}

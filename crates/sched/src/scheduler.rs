@@ -1,0 +1,498 @@
+//! The batch scheduler: FIFO with optional EASY (conservative) backfill,
+//! node-exclusive allocation, and node-failure requeue — the slice of
+//! Slurm's behaviour Monte Cimone exercises.
+
+use std::collections::BTreeMap;
+
+use cimone_soc::units::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::job::{Job, JobId, JobSpec, JobState};
+use crate::partition::{NodeAvailability, Partition};
+
+/// Queue policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// Strict first-in-first-out.
+    FifoOnly,
+    /// FIFO head plus EASY backfill: later jobs may start out of order if
+    /// doing so cannot delay the head job's earliest start.
+    #[default]
+    Backfill,
+}
+
+/// Errors from scheduler operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// A job id that was never submitted.
+    UnknownJob(JobId),
+    /// The job is not in the state the operation requires.
+    WrongState {
+        /// The job.
+        job: JobId,
+        /// Its actual state.
+        actual: JobState,
+    },
+    /// A job asked for more nodes than the partition has in service.
+    TooLarge {
+        /// Nodes requested.
+        requested: usize,
+        /// Nodes that exist in the partition.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::UnknownJob(id) => write!(f, "unknown {id}"),
+            SchedError::WrongState { job, actual } => {
+                write!(f, "{job} is {actual}, operation not applicable")
+            }
+            SchedError::TooLarge {
+                requested,
+                available,
+            } => write!(
+                f,
+                "job requests {requested} nodes but the partition has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// The cluster controller (Slurm's `slurmctld`, reduced to what the paper's
+/// machine needs).
+///
+/// # Examples
+///
+/// ```
+/// use cimone_sched::job::JobSpec;
+/// use cimone_sched::partition::Partition;
+/// use cimone_sched::scheduler::Scheduler;
+/// use cimone_soc::units::{SimDuration, SimTime};
+///
+/// let mut sched = Scheduler::new(Partition::monte_cimone());
+/// let id = sched.submit(
+///     JobSpec::new("hpl-8node", "alice", 8, SimDuration::from_secs(4000)),
+///     SimTime::ZERO,
+/// )?;
+/// let started = sched.schedule(SimTime::ZERO);
+/// assert_eq!(started, vec![id]);
+/// # Ok::<(), cimone_sched::scheduler::SchedError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scheduler {
+    partition: Partition,
+    policy: SchedulingPolicy,
+    jobs: BTreeMap<JobId, Job>,
+    /// Pending jobs in submission order.
+    queue: Vec<JobId>,
+    /// Running jobs.
+    running: Vec<JobId>,
+    next_id: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over `partition` with backfill enabled.
+    pub fn new(partition: Partition) -> Self {
+        Scheduler::with_policy(partition, SchedulingPolicy::Backfill)
+    }
+
+    /// Creates a scheduler with an explicit policy.
+    pub fn with_policy(partition: Partition, policy: SchedulingPolicy) -> Self {
+        Scheduler {
+            partition,
+            policy,
+            jobs: BTreeMap::new(),
+            queue: Vec::new(),
+            running: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The queue policy.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// Looks up a job.
+    ///
+    /// # Errors
+    ///
+    /// Fails for ids that were never submitted.
+    pub fn job(&self, id: JobId) -> Result<&Job, SchedError> {
+        self.jobs.get(&id).ok_or(SchedError::UnknownJob(id))
+    }
+
+    /// All jobs ever submitted, by id.
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// Pending job ids in queue order (`squeue`).
+    pub fn pending(&self) -> &[JobId] {
+        &self.queue
+    }
+
+    /// Running job ids.
+    pub fn running(&self) -> &[JobId] {
+        &self.running
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SchedError::TooLarge`] if the request can never be
+    /// satisfied by this partition.
+    pub fn submit(&mut self, spec: JobSpec, now: SimTime) -> Result<JobId, SchedError> {
+        if spec.nodes > self.partition.len() {
+            return Err(SchedError::TooLarge {
+                requested: spec.nodes,
+                available: self.partition.len(),
+            });
+        }
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(id, Job::new(id, spec, now));
+        self.queue.push(id);
+        Ok(id)
+    }
+
+    /// Runs one scheduling pass at `now`, starting every job the policy
+    /// allows. Returns the started ids in start order.
+    pub fn schedule(&mut self, now: SimTime) -> Vec<JobId> {
+        let mut started = Vec::new();
+
+        // FIFO phase: start queue-head jobs while they fit.
+        while let Some(&head) = self.queue.first() {
+            let need = self.jobs[&head].spec().nodes;
+            if need <= self.partition.idle_count() {
+                self.start_job(head, now);
+                self.queue.remove(0);
+                started.push(head);
+            } else {
+                break;
+            }
+        }
+
+        if self.policy == SchedulingPolicy::Backfill && !self.queue.is_empty() {
+            started.extend(self.backfill_pass(now));
+        }
+        started
+    }
+
+    /// EASY backfill: compute the head job's shadow start, then start any
+    /// later job that fits now and cannot delay the head.
+    fn backfill_pass(&mut self, now: SimTime) -> Vec<JobId> {
+        let head = self.queue[0];
+        let head_need = self.jobs[&head].spec().nodes;
+
+        // Walk running jobs by estimated end, accumulating freed nodes
+        // until the head fits; that point is the shadow time.
+        let mut ends: Vec<(SimTime, usize)> = self
+            .running
+            .iter()
+            .map(|id| {
+                let job = &self.jobs[id];
+                (
+                    job.estimated_end().expect("running jobs have an estimate"),
+                    job.spec().nodes,
+                )
+            })
+            .collect();
+        ends.sort();
+        let mut free = self.partition.idle_count();
+        let mut shadow_time = now;
+        let mut free_at_shadow = free;
+        for (end, nodes) in ends {
+            if free >= head_need {
+                break;
+            }
+            free += nodes;
+            shadow_time = end;
+            free_at_shadow = free;
+        }
+        // Nodes the head will leave unused at its shadow start: a backfill
+        // job narrower than this can overrun the shadow time harmlessly.
+        // Each overrunning job *consumes* part of this pool — without the
+        // decrement, two overrunners could jointly occupy nodes the head
+        // needs at its shadow time and delay it (a bug the property test
+        // `backfill_never_delays_the_blocked_head` caught).
+        let mut extra_nodes = free_at_shadow.saturating_sub(head_need);
+
+        let mut started = Vec::new();
+        let mut i = 1;
+        while i < self.queue.len() {
+            let id = self.queue[i];
+            let spec = self.jobs[&id].spec().clone();
+            let fits_now = spec.nodes <= self.partition.idle_count();
+            let ends_before_shadow = now + spec.time_limit <= shadow_time;
+            let within_extra = spec.nodes <= extra_nodes;
+            if fits_now && (ends_before_shadow || within_extra) {
+                if !ends_before_shadow {
+                    extra_nodes -= spec.nodes;
+                }
+                self.start_job(id, now);
+                self.queue.remove(i);
+                started.push(id);
+            } else {
+                i += 1;
+            }
+        }
+        started
+    }
+
+    fn start_job(&mut self, id: JobId, now: SimTime) {
+        let need = self.jobs[&id].spec().nodes;
+        let allocation: Vec<String> = self.partition.idle_nodes().into_iter().take(need).collect();
+        debug_assert_eq!(allocation.len(), need, "allocation underflow");
+        for node in &allocation {
+            self.partition
+                .set_availability(node, NodeAvailability::Allocated);
+        }
+        self.jobs
+            .get_mut(&id)
+            .expect("started job exists")
+            .start(now, allocation);
+        self.running.push(id);
+    }
+
+    /// Marks a running job finished with `state` and frees its nodes.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown jobs or jobs that are not running.
+    pub fn complete(
+        &mut self,
+        id: JobId,
+        now: SimTime,
+        state: JobState,
+    ) -> Result<(), SchedError> {
+        let job = self.jobs.get_mut(&id).ok_or(SchedError::UnknownJob(id))?;
+        if job.state() != JobState::Running {
+            return Err(SchedError::WrongState {
+                job: id,
+                actual: job.state(),
+            });
+        }
+        let nodes: Vec<String> = job.allocated_nodes().to_vec();
+        job.finish(now, state);
+        for node in nodes {
+            // Keep nodes that failed out of service.
+            if self.partition.availability(&node) == Some(NodeAvailability::Allocated) {
+                self.partition.set_availability(&node, NodeAvailability::Idle);
+            }
+        }
+        self.running.retain(|r| *r != id);
+        Ok(())
+    }
+
+    /// Takes `node` out of service; any job running on it is requeued at
+    /// the head of the queue (Slurm's `--requeue` behaviour) and its other
+    /// nodes are freed.
+    ///
+    /// Returns the requeued job, if any.
+    pub fn fail_node(&mut self, node: &str, _now: SimTime) -> Option<JobId> {
+        if self.partition.availability(node).is_none() {
+            return None;
+        }
+        self.partition.set_availability(node, NodeAvailability::Down);
+        let victim = self
+            .running
+            .iter()
+            .copied()
+            .find(|id| self.jobs[id].allocated_nodes().iter().any(|n| n == node));
+        if let Some(id) = victim {
+            let job = self.jobs.get_mut(&id).expect("victim exists");
+            let nodes: Vec<String> = job.allocated_nodes().to_vec();
+            job.requeue();
+            for n in nodes {
+                if self.partition.availability(&n) == Some(NodeAvailability::Allocated) {
+                    self.partition.set_availability(&n, NodeAvailability::Idle);
+                }
+            }
+            self.running.retain(|r| *r != id);
+            self.queue.insert(0, id);
+        }
+        victim
+    }
+
+    /// Returns a failed node to service.
+    pub fn resume_node(&mut self, node: &str) {
+        if self.partition.availability(node) == Some(NodeAvailability::Down) {
+            self.partition.set_availability(node, NodeAvailability::Idle);
+        }
+    }
+
+    /// Cancels a pending job.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown or non-pending jobs (cancel-while-running is
+    /// modelled as [`Scheduler::complete`] with [`JobState::Cancelled`]).
+    pub fn cancel_pending(&mut self, id: JobId, now: SimTime) -> Result<(), SchedError> {
+        let job = self.jobs.get_mut(&id).ok_or(SchedError::UnknownJob(id))?;
+        if job.state() != JobState::Pending {
+            return Err(SchedError::WrongState {
+                job: id,
+                actual: job.state(),
+            });
+        }
+        job.finish(now, JobState::Cancelled);
+        self.queue.retain(|q| *q != id);
+        Ok(())
+    }
+
+    /// Sanity invariant: allocated node count equals the sum of running
+    /// jobs' allocations (used by tests and debug assertions).
+    pub fn check_invariants(&self) -> bool {
+        let allocated = self
+            .partition
+            .iter()
+            .filter(|(_, a)| *a == NodeAvailability::Allocated)
+            .count();
+        let claimed: usize = self
+            .running
+            .iter()
+            .map(|id| self.jobs[id].allocated_nodes().len())
+            .sum();
+        allocated == claimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimone_soc::units::SimDuration;
+
+    fn spec(nodes: usize, secs: u64) -> JobSpec {
+        JobSpec::new("job", "user", nodes, SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn fifo_starts_in_order_until_full() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let a = s.submit(spec(4, 100), SimTime::ZERO).unwrap();
+        let b = s.submit(spec(4, 100), SimTime::ZERO).unwrap();
+        let c = s.submit(spec(4, 100), SimTime::ZERO).unwrap();
+        let started = s.schedule(SimTime::ZERO);
+        assert_eq!(started, vec![a, b]);
+        assert_eq!(s.pending(), &[c]);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn completion_frees_nodes_for_the_queue() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let a = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
+        let b = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
+        s.schedule(SimTime::ZERO);
+        s.complete(a, SimTime::from_secs(50), JobState::Completed).unwrap();
+        let started = s.schedule(SimTime::from_secs(50));
+        assert_eq!(started, vec![b]);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn backfill_starts_short_narrow_jobs_early() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        // Fill 6 nodes for a long time.
+        let long = s.submit(spec(6, 10_000), SimTime::ZERO).unwrap();
+        // Head job wants all 8: must wait for `long`.
+        let head = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
+        // Short 2-node job fits the idle nodes and ends before the shadow.
+        let small = s.submit(spec(2, 100), SimTime::ZERO).unwrap();
+        let started = s.schedule(SimTime::ZERO);
+        assert!(started.contains(&long));
+        assert!(started.contains(&small), "backfill should start the small job");
+        assert!(!started.contains(&head));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn backfill_never_delays_the_head_job() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let _long = s.submit(spec(6, 1_000), SimTime::ZERO).unwrap();
+        let _head = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
+        // This job fits the 2 idle nodes but would run PAST the shadow time
+        // (t=1000) and needs nodes the head will use: must not start.
+        let blocker = s.submit(spec(2, 5_000), SimTime::ZERO).unwrap();
+        let started = s.schedule(SimTime::ZERO);
+        assert!(!started.contains(&blocker));
+    }
+
+    #[test]
+    fn fifo_only_policy_never_backfills() {
+        let mut s =
+            Scheduler::with_policy(Partition::monte_cimone(), SchedulingPolicy::FifoOnly);
+        let _long = s.submit(spec(6, 10_000), SimTime::ZERO).unwrap();
+        let _head = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
+        let small = s.submit(spec(2, 10), SimTime::ZERO).unwrap();
+        let started = s.schedule(SimTime::ZERO);
+        assert!(!started.contains(&small));
+    }
+
+    #[test]
+    fn node_failure_requeues_the_victim_at_queue_head() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let a = s.submit(spec(8, 1_000), SimTime::ZERO).unwrap();
+        s.schedule(SimTime::ZERO);
+        let _queued = s.submit(spec(1, 10), SimTime::from_secs(1)).unwrap();
+        let victim = s.fail_node("mc-node-07", SimTime::from_secs(10));
+        assert_eq!(victim, Some(a));
+        assert_eq!(s.pending()[0], a);
+        assert_eq!(s.job(a).unwrap().state(), JobState::Pending);
+        assert_eq!(s.job(a).unwrap().requeue_count(), 1);
+        // 7 nodes in service: the 8-node job cannot restart yet.
+        let started = s.schedule(SimTime::from_secs(10));
+        assert!(!started.contains(&a));
+        s.resume_node("mc-node-07");
+        let started = s.schedule(SimTime::from_secs(20));
+        assert!(started.contains(&a));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn oversized_jobs_are_rejected_at_submit() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let err = s.submit(spec(9, 10), SimTime::ZERO).unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::TooLarge {
+                requested: 9,
+                available: 8
+            }
+        );
+    }
+
+    #[test]
+    fn cancel_pending_removes_from_queue() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let _running = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
+        s.schedule(SimTime::ZERO);
+        let waiting = s.submit(spec(1, 10), SimTime::ZERO).unwrap();
+        s.cancel_pending(waiting, SimTime::from_secs(5)).unwrap();
+        assert!(s.pending().is_empty());
+        assert_eq!(s.job(waiting).unwrap().state(), JobState::Cancelled);
+    }
+
+    #[test]
+    fn complete_rejects_wrong_states() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let id = s.submit(spec(1, 10), SimTime::ZERO).unwrap();
+        let err = s.complete(id, SimTime::ZERO, JobState::Completed).unwrap_err();
+        assert!(matches!(err, SchedError::WrongState { .. }));
+        assert!(matches!(
+            s.complete(JobId(999), SimTime::ZERO, JobState::Completed),
+            Err(SchedError::UnknownJob(JobId(999)))
+        ));
+    }
+}

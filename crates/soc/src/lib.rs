@@ -1,0 +1,57 @@
+//! Behavioural model of the SiFive Freedom U740 RISC-V SoC, the compute
+//! heart of the Monte Cimone cluster.
+//!
+//! This crate is the foundation of the Monte Cimone reproduction (Bartolini
+//! et al., *Monte Cimone: Paving the Road for the First Generation of
+//! RISC-V High-Performance Computers*, SOCC 2022). It models the pieces of
+//! the FU740-C000 the paper characterises:
+//!
+//! * [`complex`] — the U74-MC core complex (4 × U74 + S7) and datasheet
+//!   constants;
+//! * [`core`] — the dual-issue in-order pipeline model, calibrated to the
+//!   paper's measured FPU utilisation;
+//! * [`hpm`] — hardware performance counters, including the U-Boot
+//!   enable-patch behaviour;
+//! * [`rails`] / [`power`] — the nine shunt-sensed power rails and the
+//!   per-workload power model calibrated to Table VI;
+//! * [`boot`] — the R1/R2/R3 boot power regions of Fig. 4 and the
+//!   leakage / clock-tree / OS decomposition;
+//! * [`isa`] — RV64GCB extensions, privilege modes and the `medany`
+//!   code-model constraint;
+//! * [`units`] — strongly-typed simulation units shared by the whole
+//!   workspace.
+//!
+//! # Examples
+//!
+//! Reproduce the headline power numbers of the paper:
+//!
+//! ```
+//! use cimone_soc::power::PowerModel;
+//! use cimone_soc::workload::Workload;
+//!
+//! let model = PowerModel::u740();
+//! assert!((model.mean_total(Workload::Idle).as_watts() - 4.810).abs() < 1e-9);
+//! assert!((model.mean_total(Workload::Hpl).as_watts() - 5.935).abs() < 2e-3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod boot;
+pub mod complex;
+pub mod core;
+pub mod cpufreq;
+pub mod hpm;
+pub mod isa;
+pub mod noise;
+pub mod power;
+pub mod rails;
+pub mod units;
+pub mod workload;
+
+pub use complex::{Fu740Spec, U74McComplex};
+pub use cpufreq::{CpuFreq, DvfsScale, OperatingPoint};
+pub use power::PowerModel;
+pub use rails::{Rail, RailPowers};
+pub use units::{Bytes, Celsius, Energy, Frequency, Power, SimDuration, SimTime};
+pub use workload::Workload;

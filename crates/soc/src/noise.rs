@@ -1,0 +1,128 @@
+//! Gaussian measurement-noise generation.
+//!
+//! The HiFive Unmatched board senses rail current through shunt resistors;
+//! real traces (paper Figs. 3–4) show visible sensor jitter. We model that
+//! jitter as zero-mean Gaussian noise generated with the Box–Muller
+//! transform, so the only external dependency is a uniform [`rand`] source.
+
+use rand::Rng;
+
+/// A zero-mean Gaussian noise source with configurable standard deviation.
+///
+/// The generator caches the second Box–Muller variate so consecutive draws
+/// cost one transcendental pair per two samples.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_soc::noise::GaussianNoise;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut noise = GaussianNoise::new(2.0);
+/// let x = noise.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    sigma: f64,
+    spare: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// Creates a noise source with standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "noise sigma must be finite and non-negative, got {sigma}"
+        );
+        GaussianNoise { sigma, spare: None }
+    }
+
+    /// The configured standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one sample from N(0, sigma²).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return 0.0;
+        }
+        if let Some(z) = self.spare.take() {
+            return z * self.sigma;
+        }
+        // Box–Muller: two uniforms -> two independent standard normals.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos() * self.sigma
+    }
+}
+
+/// Draws a single sample from N(`mean`, `sigma`²) without retaining state.
+///
+/// Convenience for call sites that need one noisy value rather than a
+/// stream.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    let mut g = GaussianNoise::new(sigma);
+    mean + g.sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_exactly_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut n = GaussianNoise::new(0.0);
+        for _ in 0..100 {
+            assert_eq!(n.sample(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_statistics_match_configuration() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut n = GaussianNoise::new(3.0);
+        let samples: Vec<f64> = (0..200_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "sigma {} too far from 3", var.sqrt());
+    }
+
+    #[test]
+    fn gaussian_helper_offsets_by_mean() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = gaussian(&mut rng, 100.0, 0.0);
+        assert_eq!(x, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise sigma")]
+    fn negative_sigma_panics() {
+        let _ = GaussianNoise::new(-1.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let mut na = GaussianNoise::new(1.0);
+        let mut nb = GaussianNoise::new(1.0);
+        for _ in 0..32 {
+            assert_eq!(na.sample(&mut a), nb.sample(&mut b));
+        }
+    }
+}

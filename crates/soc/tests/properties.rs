@@ -1,0 +1,171 @@
+//! Property-based tests for units, the pipeline model and the power model.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cimone_soc::core::PipelineModel;
+use cimone_soc::hpm::RetiredWork;
+use cimone_soc::power::PowerModel;
+use cimone_soc::rails::Rail;
+use cimone_soc::units::{Celsius, Power, SimDuration, SimTime};
+use cimone_soc::workload::{InstructionMix, Workload};
+
+/// Class fractions that always sum below 1.
+fn mix_strategy() -> impl Strategy<Value = InstructionMix> {
+    (0.0f64..0.25, 0.0f64..0.25, 0.0f64..0.2, 0.0f64..0.2, 0.0f64..1.0)
+        .prop_map(|(fp, load, store, branch, stall)| {
+            InstructionMix::new(fp, load, store, branch, stall)
+        })
+}
+
+proptest! {
+    #[test]
+    fn sim_time_add_sub_round_trips(base in 0u64..1_000_000_000, delta in 0u64..1_000_000_000) {
+        let t = SimTime::from_micros(base);
+        let d = SimDuration::from_micros(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!(t.saturating_since(t + d), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn energy_is_additive_over_time(watts in 0.0f64..100.0, a in 0u64..10_000, b in 0u64..10_000) {
+        let p = Power::from_watts(watts);
+        let whole = p.energy_over(SimDuration::from_millis(a + b));
+        let split = p.energy_over(SimDuration::from_millis(a))
+            + p.energy_over(SimDuration::from_millis(b));
+        prop_assert!((whole.as_joules() - split.as_joules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_ipc_never_exceeds_issue_width(mix in mix_strategy()) {
+        let pipe = PipelineModel::u74();
+        let ipc = pipe.sustained_ipc(&mix);
+        prop_assert!((0.0..=2.0).contains(&ipc), "ipc {ipc}");
+        prop_assert!(pipe.sustained_ipc(&mix) <= pipe.structural_ipc(&mix) + 1e-12);
+    }
+
+    #[test]
+    fn fpu_utilization_is_a_fraction(mix in mix_strategy()) {
+        let pipe = PipelineModel::u74();
+        let util = pipe.fpu_utilization(&mix);
+        prop_assert!((0.0..=1.0).contains(&util), "util {util}");
+    }
+
+    #[test]
+    fn retired_event_classes_never_exceed_instructions(
+        mix in mix_strategy(),
+        instructions in 0u64..10_000_000,
+        bpi in 0.0f64..8.0,
+    ) {
+        let work = RetiredWork::from_mix(instructions, instructions * 2, &mix, bpi);
+        let class_total: u64 = cimone_soc::hpm::HpmEvent::ALL
+            .iter()
+            .filter(|e| format!("{e}").ends_with("retired"))
+            .map(|e| work.event_count(*e))
+            .sum();
+        // Rounding each class independently can overshoot by a few counts.
+        prop_assert!(class_total <= instructions + 8, "{class_total} > {instructions}");
+    }
+
+    #[test]
+    fn power_samples_are_never_negative(
+        seed in 0u64..10_000,
+        temp in -20.0f64..120.0,
+        workload_index in 0usize..5,
+    ) {
+        let model = PowerModel::u740().with_thermal_leakage(0.012, Celsius::new(36.5));
+        let workload = Workload::ALL[workload_index];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for rail in Rail::ALL {
+            let p = model.sample(rail, workload, Celsius::new(temp), &mut rng);
+            prop_assert!(p.as_milliwatts() >= 0.0, "{rail}: {p}");
+        }
+    }
+
+    #[test]
+    fn hotter_silicon_never_draws_less_mean_power(
+        t_low in 0.0f64..60.0,
+        delta in 0.0f64..60.0,
+    ) {
+        let model = PowerModel::u740().with_thermal_leakage(0.012, Celsius::new(36.5));
+        for rail in Rail::ALL {
+            let cold = model.leakage_at(rail, Celsius::new(t_low));
+            let hot = model.leakage_at(rail, Celsius::new(t_low + delta));
+            prop_assert!(hot >= cold, "{rail}: {hot} < {cold}");
+        }
+    }
+}
+
+mod cpufreq_properties {
+    use super::*;
+    use cimone_soc::boot::{BootRegion, BootSequence};
+    use cimone_soc::cpufreq::CpuFreq;
+    use cimone_soc::power::PowerModel;
+
+    proptest! {
+        /// Any walk over the OPP ladder keeps the scaling laws coherent:
+        /// performance in (0, 1], dynamic <= performance, leakage <= 1.
+        #[test]
+        fn opp_walks_keep_scaling_laws_coherent(steps in prop::collection::vec(any::<bool>(), 0..20)) {
+            let mut cpufreq = CpuFreq::u740();
+            for up in steps {
+                if up {
+                    cpufreq.step_up();
+                } else {
+                    cpufreq.step_down();
+                }
+                let perf = cpufreq.performance_scale();
+                let scale = cpufreq.scale();
+                prop_assert!(perf > 0.0 && perf <= 1.0);
+                prop_assert!(scale.dynamic <= perf + 1e-12, "f·V² <= f below nominal");
+                prop_assert!(scale.leakage <= 1.0 + 1e-12);
+                prop_assert!(scale.dynamic > 0.0 && scale.leakage > 0.0);
+            }
+        }
+
+        /// DVFS never increases the core rail's mean power, for any
+        /// workload, and board power stays positive.
+        #[test]
+        fn throttling_never_raises_core_power(
+            opp in 0usize..5,
+            workload_index in 0usize..5,
+            seed in 0u64..1000,
+        ) {
+            let model = PowerModel::u740();
+            let workload = Workload::ALL[workload_index];
+            let mut cpufreq = CpuFreq::u740();
+            cpufreq.set_index(opp);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let nominal = model.sample_all(workload, Celsius::new(45.0), &mut rng).total();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let scaled = model
+                .sample_all_dvfs(workload, Celsius::new(45.0), cpufreq.scale(), &mut rng)
+                .total();
+            prop_assert!(scaled <= nominal + Power::from_milliwatts(1e-6));
+            prop_assert!(scaled.as_milliwatts() > 0.0);
+        }
+
+        /// Boot regions are a monotone sequence: once the timeline reaches a
+        /// region, earlier regions never reappear.
+        #[test]
+        fn boot_regions_progress_monotonically(step_ms in 1u64..5_000) {
+            let boot = BootSequence::u740_default();
+            let order = |r: BootRegion| match r {
+                BootRegion::Off => 0,
+                BootRegion::R1 => 1,
+                BootRegion::R2 => 2,
+                BootRegion::R3 => 3,
+            };
+            let mut last = 0;
+            let mut t = SimTime::ZERO;
+            for _ in 0..200 {
+                let region = order(boot.region_at(t));
+                prop_assert!(region >= last, "regions regressed at {t}");
+                last = region;
+                t += SimDuration::from_millis(step_ms);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The paper's future-work item (ii) — dynamic power and thermal
+//! management — in action: rerun the Fig. 6 hazardous configuration with a
+//! per-node thermal DVFS governor. Node 7 throttles down the OPP ladder
+//! instead of tripping at 107 °C, and the HPL run completes.
+//!
+//! ```sh
+//! cargo run --release --example dvfs_governor
+//! ```
+
+use monte_cimone::cluster::experiments::dvfs;
+use monte_cimone::soc::cpufreq::CpuFreq;
+
+fn main() {
+    println!("U740 OPP ladder:");
+    for (i, opp) in CpuFreq::u740().opps().iter().enumerate() {
+        println!("  OPP {i}: {opp}");
+    }
+    println!();
+    print!("{}", dvfs::run(2022).render());
+}

@@ -1,0 +1,23 @@
+//! The Fig. 2 scenario as a user program: sweep HPL over 1/2/4/8 nodes
+//! with repetition statistics, then print the paper-style scaling table
+//! and the cross-ISA comparison.
+//!
+//! ```sh
+//! cargo run --example full_machine_hpl
+//! ```
+
+use monte_cimone::cluster::experiments::hpl_scaling;
+use monte_cimone::cluster::perf::HplProblem;
+
+fn main() {
+    let result = hpl_scaling::run(HplProblem::paper(), 10, 2022);
+    print!("{}", result.render());
+
+    let full = result.points.last().expect("four points");
+    println!(
+        "\nThe full machine sustains {:.2} GFLOP/s — {:.0}% of what perfect linear scaling \
+         from a single node would give, bounded by the 1 Gb/s Ethernet.",
+        full.gflops.mean,
+        full.efficiency * 100.0
+    );
+}

@@ -1,0 +1,35 @@
+//! Stand up the full ExaMon pipeline — plugins → broker → collector →
+//! time-series store — run a monitored full-machine HPL, render the Fig. 5
+//! heatmaps, and answer a batch query over the REST-style JSON interface.
+//!
+//! ```sh
+//! cargo run --example monitoring_dashboard
+//! ```
+
+use monte_cimone::cluster::experiments::monitored_hpl;
+use monte_cimone::monitor::query::{evaluate, QueryRequest};
+
+fn main() {
+    let result = monitored_hpl::run(4096, 48, 2022);
+    print!("{}", result.render());
+
+    // The batch-analysis path: the same data over the JSON query API.
+    let request = QueryRequest {
+        filter: "org/unibo/cluster/cimone/node/+/plugin/dstat_pub/chnl/data/temperature.cpu_temp"
+            .to_owned(),
+        from_secs: result.from.as_secs_f64(),
+        to_secs: result.to.as_secs_f64(),
+        bin_secs: Some(10.0),
+        aggregation: None,
+    };
+    println!(
+        "\nREST-style query: {}",
+        serde_json::to_string(&request).expect("serialises")
+    );
+    let response = evaluate(&result.store, &request).expect("valid request");
+    println!("series matched: {}", response.series.len());
+    for series in response.series.iter().take(2) {
+        let last = series.points.last().expect("points in range");
+        println!("  {} -> {} binned points, last = {:.1} °C", series.name, series.points.len(), last.1);
+    }
+}

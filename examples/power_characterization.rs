@@ -1,0 +1,17 @@
+//! The §V-B power study as a user program: Table VI from simulated
+//! shunt-resistor traces, the Fig. 3 per-benchmark traces, and the Fig. 4
+//! boot decomposition.
+//!
+//! ```sh
+//! cargo run --example power_characterization
+//! ```
+
+use monte_cimone::cluster::experiments::{boot_trace, power_table, power_traces};
+
+fn main() {
+    print!("{}", power_table::run(4, 2022).render());
+    println!();
+    print!("{}", power_traces::run(8, 2022).render());
+    println!();
+    print!("{}", boot_trace::run(2022).render());
+}

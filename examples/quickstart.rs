@@ -1,0 +1,53 @@
+//! Quickstart: bring up the cluster, submit a single-node HPL job through
+//! the scheduler, and read the result back from accounting.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use monte_cimone::cluster::engine::{ClusterWorkload, EngineConfig, JobRequest, SimEngine};
+use monte_cimone::cluster::perf::{HplModel, HplProblem};
+use monte_cimone::soc::units::SimDuration;
+
+fn main() {
+    // The machine: 8 × SiFive Freedom U740 nodes, Slurm-like scheduler,
+    // ExaMon-like monitoring, all on one deterministic simulated clock.
+    let mut engine = SimEngine::new(EngineConfig::default());
+
+    // A scaled-down HPL problem so the simulated run stays short.
+    let problem = HplProblem::new(8192, 192);
+    let id = engine
+        .submit(JobRequest {
+            name: "hpl-quickstart".into(),
+            user: "you".into(),
+            nodes: 1,
+            workload: ClusterWorkload::Hpl(problem),
+        })
+        .expect("the job fits the machine");
+
+    println!("submitted {id} — running…");
+    // Peek at the machine the way an operator would.
+    engine.run_for(SimDuration::from_secs(10));
+    println!("\n$ squeue\n{}", monte_cimone::sched::render::squeue(engine.scheduler(), engine.now()));
+    println!("$ sinfo\n{}", monte_cimone::sched::render::sinfo(engine.scheduler()));
+    let drained = engine.run_until_idle(SimDuration::from_secs(3600));
+    assert!(drained, "the job should finish within an hour of simulated time");
+
+    let record = &engine.accounting().records()[0];
+    let model = HplModel::monte_cimone(problem);
+    println!(
+        "{} finished in {} (sustained ≈ {:.2} GFLOP/s, {:.1}% of the 4 GFLOP/s node peak)",
+        record.name,
+        record.elapsed,
+        problem.flops() / record.elapsed.as_secs_f64() / 1e9,
+        model.peak_utilisation(1) * 100.0,
+    );
+    if let Some(energy) = record.energy {
+        println!("energy consumed: {energy}");
+    }
+    println!(
+        "monitoring captured {} series / {} points",
+        engine.store().series_count(),
+        engine.store().point_count()
+    );
+}

@@ -1,0 +1,21 @@
+//! Reproduce the paper's thermal incident: HPL with the lid-on enclosure
+//! drives node 7 past 107 °C; the node trips, Slurm requeues the job,
+//! ExaMon raises the alarms; then the mitigation (lid off, blades spaced)
+//! brings the hot node from ≈71 °C to ≈39 °C.
+//!
+//! ```sh
+//! cargo run --release --example thermal_runaway
+//! ```
+
+use monte_cimone::cluster::experiments::thermal_runaway;
+
+fn main() {
+    let result = thermal_runaway::run(2022);
+    print!("{}", result.render());
+
+    println!("\nnode 7 temperature trajectory (sampled by stats_pub at 0.2 Hz):");
+    for chunk in result.node7_series.chunks(12) {
+        let line: Vec<String> = chunk.iter().map(|(t, v)| format!("{t:.0}s:{v:.0}°C")).collect();
+        println!("  {}", line.join(" "));
+    }
+}

@@ -1,0 +1,166 @@
+//! Failure-injection integration tests: the reproduction must degrade the
+//! way the real machine does — thermal trips requeue jobs, dead broker
+//! subscribers don't wedge publishers, oversized allocations are refused,
+//! and numerics report breakdown instead of fabricating answers.
+
+use monte_cimone::cluster::engine::{
+    ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine,
+};
+use monte_cimone::cluster::perf::HplProblem;
+use monte_cimone::cluster::thermal::AirflowConfig;
+use monte_cimone::kernels::lu::{LuError, LuFactorization};
+use monte_cimone::kernels::matrix::Matrix;
+use monte_cimone::monitor::broker::Broker;
+use monte_cimone::monitor::payload::Payload;
+use monte_cimone::sched::job::JobState;
+use monte_cimone::sched::scheduler::SchedError;
+use monte_cimone::soc::isa::CodeModel;
+use monte_cimone::soc::units::{SimDuration, SimTime};
+use monte_cimone::soc::workload::Workload;
+
+#[test]
+fn thermal_trip_requeues_and_machine_recovers() {
+    let mut engine = SimEngine::new(EngineConfig {
+        airflow: AirflowConfig::LidOnTightStack,
+        dt: SimDuration::from_secs(1),
+        seed: 7,
+        monitoring: false, // keep the test fast; the alarm path is covered elsewhere
+        governor: None,
+    });
+    let id = engine
+        .submit(JobRequest {
+            name: "hpl".into(),
+            user: "ops".into(),
+            nodes: 8,
+            workload: ClusterWorkload::Hpl(HplProblem::paper()),
+        })
+        .expect("fits");
+
+    // Run until the trip.
+    let deadline = engine.now() + SimDuration::from_secs(2500);
+    while engine.now() < deadline
+        && !engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::NodeTripped { .. }))
+    {
+        engine.step();
+    }
+    assert!(
+        engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::JobRequeued { id: victim, .. } if *victim == id)),
+        "the victim job must be requeued"
+    );
+    // 7 nodes in service: the 8-node job cannot restart.
+    assert_eq!(engine.scheduler().job(id).expect("known").state(), JobState::Pending);
+    assert_eq!(engine.scheduler().partition().in_service_count(), 7);
+
+    // Fix the airflow, cool down, return the node: the job restarts.
+    engine.set_airflow(AirflowConfig::LidOffSpaced);
+    engine.run_for(SimDuration::from_secs(600)); // cool-down
+    engine.resume_node(6);
+    engine.run_for(SimDuration::from_secs(30));
+    assert_eq!(engine.scheduler().job(id).expect("known").state(), JobState::Running);
+    assert_eq!(engine.scheduler().job(id).expect("known").requeue_count(), 1);
+}
+
+#[test]
+fn broker_survives_dead_subscribers_mid_burst() {
+    let broker = Broker::new();
+    let keep = broker.subscribe("#".parse().expect("valid"));
+    let dropped = broker.subscribe("#".parse().expect("valid"));
+    drop(dropped);
+    for i in 0..1000u64 {
+        broker.publish(
+            &"burst/metric".parse().expect("valid"),
+            Payload::new(i as f64, SimTime::from_micros(i)),
+        );
+    }
+    assert_eq!(keep.drain().len(), 1000, "surviving subscriber sees everything");
+    assert_eq!(broker.subscription_count(), 1, "dead subscriber pruned");
+}
+
+#[test]
+fn oversized_jobs_are_rejected_not_queued_forever() {
+    let mut engine = SimEngine::new(EngineConfig::default());
+    let err = engine
+        .submit(JobRequest {
+            name: "too-big".into(),
+            user: "ops".into(),
+            nodes: 9,
+            workload: ClusterWorkload::Synthetic {
+                workload: Workload::Hpl,
+                secs: 10,
+            },
+        })
+        .expect_err("nine nodes never fit an eight-node machine");
+    assert!(matches!(err, SchedError::TooLarge { requested: 9, available: 8 }));
+}
+
+#[test]
+fn medany_code_model_rejects_oversized_static_arrays() {
+    // The paper: upstream STREAM's statically-sized arrays cannot exceed
+    // 2 GiB under the RV64 medany code model.
+    let model = CodeModel::Medany;
+    let three_arrays_of_80m_doubles = 3 * 80_000_000 * 8u64; // 1.92 GB: links
+    assert!(model.check_static_allocation(three_arrays_of_80m_doubles).is_ok());
+    let three_arrays_of_1gib = 3 * 1024 * 1024 * 1024u64; // 3 GiB: relocation overflow
+    let err = model
+        .check_static_allocation(three_arrays_of_1gib)
+        .expect_err("past the ±2 GiB window");
+    assert_eq!(err.limit(), 2 * 1024 * 1024 * 1024);
+}
+
+#[test]
+fn singular_systems_report_breakdown() {
+    let mut a = Matrix::zeros(8, 8);
+    // Rank-1 matrix: LU must fail at the second pivot, not return garbage.
+    for i in 0..8 {
+        for j in 0..8 {
+            a[(i, j)] = (i + 1) as f64 * (j + 1) as f64;
+        }
+    }
+    let err = LuFactorization::factor(a, 4).expect_err("rank deficient");
+    assert!(matches!(err, LuError::Singular { column: 1 }));
+}
+
+#[test]
+fn node_failure_mid_stream_job_frees_other_nodes() {
+    let mut engine = SimEngine::new(EngineConfig {
+        monitoring: false,
+        ..EngineConfig::default()
+    });
+    let id = engine
+        .submit(JobRequest {
+            name: "stream".into(),
+            user: "dev".into(),
+            nodes: 2,
+            workload: ClusterWorkload::StreamDdr { secs: 1000 },
+        })
+        .expect("fits");
+    engine.run_for(SimDuration::from_secs(5));
+    assert_eq!(engine.scheduler().job(id).expect("known").state(), JobState::Running);
+
+    // Kill one of the job's nodes: the job is requeued, its second node is
+    // freed, and the partition bookkeeping stays consistent.
+    let victim_host = engine.scheduler().job(id).expect("known").allocated_nodes()[0].clone();
+    let index = victim_host
+        .rsplit('-')
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .expect("hostname parses")
+        - 1;
+    let requeued = engine.inject_node_failure(index);
+    assert_eq!(requeued, Some(id));
+    assert_eq!(engine.scheduler().partition().in_service_count(), 7);
+    assert!(engine.scheduler().check_invariants());
+
+    // With 7 nodes still up, the 2-node job restarts on different nodes.
+    engine.run_for(SimDuration::from_secs(5));
+    let job = engine.scheduler().job(id).expect("known");
+    assert_eq!(job.state(), JobState::Running);
+    assert!(!job.allocated_nodes().contains(&victim_host));
+    assert_eq!(job.requeue_count(), 1);
+}

@@ -1,0 +1,85 @@
+//! The InfiniBand status of the paper (§III): two nodes carry Mellanox
+//! ConnectX-4 FDR HCAs; the device enumerates, the kernel module loads and
+//! `ib_ping` round-trips — between the two boards and to an HPC server —
+//! but RDMA transport is not functional. Plus the "once RDMA works"
+//! scaling expectation (§V-C).
+
+use monte_cimone::cluster::node::ComputeNode;
+use monte_cimone::cluster::perf::{HplModel, HplProblem};
+use monte_cimone::net::ib::{IbCapability, IbError, IbHca};
+use monte_cimone::net::link::LinkModel;
+
+/// Builds the paper's hardware: HCAs in two of the eight nodes.
+fn equipped_cluster() -> Vec<ComputeNode> {
+    (0..8)
+        .map(|i| {
+            let node = ComputeNode::new(i);
+            if i < 2 {
+                node.with_infiniband(IbHca::connect_x4_fdr_on_riscv())
+            } else {
+                node
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn two_nodes_carry_recognised_hcas() {
+    let nodes = equipped_cluster();
+    let equipped: Vec<&ComputeNode> = nodes.iter().filter(|n| n.infiniband().is_some()).collect();
+    assert_eq!(equipped.len(), 2);
+    for node in equipped {
+        let hca = node.infiniband().expect("equipped");
+        assert!(hca.supports(IbCapability::DeviceRecognized));
+        assert!(hca.supports(IbCapability::KernelModuleLoaded));
+        // The HCA wants 8 PCIe lanes; the board exposes exactly 8.
+        assert!(hca.check_slot(node.soc().spec().pcie_lanes).is_ok());
+    }
+}
+
+#[test]
+fn ib_ping_works_between_boards() {
+    let nodes = equipped_cluster();
+    let a = nodes[0].infiniband().expect("equipped");
+    let b = nodes[1].infiniband().expect("equipped");
+    let rtt_ab = a.ping().expect("ping between boards succeeds");
+    let rtt_ba = b.ping().expect("ping back succeeds");
+    assert_eq!(rtt_ab, rtt_ba);
+    assert!(rtt_ab.as_micros() < 10, "IB ping rtt {rtt_ab}");
+}
+
+#[test]
+fn ib_ping_works_to_an_hpc_server() {
+    // "and between a board and an HPC server" — the server side has a
+    // fully supported stack; the RISC-V side still pings fine.
+    let board = IbHca::connect_x4_fdr_on_riscv();
+    let server = IbHca::connect_x4_fdr_fully_supported();
+    assert!(board.ping().is_ok());
+    assert!(server.ping().is_ok());
+}
+
+#[test]
+fn rdma_fails_with_the_papers_diagnosis() {
+    let nodes = equipped_cluster();
+    let hca = nodes[0].infiniband().expect("equipped");
+    let err = hca.rdma_write(1 << 20).expect_err("RDMA must fail");
+    match err {
+        IbError::Unsupported { capability, reason } => {
+            assert_eq!(capability, IbCapability::RdmaTransport);
+            assert!(reason.contains("kernel driver"), "reason: {reason}");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn working_rdma_would_lift_the_scaling_curve() {
+    // §V-C: "We can expect to achieve higher performance once the RDMA
+    // will be supported over infiniband."
+    let gbe = HplModel::monte_cimone(HplProblem::paper());
+    let ib = HplModel::monte_cimone(HplProblem::paper())
+        .with_link(LinkModel::infiniband_fdr(), 1.5);
+    assert!(ib.efficiency_vs_linear(8) > 0.97);
+    assert!(gbe.efficiency_vs_linear(8) < 0.88);
+    assert!(ib.gflops(8) > 14.0, "IB full machine {}", ib.gflops(8));
+}

@@ -1,0 +1,80 @@
+//! Integration: the production login flow the paper's cluster supports —
+//! authenticate against LDAP, land in an NFS home directory, run a job
+//! through the scheduler, and write results back to the shared filesystem.
+
+use monte_cimone::cluster::engine::{ClusterWorkload, EngineConfig, JobRequest, SimEngine};
+use monte_cimone::cluster::perf::HplProblem;
+use monte_cimone::cluster::services::ldap::{LdapDirectory, LdapError};
+use monte_cimone::cluster::services::nfs::{NfsError, NfsServer};
+use monte_cimone::soc::units::SimDuration;
+
+#[test]
+fn login_run_and_store_results() {
+    // 1. The user authenticates against the LDAP directory.
+    let directory = LdapDirectory::monte_cimone();
+    let account = directory.bind("alice", "alice-pw").expect("correct password");
+    assert_eq!(account.home, "/home/alice");
+
+    // 2. Her home directory lives on the NFS export every node mounts.
+    let mut nfs = NfsServer::monte_cimone();
+    let mount = nfs.mount("/home", "mc-node-01").expect("exported");
+    nfs.create(&mount, "/home/alice/hpl.out", account.uid, false)
+        .expect("fresh file");
+
+    // 3. The job runs through the scheduler on the simulated machine.
+    let mut engine = SimEngine::new(EngineConfig::default());
+    engine
+        .submit(JobRequest {
+            name: "hpl".into(),
+            user: account.username.clone(),
+            nodes: 4,
+            workload: ClusterWorkload::Hpl(HplProblem::new(4096, 192)),
+        })
+        .expect("fits the machine");
+    assert!(engine.run_until_idle(SimDuration::from_secs(600)));
+    let record = &engine.accounting().records()[0];
+
+    // 4. Results are written back to the shared home.
+    let report = format!(
+        "user={} nodes={} elapsed={} energy={:?}",
+        record.user,
+        record.nodes.len(),
+        record.elapsed,
+        record.energy
+    );
+    nfs.write(&mount, "/home/alice/hpl.out", account.uid, report.as_bytes())
+        .expect("owner writes");
+    let (stored, _) = nfs.read(&mount, "/home/alice/hpl.out", account.uid).expect("readable");
+    assert!(String::from_utf8(stored).unwrap().contains("user=alice nodes=4"));
+}
+
+#[test]
+fn wrong_credentials_never_reach_the_machine() {
+    let directory = LdapDirectory::monte_cimone();
+    let err = directory.bind("alice", "guess").expect_err("must fail");
+    assert_eq!(err, LdapError::InvalidCredentials);
+}
+
+#[test]
+fn other_users_cannot_clobber_results() {
+    let directory = LdapDirectory::monte_cimone();
+    let alice = directory.account("alice").expect("exists").uid;
+    let bench = directory.account("bench").expect("exists").uid;
+    let mut nfs = NfsServer::monte_cimone();
+    let mount = nfs.mount("/home", "mc-node-03").expect("exported");
+    nfs.create(&mount, "/home/alice/private.dat", alice, false).expect("fresh");
+    let err = nfs
+        .write(&mount, "/home/alice/private.dat", bench, b"overwrite!")
+        .expect_err("must be denied");
+    assert!(matches!(err, NfsError::PermissionDenied { .. }));
+}
+
+#[test]
+fn every_node_can_mount_the_shared_exports() {
+    let nfs = NfsServer::monte_cimone();
+    for i in 1..=8 {
+        let host = format!("mc-node-{i:02}");
+        assert!(nfs.mount("/home", &host).is_ok());
+        assert!(nfs.mount("/opt/cimone", &host).is_ok(), "the Spack tree is shared");
+    }
+}
