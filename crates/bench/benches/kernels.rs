@@ -20,9 +20,7 @@ fn bench_dgemm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let a = Matrix::random(n, n, &mut rng);
     let b = Matrix::random(n, n, &mut rng);
-    group.throughput(Throughput::Elements(
-        dgemm::flops(n, n, n) as u64,
-    ));
+    group.throughput(Throughput::Elements(dgemm::flops(n, n, n) as u64));
     group.bench_function("naive_128", |bench| {
         bench.iter(|| {
             let mut out = Matrix::zeros(n, n);
@@ -31,13 +29,17 @@ fn bench_dgemm(c: &mut Criterion) {
         })
     });
     for block in [16usize, 32, 64, 128] {
-        group.bench_with_input(BenchmarkId::new("blocked_128", block), &block, |bench, &blk| {
-            bench.iter(|| {
-                let mut out = Matrix::zeros(n, n);
-                dgemm::blocked(1.0, &a, &b, 0.0, &mut out, blk);
-                out
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("blocked_128", block),
+            &block,
+            |bench, &blk| {
+                bench.iter(|| {
+                    let mut out = Matrix::zeros(n, n);
+                    dgemm::blocked(1.0, &a, &b, 0.0, &mut out, blk);
+                    out
+                })
+            },
+        );
     }
     group.finish();
 }

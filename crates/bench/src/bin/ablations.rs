@@ -21,7 +21,10 @@ use cimone_soc::workload::Workload;
 
 fn prefetcher_sweep() {
     println!("== Ablation 1: prefetcher effectiveness vs STREAM DDR bandwidth ==");
-    println!("{:>13} | {:>12} | {:>10}", "effectiveness", "triad [MB/s]", "of peak");
+    println!(
+        "{:>13} | {:>12} | {:>10}",
+        "effectiveness", "triad [MB/s]", "of peak"
+    );
     for step in 0..=10 {
         let e = step as f64 / 10.0;
         let model = StreamBandwidthModel::monte_cimone()
@@ -39,22 +42,28 @@ fn prefetcher_sweep() {
 fn interconnect_sweep() {
     println!("== Ablation 2: interconnect vs HPL scaling (N=40704, NB=192) ==");
     let gbe = HplModel::monte_cimone(HplProblem::paper());
-    let ib = HplModel::monte_cimone(HplProblem::paper())
-        .with_link(LinkModel::infiniband_fdr(), 1.5);
+    let ib =
+        HplModel::monte_cimone(HplProblem::paper()).with_link(LinkModel::infiniband_fdr(), 1.5);
     println!(
         "{:>5} | {:>14} | {:>14} | {:>8}",
         "nodes", "GbE [GFLOP/s]", "IB  [GFLOP/s]", "IB gain"
     );
     for nodes in [1usize, 2, 4, 8] {
         let (a, b) = (gbe.gflops(nodes), ib.gflops(nodes));
-        println!("{nodes:>5} | {a:>14.2} | {b:>14.2} | {:>7.1}%", (b / a - 1.0) * 100.0);
+        println!(
+            "{nodes:>5} | {a:>14.2} | {b:>14.2} | {:>7.1}%",
+            (b / a - 1.0) * 100.0
+        );
     }
     println!();
 }
 
 fn block_size_sweep() {
     println!("== Ablation 3: HPL block size NB vs modelled performance (8 nodes) ==");
-    println!("{:>5} | {:>9} | {:>13} | {:>10}", "NB", "panels", "GFLOP/s", "comm frac");
+    println!(
+        "{:>5} | {:>9} | {:>13} | {:>10}",
+        "NB", "panels", "GFLOP/s", "comm frac"
+    );
     for nb in [32usize, 64, 96, 128, 192, 256] {
         let model = HplModel::monte_cimone(HplProblem::new(40704, nb));
         println!(
@@ -85,7 +94,10 @@ fn airflow_matrix() {
             if trips.is_empty() {
                 "(no trips)".to_owned()
             } else {
-                format!("(TRIPPED: {:?})", trips.iter().map(|i| i + 1).collect::<Vec<_>>())
+                format!(
+                    "(TRIPPED: {:?})",
+                    trips.iter().map(|i| i + 1).collect::<Vec<_>>()
+                )
             }
         );
     }

@@ -91,8 +91,15 @@ mod tests {
     fn table3_covers_all_groups() {
         let text = render_table3();
         for group in [
-            "[Load]", "[I/O]", "[Processes]", "[Memory]", "[Disk]", "[System]", "[CPU]",
-            "[Network]", "[Temperatures]",
+            "[Load]",
+            "[I/O]",
+            "[Processes]",
+            "[Memory]",
+            "[Disk]",
+            "[System]",
+            "[CPU]",
+            "[Network]",
+            "[Temperatures]",
         ] {
             assert!(text.contains(group), "missing {group}");
         }

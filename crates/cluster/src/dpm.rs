@@ -124,7 +124,9 @@ mod tests {
             history.push(cpufreq.current_index());
         }
         // Settles: the last ten decisions do not change the OPP.
-        let settled = history[history.len() - 10..].windows(2).all(|w| w[0] == w[1]);
+        let settled = history[history.len() - 10..]
+            .windows(2)
+            .all(|w| w[0] == w[1]);
         assert!(settled, "OPP history {history:?}");
     }
 

@@ -26,6 +26,7 @@ use cimone_soc::units::{Celsius, Energy, Power, SimDuration, SimTime};
 use cimone_soc::workload::Workload;
 
 use crate::dpm::{GovernorAction, ThermalGovernor};
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::node::{ComputeNode, NodeConditions};
 use crate::perf::{HplModel, HplProblem, LaxModel};
 use crate::thermal::{AirflowConfig, ThermalModel};
@@ -132,6 +133,27 @@ pub enum EngineEvent {
         /// When.
         at: SimTime,
     },
+    /// A planned fault fired.
+    FaultInjected {
+        /// When.
+        at: SimTime,
+        /// The fault.
+        kind: FaultKind,
+    },
+    /// A node returned to service after an outage.
+    NodeRecovered {
+        /// Node index.
+        node: usize,
+        /// When.
+        at: SimTime,
+    },
+    /// A job exhausted its retry budget and was abandoned.
+    JobLost {
+        /// The job.
+        id: JobId,
+        /// When.
+        at: SimTime,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -182,7 +204,8 @@ pub struct SimEngine {
     workloads: HashMap<JobId, ClusterWorkload>,
     accounting: AccountingLog,
     broker: Broker,
-    collector: Collector,
+    /// `None` while the ingestion subscriber is disconnected by a fault.
+    collector: Option<Collector>,
     store: TimeSeriesStore,
     pmu: Vec<PluginRunner<PmuPlugin>>,
     stats: Vec<PluginRunner<StatsPlugin>>,
@@ -190,6 +213,24 @@ pub struct SimEngine {
     events: Vec<EngineEvent>,
     now: SimTime,
     rng: StdRng,
+    // Fault-injection state: the plan queue plus every active span effect.
+    fault_queue: Vec<FaultEvent>,
+    next_fault: usize,
+    sensor_dropout_until: Vec<SimTime>,
+    sensor_stuck_until: Vec<SimTime>,
+    /// Last published power per node, for stuck-at sensor faults.
+    last_power: Vec<Option<f64>>,
+    broker_loss_until: Option<SimTime>,
+    collector_offline_until: Option<SimTime>,
+    degrade_factor: f64,
+    degrade_until: Option<SimTime>,
+    partitioned: Option<(usize, usize)>,
+    partition_until: Option<SimTime>,
+    nfs_stall_until: Option<SimTime>,
+    // Outage bookkeeping for MTTF/MTTR.
+    node_down_since: Vec<Option<SimTime>>,
+    node_downtime: Vec<SimDuration>,
+    failures: usize,
 }
 
 impl SimEngine {
@@ -214,6 +255,7 @@ impl SimEngine {
         let stats = (0..nodes.len())
             .map(|_| PluginRunner::new(StatsPlugin::new(schema.clone())))
             .collect();
+        let n = nodes.len();
         SimEngine {
             config,
             nodes,
@@ -224,7 +266,7 @@ impl SimEngine {
             workloads: HashMap::new(),
             accounting: AccountingLog::new(),
             broker,
-            collector,
+            collector: Some(collector),
             store: TimeSeriesStore::new(),
             pmu,
             stats,
@@ -232,7 +274,37 @@ impl SimEngine {
             events: Vec::new(),
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(config.seed),
+            fault_queue: Vec::new(),
+            next_fault: 0,
+            sensor_dropout_until: vec![SimTime::ZERO; n],
+            sensor_stuck_until: vec![SimTime::ZERO; n],
+            last_power: vec![None; n],
+            broker_loss_until: None,
+            collector_offline_until: None,
+            degrade_factor: 1.0,
+            degrade_until: None,
+            partitioned: None,
+            partition_until: None,
+            nfs_stall_until: None,
+            node_down_since: vec![None; n],
+            node_downtime: vec![SimDuration::ZERO; n],
+            failures: 0,
         }
+    }
+
+    /// Installs a fault schedule; events fire as the clock reaches them.
+    /// Replaces any previously installed plan (already-fired events are
+    /// not replayed).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// In-place form of [`SimEngine::with_fault_plan`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_queue = plan.into_events();
+        self.next_fault = 0;
     }
 
     /// Replaces the scheduling policy (must be called before any
@@ -303,22 +375,34 @@ impl SimEngine {
 
     /// Operator-style failure injection: takes a node out of service as a
     /// hardware fault would, requeueing any job running on it. Returns the
-    /// requeued job, if any.
+    /// requeued job, if any. This is the immediate form of scheduling a
+    /// [`FaultKind::NodeCrash`] at the current time.
     pub fn inject_node_failure(&mut self, node_index: usize) -> Option<JobId> {
-        let hostname = self.nodes[node_index].hostname().to_owned();
-        let victim = self.scheduler.fail_node(&hostname, self.now);
-        if let Some(id) = victim {
-            self.running.remove(&id);
-            self.events.push(EngineEvent::JobRequeued { id, at: self.now });
-        }
-        victim
+        self.apply_fault(FaultKind::NodeCrash { node: node_index })
     }
 
-    /// Returns a tripped node to service after it cooled down.
+    /// Returns a tripped or crashed node to service after repair.
     pub fn resume_node(&mut self, node_index: usize) {
-        self.thermal.clear_trip(node_index);
-        let hostname = self.nodes[node_index].hostname().to_owned();
-        self.scheduler.resume_node(&hostname);
+        self.node_recovered(node_index);
+    }
+
+    /// Accumulated outage time of one node, including any outage still
+    /// open at the current time.
+    pub fn node_downtime(&self, node_index: usize) -> SimDuration {
+        let open = self.node_down_since[node_index]
+            .map(|since| self.now.saturating_since(since))
+            .unwrap_or(SimDuration::ZERO);
+        self.node_downtime[node_index] + open
+    }
+
+    /// Total node-outage time across the machine (node-seconds down).
+    pub fn total_downtime(&self) -> SimDuration {
+        (0..self.nodes.len()).map(|i| self.node_downtime(i)).sum()
+    }
+
+    /// Node outages observed so far (trips, crashes, injected failures).
+    pub fn failure_count(&self) -> usize {
+        self.failures
     }
 
     /// Submits a job.
@@ -373,25 +457,51 @@ impl SimEngine {
     pub fn step(&mut self) {
         let dt = self.config.dt;
 
+        // 0. Fire any faults the clock has reached, expire span effects.
+        self.apply_due_faults();
+
         // 1. Start whatever the scheduler releases.
         for id in self.scheduler.schedule(self.now) {
             self.start_job(id);
         }
 
         // 2. Advance job progress (gated by the slowest allocated node's
-        //    DVFS state — HPL is bulk-synchronous) and complete finished
-        //    jobs.
+        //    DVFS state — HPL is bulk-synchronous — and by any active
+        //    filesystem / interconnect fault) and complete finished jobs.
         let speeds: Vec<f64> = self
             .nodes
             .iter()
             .map(|n| n.cpufreq().performance_scale())
             .collect();
+        let nfs_stalled = self.nfs_stall_until.is_some_and(|t| self.now < t);
+        let degrade = match self.degrade_until {
+            Some(t) if self.now < t => self.degrade_factor,
+            _ => 1.0,
+        };
+        let partitioned = match self.partition_until {
+            Some(t) if self.now < t => self.partitioned,
+            _ => None,
+        };
         for job in self.running.values_mut() {
-            let speed = job
+            let mut speed = job
                 .node_indices
                 .iter()
                 .map(|&i| speeds[i])
                 .fold(1.0f64, f64::min);
+            if nfs_stalled {
+                // I/O blocks cluster-wide: no job makes progress.
+                speed = 0.0;
+            }
+            if let Some((a, b)) = partitioned {
+                // A bulk-synchronous job spanning the cut stalls outright.
+                if job.node_indices.contains(&a) && job.node_indices.contains(&b) {
+                    speed = 0.0;
+                }
+            }
+            if degrade > 1.0 && job.node_indices.len() > 1 {
+                // Communication phases take `degrade`× longer.
+                speed /= 1.0 + job.comm_fraction * (degrade - 1.0);
+            }
             job.progress += dt.as_secs_f64() / job.duration.as_secs_f64() * speed;
         }
         let finished: Vec<JobId> = self
@@ -434,13 +544,25 @@ impl SimEngine {
             let workload = self.nodes[i].effective_power_workload();
             let temp = self.thermal.temperature(i);
             let scale = self.nodes[i].cpufreq().scale();
-            let sample = self.power.sample_all_dvfs(workload, temp, scale, &mut self.rng);
+            let sample = self
+                .power
+                .sample_all_dvfs(workload, temp, scale, &mut self.rng);
             let total = sample.total();
             node_power.push(total);
             if self.config.monitoring {
-                let topic = self.power_topic(i);
-                self.broker
-                    .publish(&topic, Payload::new(total.as_watts(), self.now));
+                let dropped_out = self.now < self.sensor_dropout_until[i];
+                let stuck = self.now < self.sensor_stuck_until[i];
+                if !dropped_out {
+                    let watts = match (stuck, self.last_power[i]) {
+                        (true, Some(frozen)) => frozen,
+                        _ => total.as_watts(),
+                    };
+                    let topic = self.power_topic(i);
+                    self.broker.publish(&topic, Payload::new(watts, self.now));
+                    if !stuck {
+                        self.last_power[i] = Some(total.as_watts());
+                    }
+                }
             }
         }
         for job in self.running.values_mut() {
@@ -481,11 +603,16 @@ impl SimEngine {
         // 6. Monitoring plugins and ingestion.
         if self.config.monitoring {
             for i in 0..self.nodes.len() {
+                if self.now < self.sensor_dropout_until[i] {
+                    continue; // the node's telemetry is silent
+                }
                 let snapshot = self.nodes[i].snapshot(self.now);
                 self.pmu[i].maybe_sample(self.now, &snapshot, &self.broker);
                 self.stats[i].maybe_sample(self.now, &snapshot, &self.broker);
             }
-            self.collector.pump(&mut self.store);
+            if let Some(collector) = &mut self.collector {
+                collector.pump(&mut self.store);
+            }
         }
 
         self.now += dt;
@@ -615,8 +742,7 @@ impl SimEngine {
             // Communication burst at the head of each panel cycle.
             let in_cycle = elapsed.as_micros() % job.panel_cycle.as_micros().max(1);
             let communicating = job.node_indices.len() > 1
-                && (in_cycle as f64)
-                    < job.comm_fraction * job.panel_cycle.as_micros() as f64;
+                && (in_cycle as f64) < job.comm_fraction * job.panel_cycle.as_micros() as f64;
             let net = if communicating { 60.0e6 } else { 0.2e6 };
             for &i in &job.node_indices {
                 conditions[i] = NodeConditions {
@@ -642,7 +768,8 @@ impl SimEngine {
         if let Some(record) = JobRecord::from_job(self.scheduler.job(id).expect("job exists")) {
             self.accounting.record(record.with_energy(job.energy));
         }
-        self.events.push(EngineEvent::JobCompleted { id, at: self.now });
+        self.events
+            .push(EngineEvent::JobCompleted { id, at: self.now });
     }
 
     fn handle_trip(&mut self, node_index: usize) {
@@ -652,11 +779,117 @@ impl SimEngine {
             at: self.now,
             temperature,
         });
+        self.node_failed(node_index);
+    }
+
+    /// Fires every planned fault the clock has reached and winds down
+    /// span effects whose window has closed.
+    fn apply_due_faults(&mut self) {
+        while self.next_fault < self.fault_queue.len()
+            && self.fault_queue[self.next_fault].at <= self.now
+        {
+            let kind = self.fault_queue[self.next_fault].kind.clone();
+            self.next_fault += 1;
+            self.apply_fault(kind);
+        }
+        if self.broker_loss_until.is_some_and(|t| self.now >= t) {
+            self.broker.set_loss(0.0, 0);
+            self.broker_loss_until = None;
+        }
+        if self.collector_offline_until.is_some_and(|t| self.now >= t) {
+            // Reconnect ingestion; everything published meanwhile is gone.
+            self.collector = Some(Collector::attach(
+                &self.broker,
+                "#".parse().expect("valid filter"),
+            ));
+            self.collector_offline_until = None;
+        }
+    }
+
+    /// Applies one fault right now. Returns the victim job for node
+    /// crashes (requeued or lost), `None` otherwise.
+    fn apply_fault(&mut self, kind: FaultKind) -> Option<JobId> {
+        self.events.push(EngineEvent::FaultInjected {
+            at: self.now,
+            kind: kind.clone(),
+        });
+        match kind {
+            FaultKind::NodeCrash { node } => return self.node_failed(node),
+            FaultKind::NodeRecover { node } => self.node_recovered(node),
+            FaultKind::SensorDropout { node, span } => {
+                self.sensor_dropout_until[node] = self.now + span;
+            }
+            FaultKind::SensorStuck { node, span } => {
+                self.sensor_stuck_until[node] = self.now + span;
+            }
+            FaultKind::BrokerMessageLoss { rate, span } => {
+                // Seeded off the engine seed so runs stay reproducible.
+                self.broker.set_loss(rate, self.config.seed ^ 0x6c6f_7373);
+                self.broker_loss_until = Some(self.now + span);
+            }
+            FaultKind::SubscriberDisconnect { span } => {
+                // Dropping the collector closes its subscription; the
+                // broker prunes it and accounts the missed messages.
+                self.collector = None;
+                self.collector_offline_until = Some(self.now + span);
+            }
+            FaultKind::LinkDegrade { factor, span } => {
+                self.degrade_factor = factor.max(1.0);
+                self.degrade_until = Some(self.now + span);
+            }
+            FaultKind::Partition { a, b, span } => {
+                self.partitioned = Some((a.min(b), a.max(b)));
+                self.partition_until = Some(self.now + span);
+            }
+            FaultKind::NfsStall { span } => {
+                self.nfs_stall_until = Some(self.now + span);
+            }
+            FaultKind::SpuriousThermalTrip { node } => self.handle_trip(node),
+        }
+        None
+    }
+
+    /// The uniform node-outage path: scheduler bookkeeping, victim-job
+    /// disposition (requeue vs lost), outage clock, accounting.
+    fn node_failed(&mut self, node_index: usize) -> Option<JobId> {
         let hostname = self.nodes[node_index].hostname().to_owned();
-        if let Some(victim) = self.scheduler.fail_node(&hostname, self.now) {
-            self.running.remove(&victim);
-            self.events.push(EngineEvent::JobRequeued {
-                id: victim,
+        let victim = self.scheduler.fail_node(&hostname, self.now);
+        if self.node_down_since[node_index].is_none() {
+            self.node_down_since[node_index] = Some(self.now);
+            self.failures += 1;
+        }
+        if let Some(id) = victim {
+            let run = self.running.remove(&id);
+            let job = self.scheduler.job(id).expect("victim job exists");
+            if job.state() == JobState::Failed {
+                // Retry budget exhausted: the job is gone for good.
+                if let Some(record) = JobRecord::from_job(job) {
+                    let record = match run {
+                        Some(r) => record.with_energy(r.energy),
+                        None => record,
+                    };
+                    self.accounting.record(record);
+                }
+                self.events.push(EngineEvent::JobLost { id, at: self.now });
+            } else {
+                self.events
+                    .push(EngineEvent::JobRequeued { id, at: self.now });
+            }
+        }
+        self.accounting.record_events(self.scheduler.take_events());
+        victim
+    }
+
+    /// The uniform recovery path: clears any thermal trip latch, returns
+    /// the node to the scheduler, closes the outage interval.
+    fn node_recovered(&mut self, node_index: usize) {
+        self.thermal.clear_trip(node_index);
+        let hostname = self.nodes[node_index].hostname().to_owned();
+        self.scheduler.resume_node(&hostname);
+        if let Some(since) = self.node_down_since[node_index].take() {
+            self.node_downtime[node_index] += self.now.saturating_since(since);
+            self.events.push(EngineEvent::NodeRecovered {
+                node: node_index,
                 at: self.now,
             });
         }
@@ -827,19 +1060,243 @@ mod tests {
         engine.submit(synthetic(8, 3000)).unwrap();
         engine.run_for(SimDuration::from_secs(2000));
         // Node 7 (worst airflow) must have been throttled below nominal...
-        assert!(!engine.node_cpufreq(6).is_nominal(), "node 7 should throttle");
+        assert!(
+            !engine.node_cpufreq(6).is_nominal(),
+            "node 7 should throttle"
+        );
         // ...and never tripped.
         assert!(!engine
             .events()
             .iter()
             .any(|e| matches!(e, EngineEvent::NodeTripped { .. })));
         // An edge node stays at (or recovers to) nominal.
-        assert!(engine.node_cpufreq(0).is_nominal(), "edge node should stay nominal");
+        assert!(
+            engine.node_cpufreq(0).is_nominal(),
+            "edge node should stay nominal"
+        );
     }
 
     #[test]
     fn hostname_index_round_trips() {
         assert_eq!(hostname_index("mc-node-01"), 0);
         assert_eq!(hostname_index("mc-node-08"), 7);
+    }
+
+    fn power_series(node: usize) -> String {
+        format!(
+            "org/unibo/cluster/cimone/node/mc-node-0{}/plugin/pwr_pub/chnl/data/total_power",
+            node + 1
+        )
+    }
+
+    #[test]
+    fn planned_crash_and_recovery_drive_the_outage_clock() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(
+            FaultPlan::new()
+                .with(SimTime::from_secs(10), FaultKind::NodeCrash { node: 3 })
+                .with(SimTime::from_secs(70), FaultKind::NodeRecover { node: 3 }),
+        );
+        engine.run_for(SimDuration::from_secs(100));
+        assert_eq!(engine.failure_count(), 1);
+        assert_eq!(engine.node_downtime(3), SimDuration::from_secs(60));
+        assert_eq!(engine.total_downtime(), SimDuration::from_secs(60));
+        assert!(engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::NodeRecovered { node: 3, .. })));
+        assert_eq!(engine.scheduler().partition().in_service_count(), 8);
+    }
+
+    #[test]
+    fn sensor_dropout_silences_one_node_and_stuck_at_freezes_it() {
+        let mut engine = SimEngine::new(EngineConfig {
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(
+            FaultPlan::new()
+                .with(
+                    SimTime::from_secs(10),
+                    FaultKind::SensorDropout {
+                        node: 0,
+                        span: SimDuration::from_secs(20),
+                    },
+                )
+                .with(
+                    SimTime::from_secs(10),
+                    FaultKind::SensorStuck {
+                        node: 1,
+                        span: SimDuration::from_secs(20),
+                    },
+                ),
+        );
+        engine.run_for(SimDuration::from_secs(40));
+        // Node 1 published nothing inside the dropout window...
+        let dropped = engine.store().query(
+            &power_series(0),
+            SimTime::from_secs(10),
+            SimTime::from_secs(30),
+        );
+        assert!(dropped.is_empty(), "published {} samples", dropped.len());
+        // ...while a healthy node kept its cadence.
+        let healthy = engine.store().query(
+            &power_series(2),
+            SimTime::from_secs(10),
+            SimTime::from_secs(30),
+        );
+        assert_eq!(healthy.len(), 20);
+        // The stuck sensor kept publishing one frozen value.
+        let stuck = engine.store().query(
+            &power_series(1),
+            SimTime::from_secs(10),
+            SimTime::from_secs(30),
+        );
+        assert_eq!(stuck.len(), 20);
+        assert!(
+            stuck.windows(2).all(|w| w[0].1 == w[1].1),
+            "value must freeze"
+        );
+        // Both recover after the span.
+        let after = engine.store().query(
+            &power_series(0),
+            SimTime::from_secs(30),
+            SimTime::from_secs(40),
+        );
+        assert_eq!(after.len(), 10);
+    }
+
+    #[test]
+    fn subscriber_disconnect_loses_the_window_but_ingestion_recovers() {
+        let mut engine = SimEngine::new(EngineConfig {
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(FaultPlan::new().with(
+            SimTime::from_secs(10),
+            FaultKind::SubscriberDisconnect {
+                span: SimDuration::from_secs(15),
+            },
+        ));
+        engine.run_for(SimDuration::from_secs(40));
+        let series = power_series(4);
+        let during = engine
+            .store()
+            .query(&series, SimTime::from_secs(10), SimTime::from_secs(25));
+        assert!(during.is_empty(), "disconnected window must be lost");
+        let after = engine
+            .store()
+            .query(&series, SimTime::from_secs(25), SimTime::from_secs(40));
+        assert_eq!(after.len(), 15, "ingestion must recover");
+    }
+
+    #[test]
+    fn nfs_stall_freezes_job_progress() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(FaultPlan::new().with(
+            SimTime::from_secs(5),
+            FaultKind::NfsStall {
+                span: SimDuration::from_secs(30),
+            },
+        ));
+        let id = engine.submit(synthetic(1, 20)).unwrap();
+        // 20 s of work + 30 s stalled: still running at t=45, done by t=60.
+        engine.run_for(SimDuration::from_secs(45));
+        assert_eq!(
+            engine.scheduler().job(id).unwrap().state(),
+            JobState::Running
+        );
+        assert!(engine.run_until_idle(SimDuration::from_secs(30)));
+        let elapsed = engine.scheduler().job(id).unwrap().elapsed().unwrap();
+        assert!(elapsed >= SimDuration::from_secs(49), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn partition_stalls_only_jobs_spanning_the_cut() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(FaultPlan::new().with(
+            SimTime::from_secs(5),
+            FaultKind::Partition {
+                a: 0,
+                b: 1,
+                span: SimDuration::from_secs(100),
+            },
+        ));
+        // First submission takes nodes 1+2 (the cut), second takes 3+4.
+        let cut = engine.submit(synthetic(2, 20)).unwrap();
+        let clear = engine.submit(synthetic(2, 20)).unwrap();
+        engine.run_for(SimDuration::from_secs(40));
+        assert_eq!(
+            engine.scheduler().job(clear).unwrap().state(),
+            JobState::Completed
+        );
+        assert_eq!(
+            engine.scheduler().job(cut).unwrap().state(),
+            JobState::Running
+        );
+    }
+
+    #[test]
+    fn spurious_trip_requeues_like_a_real_one() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(FaultPlan::new().with(
+            SimTime::from_secs(5),
+            FaultKind::SpuriousThermalTrip { node: 0 },
+        ));
+        let id = engine.submit(synthetic(8, 30)).unwrap();
+        engine.run_for(SimDuration::from_secs(10));
+        assert!(engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::NodeTripped { node: 0, .. })));
+        assert!(engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::JobRequeued { id: v, .. } if *v == id)));
+        assert_eq!(engine.failure_count(), 1);
+    }
+
+    #[test]
+    fn identical_plans_and_seeds_replay_identical_event_streams() {
+        let campaign = || {
+            let plan = FaultPlan::random_crashes(
+                11,
+                8,
+                SimDuration::from_secs(600),
+                30.0,
+                SimDuration::from_secs(45),
+            );
+            let mut engine = SimEngine::new(EngineConfig {
+                monitoring: false,
+                dt: SimDuration::from_secs(1),
+                ..EngineConfig::default()
+            })
+            .with_fault_plan(plan);
+            engine.submit(synthetic(4, 120)).unwrap();
+            engine.submit(synthetic(4, 120)).unwrap();
+            engine.run_for(SimDuration::from_secs(600));
+            (engine.events().to_vec(), engine.total_downtime())
+        };
+        let (events_a, down_a) = campaign();
+        let (events_b, down_b) = campaign();
+        assert!(!events_a.is_empty());
+        assert_eq!(events_a, events_b);
+        assert_eq!(down_a, down_b);
     }
 }

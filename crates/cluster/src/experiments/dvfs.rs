@@ -72,9 +72,9 @@ pub fn run(seed: u64) -> DvfsResult {
     while baseline.now() < deadline && trip.is_none() {
         baseline.step();
         trip = baseline.events().iter().find_map(|e| match e {
-            EngineEvent::NodeTripped { at, temperature, .. } => {
-                Some((*at, temperature.as_f64()))
-            }
+            EngineEvent::NodeTripped {
+                at, temperature, ..
+            } => Some((*at, temperature.as_f64())),
             _ => None,
         });
     }
@@ -103,10 +103,12 @@ pub fn run(seed: u64) -> DvfsResult {
         }
     }
     let governed_completed_cleanly = governed.accounting().len() == 1
-        && !governed
-            .events()
-            .iter()
-            .any(|e| matches!(e, EngineEvent::NodeTripped { .. } | EngineEvent::JobRequeued { .. }));
+        && !governed.events().iter().any(|e| {
+            matches!(
+                e,
+                EngineEvent::NodeTripped { .. } | EngineEvent::JobRequeued { .. }
+            )
+        });
     let governed_elapsed = governed
         .accounting()
         .records()
@@ -179,12 +181,15 @@ mod tests {
             result.governed_max_temp
         );
         // Node 7 really was throttled.
-        assert!(result.governed_min_opp < 4, "opp {}", result.governed_min_opp);
+        assert!(
+            result.governed_min_opp < 4,
+            "opp {}",
+            result.governed_min_opp
+        );
         // Throttling costs time: slower than healthy, but the job finishes.
         assert!(result.governed_elapsed > result.healthy_elapsed);
         assert!(
-            result.governed_elapsed.as_secs_f64()
-                < result.healthy_elapsed.as_secs_f64() * 4.0,
+            result.governed_elapsed.as_secs_f64() < result.healthy_elapsed.as_secs_f64() * 4.0,
             "governed run unreasonably slow: {}",
             result.governed_elapsed
         );

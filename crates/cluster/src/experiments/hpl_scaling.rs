@@ -111,7 +111,14 @@ impl HplScalingResult {
             })
             .collect();
         out.push_str(&render_table(
-            &["Nodes", "GFLOP/s", "Runtime [s]", "Speedup", "Eff. vs linear", "of peak"],
+            &[
+                "Nodes",
+                "GFLOP/s",
+                "Runtime [s]",
+                "Speedup",
+                "Eff. vs linear",
+                "of peak",
+            ],
             &rows,
         ));
 
@@ -128,7 +135,10 @@ impl HplScalingResult {
                 ]
             })
             .collect();
-        out.push_str(&render_table(&["System", "CPU", "ISA", "HPL FPU util."], &rows));
+        out.push_str(&render_table(
+            &["System", "CPU", "ISA", "HPL FPU util."],
+            &rows,
+        ));
         out
     }
 }
@@ -141,7 +151,11 @@ mod tests {
     fn paper_problem_reproduces_headline_numbers() {
         let result = run(HplProblem::paper(), 10, 2022);
         let single = &result.points[0];
-        assert!((single.gflops.mean - 1.86).abs() < 0.04, "{:?}", single.gflops);
+        assert!(
+            (single.gflops.mean - 1.86).abs() < 0.04,
+            "{:?}",
+            single.gflops
+        );
         assert!(single.gflops.std_dev < 0.08);
         let full = &result.points[3];
         assert_eq!(full.nodes, 8);

@@ -18,7 +18,9 @@
 //! | [`software_stack`] | Table I (Spack-style stack deployment) |
 //! | [`dvfs`] | extension: the paper's future-work item (ii) — thermal DVFS |
 //! | [`energy`] | extension: energy-to-solution across the OPP ladder |
+//! | [`availability`] | extension: HPL campaign under a node-crash fault sweep |
 
+pub mod availability;
 pub mod boot_trace;
 pub mod dvfs;
 pub mod energy;

@@ -38,8 +38,11 @@ pub struct MonitoredHplResult {
 /// keeping series names.
 pub fn rate_store(store: &TimeSeriesStore, filter: &TopicFilter) -> TimeSeriesStore {
     let mut out = TimeSeriesStore::new();
-    for (name, points) in store.query_filter(filter, SimTime::ZERO, SimTime::from_secs(u64::MAX / 2_000_000))
-    {
+    for (name, points) in store.query_filter(
+        filter,
+        SimTime::ZERO,
+        SimTime::from_secs(u64::MAX / 2_000_000),
+    ) {
         let topic: Topic = name.parse().expect("store names are topics");
         for pair in points.windows(2) {
             let dt = (pair[1].0 - pair[0].0).as_secs_f64();

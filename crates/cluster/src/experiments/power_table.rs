@@ -145,8 +145,14 @@ impl PowerTableResult {
                 row.push(format!("{:.0}", cell.power.as_milliwatts()));
                 row.push(format!("{:.0}", cell.percent));
             }
-            row.push(format!("{:.0}", self.boot_cells[rail_idx][0].as_milliwatts()));
-            row.push(format!("{:.0}", self.boot_cells[rail_idx][1].as_milliwatts()));
+            row.push(format!(
+                "{:.0}",
+                self.boot_cells[rail_idx][0].as_milliwatts()
+            ));
+            row.push(format!(
+                "{:.0}",
+                self.boot_cells[rail_idx][1].as_milliwatts()
+            ));
             rows.push(row);
         }
         let mut total_row = vec!["Total".to_owned()];

@@ -55,14 +55,17 @@ pub fn run(secs: u64, seed: u64) -> PowerTracesResult {
 impl PowerTracesResult {
     /// Per-subsystem summary statistics for one workload's trace.
     pub fn subsystem_stats(&self, workload: Workload, subsystem: Subsystem) -> Option<Stats> {
-        self.traces.iter().find(|(w, _)| *w == workload).map(|(_, trace)| {
-            let watts: Vec<f64> = trace
-                .subsystem_series(subsystem)
-                .iter()
-                .map(|p| p.as_watts())
-                .collect();
-            Stats::from_samples(&watts)
-        })
+        self.traces
+            .iter()
+            .find(|(w, _)| *w == workload)
+            .map(|(_, trace)| {
+                let watts: Vec<f64> = trace
+                    .subsystem_series(subsystem)
+                    .iter()
+                    .map(|p| p.as_watts())
+                    .collect();
+                Stats::from_samples(&watts)
+            })
     }
 
     /// Renders the three-panel figure as sparkline strips with summary
@@ -82,9 +85,11 @@ impl PowerTracesResult {
                     .chunks(bucket)
                     .map(|c| c.iter().map(|p| p.as_watts()).sum::<f64>() / c.len() as f64)
                     .collect();
-                let (lo, hi) = points.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
-                    (a.min(v), b.max(v))
-                });
+                let (lo, hi) = points
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                        (a.min(v), b.max(v))
+                    });
                 let span = (hi - lo).max(1e-9);
                 let strip: String = points
                     .iter()
@@ -120,7 +125,12 @@ mod tests {
         assert!(core(Workload::StreamDdr) > core(Workload::Idle));
         // DDR power peaks under STREAM.DDR.
         let ddr = |w| result.subsystem_stats(w, Subsystem::Ddr).unwrap().mean;
-        for w in [Workload::Idle, Workload::Hpl, Workload::StreamL2, Workload::QeLax] {
+        for w in [
+            Workload::Idle,
+            Workload::Hpl,
+            Workload::StreamL2,
+            Workload::QeLax,
+        ] {
             assert!(ddr(Workload::StreamDdr) > ddr(w));
         }
     }
@@ -129,18 +139,37 @@ mod tests {
     fn pcie_subsystem_is_workload_insensitive() {
         // The paper: PCIe draws ~1.07 W regardless of workload.
         let result = run(4, 9);
-        let idle = result.subsystem_stats(Workload::Idle, Subsystem::Other).unwrap();
-        let hpl = result.subsystem_stats(Workload::Hpl, Subsystem::Other).unwrap();
-        assert!((idle.mean - hpl.mean).abs() < 0.02, "{} vs {}", idle.mean, hpl.mean);
-        assert!((idle.mean - 1.097).abs() < 0.02, "pcie+pll+io {}", idle.mean);
+        let idle = result
+            .subsystem_stats(Workload::Idle, Subsystem::Other)
+            .unwrap();
+        let hpl = result
+            .subsystem_stats(Workload::Hpl, Subsystem::Other)
+            .unwrap();
+        assert!(
+            (idle.mean - hpl.mean).abs() < 0.02,
+            "{} vs {}",
+            idle.mean,
+            hpl.mean
+        );
+        assert!(
+            (idle.mean - 1.097).abs() < 0.02,
+            "pcie+pll+io {}",
+            idle.mean
+        );
     }
 
     #[test]
     fn traces_show_sensor_noise() {
         let result = run(2, 4);
-        let core = result.subsystem_stats(Workload::Hpl, Subsystem::Core).unwrap();
+        let core = result
+            .subsystem_stats(Workload::Hpl, Subsystem::Core)
+            .unwrap();
         assert!(core.std_dev > 0.0, "traces must jitter");
-        assert!(core.std_dev < 0.1, "jitter should stay small: {}", core.std_dev);
+        assert!(
+            core.std_dev < 0.1,
+            "jitter should stay small: {}",
+            core.std_dev
+        );
     }
 
     #[test]

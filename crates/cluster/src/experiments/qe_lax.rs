@@ -39,7 +39,9 @@ pub fn run(repetitions: usize, seed: u64) -> QeLaxResult {
     assert!(repetitions > 0, "need at least one repetition");
     let model = LaxModel::paper();
     let mut rng = StdRng::seed_from_u64(seed);
-    let runs: Vec<(f64, f64)> = (0..repetitions).map(|_| model.simulate_run(&mut rng)).collect();
+    let runs: Vec<(f64, f64)> = (0..repetitions)
+        .map(|_| model.simulate_run(&mut rng))
+        .collect();
     QeLaxResult {
         matrix_n: model.matrix_n,
         seconds: Stats::from_samples(&runs.iter().map(|r| r.0).collect::<Vec<_>>()),
@@ -70,8 +72,16 @@ mod tests {
     #[test]
     fn matches_the_paper_data_point() {
         let result = run(20, 2022);
-        assert!((result.gflops.mean - 1.44).abs() < 0.02, "{:?}", result.gflops);
-        assert!((result.seconds.mean - 37.40).abs() < 0.6, "{:?}", result.seconds);
+        assert!(
+            (result.gflops.mean - 1.44).abs() < 0.02,
+            "{:?}",
+            result.gflops
+        );
+        assert!(
+            (result.seconds.mean - 37.40).abs() < 0.6,
+            "{:?}",
+            result.seconds
+        );
         assert!(result.seconds.std_dev < 0.3);
         assert!((result.fpu_utilisation - 0.36).abs() < 0.005);
     }

@@ -76,10 +76,7 @@ pub fn run() -> Result<SoftwareStackResult, ConcretizeError> {
     }
 
     Ok(SoftwareStackResult {
-        triple: targets
-            .get("u74mc")
-            .expect("u74mc registered")
-            .triple(),
+        triple: targets.get("u74mc").expect("u74mc registered").triple(),
         total_installed: tree.len(),
         modules: tree.module_avail(),
         stack,

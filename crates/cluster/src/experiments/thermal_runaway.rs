@@ -111,7 +111,10 @@ pub fn run(seed: u64) -> ThermalRunawayResult {
     let hot_index = (0..8)
         .filter(|i| *i != tripped_node)
         .map(|i| (i, engine.thermal().temperature(i).as_f64()))
-        .fold((0, f64::MIN), |best, cur| if cur.1 > best.1 { cur } else { best })
+        .fold(
+            (0, f64::MIN),
+            |best, cur| if cur.1 > best.1 { cur } else { best },
+        )
         .0;
     let post_fix_temp = engine.thermal().temperature(hot_index).as_f64();
 
@@ -144,7 +147,10 @@ impl ThermalRunawayResult {
         ));
         out.push_str("\nExaMon alarms on node 7's cpu_temp series:\n");
         for alarm in &self.alarms {
-            out.push_str(&format!("  [{}] {} at {}\n", alarm.severity, alarm.message, alarm.at));
+            out.push_str(&format!(
+                "  [{}] {} at {}\n",
+                alarm.severity, alarm.message, alarm.at
+            ));
         }
         out
     }
@@ -159,7 +165,11 @@ mod tests {
         let result = run(2022);
         // Node 7 (index 6) trips at 107 °C.
         assert_eq!(result.tripped_node, 6);
-        assert!((result.trip_temperature - 107.0).abs() < 1.5, "{}", result.trip_temperature);
+        assert!(
+            (result.trip_temperature - 107.0).abs() < 1.5,
+            "{}",
+            result.trip_temperature
+        );
         // Slurm requeues the victim job.
         assert!(result.job_requeued);
         // ExaMon raises a critical alarm from the published series.
@@ -168,8 +178,16 @@ mod tests {
             .iter()
             .any(|a| a.severity == cimone_monitor::anomaly::Severity::Critical));
         // Pre-fix hot node ≈71 °C, post-fix ≈39 °C (the paper's numbers).
-        assert!((result.pre_fix_hot_temp - 71.0).abs() < 4.0, "{}", result.pre_fix_hot_temp);
-        assert!((result.post_fix_temp - 39.0).abs() < 3.0, "{}", result.post_fix_temp);
+        assert!(
+            (result.pre_fix_hot_temp - 71.0).abs() < 4.0,
+            "{}",
+            result.pre_fix_hot_temp
+        );
+        assert!(
+            (result.post_fix_temp - 39.0).abs() < 3.0,
+            "{}",
+            result.post_fix_temp
+        );
         // The published series actually climbed.
         let first = result.node7_series.first().unwrap().1;
         let last = result.node7_series.last().unwrap().1;

@@ -1,0 +1,279 @@
+//! Deterministic, seeded fault injection for the cluster engine.
+//!
+//! A [`FaultPlan`] is a time-ordered list of typed [`FaultEvent`]s the
+//! engine applies against its own clock: node crashes and recoveries,
+//! sensor dropouts and stuck-at faults, broker message loss, subscriber
+//! disconnects, interconnect degradation and partitions, NFS stalls, and
+//! spurious thermal trips. Plans are either built explicitly (the builder
+//! API) or drawn from a seeded random process
+//! ([`FaultPlan::random_crashes`]) so availability campaigns are exactly
+//! reproducible: the same seed and plan always yield the same event
+//! stream.
+//!
+//! The uniform path replaces the one-off
+//! `SimEngine::inject_node_failure`: that method now schedules a
+//! [`FaultKind::NodeCrash`] through the same machinery.
+
+use cimone_soc::units::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injectable fault (or recovery).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Node loses power / kernel-panics: out of service, its job requeued.
+    NodeCrash {
+        /// 0-based node index.
+        node: usize,
+    },
+    /// A crashed (or tripped, or drained) node returns to service.
+    NodeRecover {
+        /// 0-based node index.
+        node: usize,
+    },
+    /// A node's telemetry goes silent for `span` (sensor dropout): no
+    /// samples are published, dashboards go stale.
+    SensorDropout {
+        /// 0-based node index.
+        node: usize,
+        /// How long the sensors stay quiet.
+        span: SimDuration,
+    },
+    /// A node's power sensor freezes at its last value for `span`
+    /// (stuck-at fault): samples keep arriving but carry no information.
+    SensorStuck {
+        /// 0-based node index.
+        node: usize,
+        /// How long the value stays frozen.
+        span: SimDuration,
+    },
+    /// The monitoring transport drops each published message with
+    /// probability `rate` for `span`.
+    BrokerMessageLoss {
+        /// Per-message loss probability in `[0, 1]`.
+        rate: f64,
+        /// How long the loss persists.
+        span: SimDuration,
+    },
+    /// The ingestion subscriber disconnects for `span`; everything
+    /// published meanwhile never reaches the store.
+    SubscriberDisconnect {
+        /// How long ingestion is down.
+        span: SimDuration,
+    },
+    /// The interconnect slows by `factor` (>= 1.0) for `span`; distributed
+    /// jobs lose time in their communication phases.
+    LinkDegrade {
+        /// Transfer-time multiplier.
+        factor: f64,
+        /// How long the degradation lasts.
+        span: SimDuration,
+    },
+    /// Nodes `a` and `b` cannot reach each other for `span`; a
+    /// bulk-synchronous job spanning both stalls outright.
+    Partition {
+        /// One 0-based node index.
+        a: usize,
+        /// The other.
+        b: usize,
+        /// How long the partition lasts.
+        span: SimDuration,
+    },
+    /// The shared filesystem stalls for `span`: every job's progress
+    /// freezes (I/O blocks cluster-wide).
+    NfsStall {
+        /// How long the stall lasts.
+        span: SimDuration,
+    },
+    /// A spurious thermal trip: the node shuts down as if it crossed the
+    /// 107 °C point even though the silicon is healthy.
+    SpuriousThermalTrip {
+        /// 0-based node index.
+        node: usize,
+    },
+}
+
+/// A fault scheduled at a simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered fault schedule.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_cluster::faults::{FaultKind, FaultPlan};
+/// use cimone_soc::units::{SimDuration, SimTime};
+///
+/// let plan = FaultPlan::new()
+///     .with(SimTime::from_secs(10), FaultKind::NodeCrash { node: 6 })
+///     .with(SimTime::from_secs(40), FaultKind::NodeRecover { node: 6 });
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder form of [`FaultPlan::push`].
+    #[must_use]
+    pub fn with(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Schedules `kind` at `at`, keeping the plan time-sorted (stable:
+    /// same-time events keep insertion order).
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        let idx = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(idx, FaultEvent { at, kind });
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The schedule, time-ascending.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub(crate) fn into_events(self) -> Vec<FaultEvent> {
+        self.events
+    }
+
+    /// Draws a random crash/repair plan from a seeded Poisson process:
+    /// each of `nodes` nodes crashes at `rate_per_node_hour` (exponential
+    /// inter-arrival times) across `horizon`, and recovers `repair` after
+    /// each crash. Identical arguments always produce identical plans.
+    ///
+    /// A rate of `0.0` yields an empty plan (the fault-free baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or not finite.
+    pub fn random_crashes(
+        seed: u64,
+        nodes: usize,
+        horizon: SimDuration,
+        rate_per_node_hour: f64,
+        repair: SimDuration,
+    ) -> Self {
+        assert!(
+            rate_per_node_hour.is_finite() && rate_per_node_hour >= 0.0,
+            "crash rate must be finite and non-negative"
+        );
+        let mut plan = FaultPlan::new();
+        if rate_per_node_hour == 0.0 {
+            return plan;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean_gap_secs = 3600.0 / rate_per_node_hour;
+        for node in 0..nodes {
+            let mut t = 0.0f64;
+            loop {
+                // Exponential inter-arrival via inverse transform.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -mean_gap_secs * u.ln();
+                if t >= horizon.as_secs_f64() {
+                    break;
+                }
+                let crash_at = SimTime::ZERO + SimDuration::from_secs_f64(t);
+                plan.push(crash_at, FaultKind::NodeCrash { node });
+                plan.push(crash_at + repair, FaultKind::NodeRecover { node });
+                // The node is down during repair; restart the clock after.
+                t += repair.as_secs_f64();
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_stay_time_sorted() {
+        let plan = FaultPlan::new()
+            .with(
+                SimTime::from_secs(30),
+                FaultKind::NfsStall {
+                    span: SimDuration::from_secs(5),
+                },
+            )
+            .with(SimTime::from_secs(10), FaultKind::NodeCrash { node: 2 })
+            .with(SimTime::from_secs(20), FaultKind::NodeRecover { node: 2 });
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_micros()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn same_time_events_keep_insertion_order() {
+        let at = SimTime::from_secs(5);
+        let plan = FaultPlan::new()
+            .with(at, FaultKind::NodeCrash { node: 0 })
+            .with(at, FaultKind::NodeCrash { node: 1 });
+        assert_eq!(plan.events()[0].kind, FaultKind::NodeCrash { node: 0 });
+        assert_eq!(plan.events()[1].kind, FaultKind::NodeCrash { node: 1 });
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let make = |seed| {
+            FaultPlan::random_crashes(
+                seed,
+                8,
+                SimDuration::from_secs(4 * 3600),
+                2.0,
+                SimDuration::from_secs(120),
+            )
+        };
+        assert_eq!(make(7), make(7));
+        assert_ne!(make(7), make(8));
+        let plan = make(7);
+        assert!(!plan.is_empty(), "2 crashes/node-hour over 4 h must fire");
+        // Crashes and recoveries pair up.
+        let crashes = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::NodeCrash { .. }))
+            .count();
+        let recoveries = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::NodeRecover { .. }))
+            .count();
+        assert_eq!(crashes, recoveries);
+    }
+
+    #[test]
+    fn zero_rate_is_the_fault_free_baseline() {
+        let plan = FaultPlan::random_crashes(
+            1,
+            8,
+            SimDuration::from_secs(3600),
+            0.0,
+            SimDuration::from_secs(60),
+        );
+        assert!(plan.is_empty());
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`reference`](mod@reference) — the Marconi100 / Armida comparison nodes;
 //! * [`engine`] — the scheduler-driven simulation loop with power,
 //!   thermal and monitoring integrated;
+//! * [`faults`] — deterministic, seeded fault injection driven against
+//!   the engine clock;
 //! * [`experiments`] — one module per paper table/figure.
 //!
 //! # Examples
@@ -35,6 +37,7 @@ pub mod blade;
 pub mod dpm;
 pub mod engine;
 pub mod experiments;
+pub mod faults;
 pub mod node;
 pub mod perf;
 pub mod reference;
@@ -44,6 +47,7 @@ pub mod thermal;
 
 pub use dpm::ThermalGovernor;
 pub use engine::{ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use node::ComputeNode;
 pub use perf::{HplModel, HplProblem, LaxModel};
 pub use reference::ReferenceNode;

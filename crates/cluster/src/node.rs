@@ -12,9 +12,7 @@ use cimone_soc::hpm::{HpmEvent, UBootConfig};
 use cimone_soc::units::{Bytes, Celsius, SimDuration, SimTime};
 use cimone_soc::workload::Workload;
 
-use cimone_monitor::plugins::{
-    CoreCounters, CpuUsage, MemoryUsage, NodeSnapshot, Temperatures,
-};
+use cimone_monitor::plugins::{CoreCounters, CpuUsage, MemoryUsage, NodeSnapshot, Temperatures};
 
 /// The node-local NVMe drive (1 TB in the paper's nodes).
 #[derive(Debug, Clone, PartialEq)]
@@ -306,7 +304,11 @@ impl ComputeNode {
         } else {
             0.0
         };
-        let sys = if self.conditions.busy_cores > 0 { 2.0 } else { 0.5 };
+        let sys = if self.conditions.busy_cores > 0 {
+            2.0
+        } else {
+            0.5
+        };
         let idl = (100.0 - usr - sys - wai).max(0.0);
 
         let total_mem = self.soc.spec().ddr_capacity.as_f64();

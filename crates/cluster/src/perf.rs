@@ -268,7 +268,11 @@ mod tests {
         let m = model();
         assert!((m.gflops(1) - 1.86).abs() < 0.02, "gflops {}", m.gflops(1));
         // Paper runtime: 24105 ± 587 s.
-        assert!((m.run_time(1) - 24105.0).abs() < 590.0, "t {}", m.run_time(1));
+        assert!(
+            (m.run_time(1) - 24105.0).abs() < 590.0,
+            "t {}",
+            m.run_time(1)
+        );
         // 46.5 % of the 4 GFLOP/s peak.
         assert!((m.peak_utilisation(1) - 0.465).abs() < 0.005);
     }
@@ -281,7 +285,11 @@ mod tests {
         // 85 % of linear scaling, 39.5 % of machine peak, ~3548 s runtime.
         assert!((m.efficiency_vs_linear(8) - 0.85).abs() < 0.02);
         assert!((m.peak_utilisation(8) - 0.395).abs() < 0.01);
-        assert!((m.run_time(8) - 3548.0).abs() < 150.0, "t {}", m.run_time(8));
+        assert!(
+            (m.run_time(8) - 3548.0).abs() < 150.0,
+            "t {}",
+            m.run_time(8)
+        );
     }
 
     #[test]
@@ -321,10 +329,12 @@ mod tests {
     fn simulated_runs_reproduce_the_paper_error_bars() {
         let m = model();
         let mut rng = StdRng::seed_from_u64(2022);
-        let single: Vec<f64> = (0..200).map(|_| m.simulate_run(1, &mut rng).gflops).collect();
+        let single: Vec<f64> = (0..200)
+            .map(|_| m.simulate_run(1, &mut rng).gflops)
+            .collect();
         let mean = single.iter().sum::<f64>() / single.len() as f64;
-        let sd = (single.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / single.len() as f64)
-            .sqrt();
+        let sd =
+            (single.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / single.len() as f64).sqrt();
         assert!((mean - 1.86).abs() < 0.02, "mean {mean}");
         assert!((sd - 0.04).abs() < 0.02, "sd {sd}");
     }
@@ -332,7 +342,11 @@ mod tests {
     #[test]
     fn lax_matches_the_paper() {
         let lax = LaxModel::paper();
-        assert!((lax.gflops() - 1.44).abs() < 0.01, "gflops {}", lax.gflops());
+        assert!(
+            (lax.gflops() - 1.44).abs() < 0.01,
+            "gflops {}",
+            lax.gflops()
+        );
         assert!((lax.fpu_utilisation() - 0.36).abs() < 0.005);
         assert!((lax.run_time() - 37.40).abs() < 0.5, "t {}", lax.run_time());
         let mut rng = StdRng::seed_from_u64(7);

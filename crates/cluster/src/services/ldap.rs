@@ -157,11 +157,7 @@ impl LdapDirectory {
     /// # Errors
     ///
     /// Fails if the username or uid is already taken.
-    pub fn add_account(
-        &mut self,
-        account: PosixAccount,
-        password: &str,
-    ) -> Result<(), LdapError> {
+    pub fn add_account(&mut self, account: PosixAccount, password: &str) -> Result<(), LdapError> {
         if self.accounts.contains_key(&account.username) {
             return Err(LdapError::AlreadyExists {
                 name: account.username,
@@ -218,9 +214,11 @@ impl LdapDirectory {
     ///
     /// Fails for unknown users.
     pub fn account(&self, username: &str) -> Result<&PosixAccount, LdapError> {
-        self.accounts.get(username).ok_or_else(|| LdapError::NoSuchEntry {
-            name: username.to_owned(),
-        })
+        self.accounts
+            .get(username)
+            .ok_or_else(|| LdapError::NoSuchEntry {
+                name: username.to_owned(),
+            })
     }
 
     /// Looks up an account by numeric uid.
@@ -233,9 +231,7 @@ impl LdapDirectory {
         let primary_gid = self.accounts.get(username).map(|a| a.gid);
         self.groups
             .values()
-            .filter(|g| {
-                Some(g.gid) == primary_gid || g.members.iter().any(|m| m == username)
-            })
+            .filter(|g| Some(g.gid) == primary_gid || g.members.iter().any(|m| m == username))
             .collect()
     }
 
@@ -254,10 +250,15 @@ mod tests {
         let dir = LdapDirectory::monte_cimone();
         let account = dir.bind("alice", "alice-pw").unwrap();
         assert_eq!(account.uid, 1001);
-        assert_eq!(dir.bind("alice", "alice-pW"), Err(LdapError::InvalidCredentials));
+        assert_eq!(
+            dir.bind("alice", "alice-pW"),
+            Err(LdapError::InvalidCredentials)
+        );
         assert_eq!(
             dir.bind("mallory", "x"),
-            Err(LdapError::NoSuchEntry { name: "mallory".into() })
+            Err(LdapError::NoSuchEntry {
+                name: "mallory".into()
+            })
         );
     }
 
@@ -281,7 +282,11 @@ mod tests {
             members: vec!["alice".to_owned()],
         })
         .unwrap();
-        let groups: Vec<&str> = dir.groups_of("alice").iter().map(|g| g.name.as_str()).collect();
+        let groups: Vec<&str> = dir
+            .groups_of("alice")
+            .iter()
+            .map(|g| g.name.as_str())
+            .collect();
         assert!(groups.contains(&"users")); // primary gid 100
         assert!(groups.contains(&"hpc")); // memberUid
         assert_eq!(dir.groups_of("bench").len(), 1);
@@ -293,7 +298,12 @@ mod tests {
         let err = dir
             .add_account(PosixAccount::new("alice", 2000, 100), "x")
             .unwrap_err();
-        assert_eq!(err, LdapError::AlreadyExists { name: "alice".into() });
+        assert_eq!(
+            err,
+            LdapError::AlreadyExists {
+                name: "alice".into()
+            }
+        );
         let err = dir
             .add_account(PosixAccount::new("alice2", 1001, 100), "x")
             .unwrap_err();

@@ -209,8 +209,8 @@ impl NfsServer {
     fn charge(&mut self, payload: u64) -> SimDuration {
         self.ops += 1;
         self.bytes_moved += payload;
-        self.link.ping_rtt() + self.link.transfer_time(Bytes::new(payload))
-            - self.link.latency() // transfer_time already includes one way
+        self.link.ping_rtt() + self.link.transfer_time(Bytes::new(payload)) - self.link.latency()
+        // transfer_time already includes one way
     }
 
     /// Creates an empty file owned by `uid`.
@@ -264,9 +264,12 @@ impl NfsServer {
             .filter(|(p, _)| p.as_str() != path)
             .map(|(_, f)| f.data.len() as u64)
             .sum();
-        let file = export.files.get_mut(path).ok_or_else(|| NfsError::NoSuchFile {
-            path: path.to_owned(),
-        })?;
+        let file = export
+            .files
+            .get_mut(path)
+            .ok_or_else(|| NfsError::NoSuchFile {
+                path: path.to_owned(),
+            })?;
         if uid != ROOT_UID && uid != file.owner_uid && !file.world_writable {
             return Err(NfsError::PermissionDenied {
                 path: path.to_owned(),
@@ -374,7 +377,8 @@ mod tests {
     fn server_with_home() -> (NfsServer, MountHandle) {
         let mut nfs = NfsServer::monte_cimone();
         let mount = nfs.mount("/home", "mc-node-01").unwrap();
-        nfs.create(&mount, "/home/alice/data.bin", 1001, false).unwrap();
+        nfs.create(&mount, "/home/alice/data.bin", 1001, false)
+            .unwrap();
         (nfs, mount)
     }
 
@@ -400,8 +404,11 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, NfsError::PermissionDenied { uid: 1002, .. }));
         // Root bypasses, as a no_root_squash export would allow.
-        nfs.write(&mount, "/home/alice/data.bin", ROOT_UID, b"admin fix").unwrap();
-        let err = nfs.remove(&mount, "/home/alice/data.bin", 1002).unwrap_err();
+        nfs.write(&mount, "/home/alice/data.bin", ROOT_UID, b"admin fix")
+            .unwrap();
+        let err = nfs
+            .remove(&mount, "/home/alice/data.bin", 1002)
+            .unwrap_err();
         assert!(matches!(err, NfsError::PermissionDenied { .. }));
         nfs.remove(&mount, "/home/alice/data.bin", 1001).unwrap();
     }
@@ -409,8 +416,10 @@ mod tests {
     #[test]
     fn world_writable_files_accept_any_writer() {
         let (mut nfs, mount) = server_with_home();
-        nfs.create(&mount, "/home/shared/scratch.log", 1001, true).unwrap();
-        nfs.write(&mount, "/home/shared/scratch.log", 1002, b"other user").unwrap();
+        nfs.create(&mount, "/home/shared/scratch.log", 1001, true)
+            .unwrap();
+        nfs.write(&mount, "/home/shared/scratch.log", 1002, b"other user")
+            .unwrap();
     }
 
     #[test]
@@ -421,7 +430,9 @@ mod tests {
         nfs.create(&mount, "/scratch/a", 1001, false).unwrap();
         nfs.write(&mount, "/scratch/a", 1001, &[0u8; 800]).unwrap();
         nfs.create(&mount, "/scratch/b", 1001, false).unwrap();
-        let err = nfs.write(&mount, "/scratch/b", 1001, &[0u8; 300]).unwrap_err();
+        let err = nfs
+            .write(&mount, "/scratch/b", 1001, &[0u8; 300])
+            .unwrap_err();
         assert!(matches!(err, NfsError::QuotaExceeded { .. }));
         // Rewriting within quota still works (the old size is released).
         nfs.write(&mount, "/scratch/a", 1001, &[0u8; 100]).unwrap();
@@ -440,7 +451,8 @@ mod tests {
     #[test]
     fn listing_filters_by_prefix() {
         let (mut nfs, mount) = server_with_home();
-        nfs.create(&mount, "/home/bench/out.txt", 1002, false).unwrap();
+        nfs.create(&mount, "/home/bench/out.txt", 1002, false)
+            .unwrap();
         assert_eq!(nfs.list(&mount, "/home/alice").len(), 1);
         assert_eq!(nfs.list(&mount, "/home").len(), 2);
     }

@@ -158,7 +158,9 @@ impl ThermalModel {
 
     /// NVMe temperature estimate.
     pub fn nvme_temperature(&self, i: usize) -> Celsius {
-        Celsius::new(self.ambient.as_f64() + (self.temperatures[i] - self.ambient.as_f64()) * 0.3 + 4.0)
+        Celsius::new(
+            self.ambient.as_f64() + (self.temperatures[i] - self.ambient.as_f64()) * 0.3 + 4.0,
+        )
     }
 
     /// Whether node `i` has hit the trip point.
@@ -193,6 +195,7 @@ impl ThermalModel {
         );
         let mut newly_tripped = Vec::new();
         let secs = dt.as_secs_f64();
+        #[allow(clippy::needless_range_loop)] // index drives four parallel per-node arrays
         for i in 0..self.temperatures.len() {
             let prm = &self.params[i];
             let temp = self.temperatures[i];

@@ -186,12 +186,7 @@ impl LuFactorization {
 /// Unblocked panel factorisation over columns `k..k+kb`, full row height,
 /// with immediate full-row pivot swaps (keeps already-computed and
 /// not-yet-touched columns consistent).
-fn factor_panel(
-    a: &mut Matrix,
-    k: usize,
-    kb: usize,
-    pivots: &mut [usize],
-) -> Result<(), LuError> {
+fn factor_panel(a: &mut Matrix, k: usize, kb: usize, pivots: &mut [usize]) -> Result<(), LuError> {
     let n = a.rows();
     for j in k..k + kb {
         // Partial pivoting: largest magnitude in column j at/below the diagonal.

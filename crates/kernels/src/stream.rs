@@ -235,8 +235,7 @@ impl StreamRun {
             ec = ea + eb;
             ea = eb + q * ec;
         }
-        for (name, expected, arr) in [("a", ea, &self.a), ("b", eb, &self.b), ("c", ec, &self.c)]
-        {
+        for (name, expected, arr) in [("a", ea, &self.a), ("b", eb, &self.b), ("c", ec, &self.c)] {
             let sum: f64 = arr.iter().sum();
             let avg = sum / arr.len() as f64;
             let rel = ((avg - expected) / expected).abs();
@@ -289,12 +288,7 @@ impl std::error::Error for StreamValidationError {}
 
 /// Applies `f` to corresponding chunks of one mutable and one shared slice
 /// across scoped threads.
-fn par_map2(
-    dst: &mut [f64],
-    src: &[f64],
-    chunk: usize,
-    f: impl Fn(&mut [f64], &[f64]) + Sync,
-) {
+fn par_map2(dst: &mut [f64], src: &[f64], chunk: usize, f: impl Fn(&mut [f64], &[f64]) + Sync) {
     std::thread::scope(|scope| {
         for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
             scope.spawn(|| f(d, s));

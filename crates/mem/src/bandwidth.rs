@@ -307,8 +307,8 @@ mod tests {
 
     #[test]
     fn ideal_prefetcher_reaches_near_peak() {
-        let model = StreamBandwidthModel::monte_cimone()
-            .with_prefetcher(PrefetcherConfig::u74_ideal());
+        let model =
+            StreamBandwidthModel::monte_cimone().with_prefetcher(PrefetcherConfig::u74_ideal());
         for (kernel, _) in TABLE_V_DDR {
             let bw = model.mean_bandwidth(kernel, table_v_sizes::ddr(), 4);
             assert!(
@@ -349,7 +349,10 @@ mod tests {
         let l2 = model.mean_bandwidth(StreamKernel::Copy, table_v_sizes::l2(), 4);
         let ddr = model.mean_bandwidth(StreamKernel::Copy, table_v_sizes::ddr(), 4);
         let mid = model.mean_bandwidth(StreamKernel::Copy, Bytes::from_mib(3), 4);
-        assert!(mid < l2 && mid > ddr, "mid {mid} not between {ddr} and {l2}");
+        assert!(
+            mid < l2 && mid > ddr,
+            "mid {mid} not between {ddr} and {l2}"
+        );
     }
 
     #[test]
@@ -368,9 +371,8 @@ mod tests {
             .map(|_| model.measure(StreamKernel::Triad, table_v_sizes::ddr(), 4, &mut rng) / 1e6)
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let sd =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!((mean - 1122.0).abs() < 1.0, "mean {mean}");
         assert!((sd - 5.63).abs() < 0.5, "sd {sd}");
     }

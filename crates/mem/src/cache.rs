@@ -39,9 +39,15 @@ impl CacheConfig {
     /// `ways` lines per set, or any parameter zero).
     pub fn sets(&self) -> usize {
         let line = self.line.as_u64() as usize;
-        assert!(line > 0 && self.ways > 0, "line size and ways must be positive");
+        assert!(
+            line > 0 && self.ways > 0,
+            "line size and ways must be positive"
+        );
         let lines = self.capacity.as_u64() as usize / line;
-        assert!(lines > 0 && lines % self.ways == 0, "inconsistent cache geometry");
+        assert!(
+            lines > 0 && lines.is_multiple_of(self.ways),
+            "inconsistent cache geometry"
+        );
         lines / self.ways
     }
 }

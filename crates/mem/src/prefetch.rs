@@ -162,13 +162,14 @@ impl StreamPrefetcher {
         self.stats.accesses += 1;
 
         if let Some(idx) = self.slots.iter().position(|s| {
-            line == s.next_line || (s.confidence >= self.config.training_threshold
-                && line < s.prefetched_until
-                && line >= s.next_line.saturating_sub(self.config.depth as u64))
+            line == s.next_line
+                || (s.confidence >= self.config.training_threshold
+                    && line < s.prefetched_until
+                    && line >= s.next_line.saturating_sub(self.config.depth as u64))
         }) {
             let slot = &mut self.slots[idx];
-            let covered = slot.confidence >= self.config.training_threshold
-                && line < slot.prefetched_until;
+            let covered =
+                slot.confidence >= self.config.training_threshold && line < slot.prefetched_until;
             slot.confidence += 1;
             slot.next_line = line + 1;
             if slot.confidence >= self.config.training_threshold {
@@ -216,7 +217,11 @@ mod tests {
         for addr in (0..64 * 10_000u64).step_by(64) {
             pf.observe(addr);
         }
-        assert!(pf.stats().coverage() > 0.95, "coverage {}", pf.stats().coverage());
+        assert!(
+            pf.stats().coverage() > 0.95,
+            "coverage {}",
+            pf.stats().coverage()
+        );
     }
 
     #[test]
@@ -226,7 +231,11 @@ mod tests {
         for _ in 0..10_000 {
             pf.observe(rng.gen_range(0..1u64 << 32));
         }
-        assert!(pf.stats().coverage() < 0.02, "coverage {}", pf.stats().coverage());
+        assert!(
+            pf.stats().coverage() < 0.02,
+            "coverage {}",
+            pf.stats().coverage()
+        );
     }
 
     #[test]
@@ -238,7 +247,11 @@ mod tests {
                 pf.observe(base + i * 64);
             }
         }
-        assert!(pf.stats().coverage() > 0.9, "coverage {}", pf.stats().coverage());
+        assert!(
+            pf.stats().coverage() > 0.9,
+            "coverage {}",
+            pf.stats().coverage()
+        );
     }
 
     #[test]
@@ -254,7 +267,11 @@ mod tests {
                 pf.observe(base + i * 64);
             }
         }
-        assert!(pf.stats().coverage() < 0.5, "coverage {}", pf.stats().coverage());
+        assert!(
+            pf.stats().coverage() < 0.5,
+            "coverage {}",
+            pf.stats().coverage()
+        );
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! collectors drain subscriptions into the time-series store. QoS 0
 //! (fire-and-forget) semantics, matching ExaMon's MQTT usage.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::payload::Payload;
 use crate::topic::{Topic, TopicFilter};
@@ -31,6 +34,11 @@ pub struct Subscription {
     id: SubscriptionId,
     filter: TopicFilter,
     rx: Receiver<PublishedMessage>,
+    /// Messages currently queued (shared with the broker's send side so
+    /// bounded subscriptions can enforce their capacity).
+    depth: Arc<AtomicUsize>,
+    /// Messages this subscription lost to queue overflow.
+    dropped: Arc<AtomicU64>,
 }
 
 impl Subscription {
@@ -44,10 +52,25 @@ impl Subscription {
         &self.filter
     }
 
+    /// Messages currently queued and not yet received.
+    pub fn queued(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Messages this subscription lost because its bounded queue was full
+    /// when the broker tried to deliver. Always zero for unbounded
+    /// subscriptions.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<PublishedMessage> {
         match self.rx.try_recv() {
-            Ok(msg) => Some(msg),
+            Ok(msg) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Some(msg)
+            }
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
         }
     }
@@ -63,7 +86,9 @@ impl Subscription {
 
     /// Blocking receive (used by collector threads).
     pub fn recv(&self) -> Option<PublishedMessage> {
-        self.rx.recv().ok()
+        let msg = self.rx.recv().ok()?;
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Some(msg)
     }
 }
 
@@ -72,15 +97,37 @@ struct SubEntry {
     id: SubscriptionId,
     filter: TopicFilter,
     tx: Sender<PublishedMessage>,
+    /// Queue bound; `None` means unbounded (the seed behaviour).
+    capacity: Option<usize>,
+    depth: Arc<AtomicUsize>,
+    dropped: Arc<AtomicU64>,
 }
 
 /// Broker counters.
+///
+/// For every `publish`, each matching subscriber accounts for exactly one
+/// of `delivered` or `dropped` — the books stay balanced even when
+/// subscribers disconnect mid-burst or bounded queues overflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BrokerStats {
     /// Messages published.
     pub published: u64,
     /// Deliveries fanned out (one per matching subscriber).
     pub delivered: u64,
+    /// Matched deliveries that were not made: the subscriber's bounded
+    /// queue was full, or the subscriber disconnected between matching
+    /// and delivery.
+    pub dropped: u64,
+    /// Whole publishes suppressed by injected message loss
+    /// ([`Broker::set_loss`]) before any fan-out.
+    pub suppressed: u64,
+}
+
+/// Seeded wire-loss injection state.
+#[derive(Debug)]
+struct LossInjection {
+    rate: f64,
+    rng: StdRng,
 }
 
 /// The broker.
@@ -104,6 +151,9 @@ pub struct Broker {
     next_id: AtomicU64,
     published: AtomicU64,
     delivered: AtomicU64,
+    dropped: AtomicU64,
+    suppressed: AtomicU64,
+    loss: Mutex<Option<LossInjection>>,
 }
 
 impl Broker {
@@ -112,16 +162,44 @@ impl Broker {
         Broker::default()
     }
 
-    /// Subscribes to `filter`.
+    /// Subscribes to `filter` with an unbounded queue.
     pub fn subscribe(&self, filter: TopicFilter) -> Subscription {
+        self.subscribe_inner(filter, None)
+    }
+
+    /// Subscribes to `filter` with a queue bounded to `capacity` messages:
+    /// deliveries while the queue is full are counted as drops (on the
+    /// subscription and in [`BrokerStats::dropped`]) instead of growing
+    /// memory without bound — the fate of a slow ExaMon consumer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn subscribe_bounded(&self, filter: TopicFilter, capacity: usize) -> Subscription {
+        assert!(capacity > 0, "a bounded subscription needs capacity >= 1");
+        self.subscribe_inner(filter, Some(capacity))
+    }
+
+    fn subscribe_inner(&self, filter: TopicFilter, capacity: Option<usize>) -> Subscription {
         let id = SubscriptionId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = unbounded();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
         self.subs.write().push(SubEntry {
             id,
             filter: filter.clone(),
             tx,
+            capacity,
+            depth: depth.clone(),
+            dropped: dropped.clone(),
         });
-        Subscription { id, filter, rx }
+        Subscription {
+            id,
+            filter,
+            rx,
+            depth,
+            dropped,
+        }
     }
 
     /// Removes a subscription; returns whether it existed.
@@ -134,24 +212,45 @@ impl Broker {
 
     /// Publishes `payload` under `topic`; returns the number of
     /// subscribers it reached. Dead subscriptions (dropped receivers) are
-    /// pruned lazily.
+    /// pruned lazily; a matched-but-undelivered message — bounded queue
+    /// full, or receiver gone — counts as a drop, so
+    /// `delivered + dropped` covers every matched subscriber.
     pub fn publish(&self, topic: &Topic, payload: Payload) -> usize {
         self.published.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut loss = self.loss.lock();
+            if let Some(inj) = loss.as_mut() {
+                let rate = inj.rate;
+                if rate > 0.0 && inj.rng.gen_bool(rate) {
+                    self.suppressed.fetch_add(1, Ordering::Relaxed);
+                    return 0;
+                }
+            }
+        }
         let mut reached = 0;
+        let mut dropped = 0u64;
         let mut dead = Vec::new();
         {
             let subs = self.subs.read();
             for sub in subs.iter() {
-                if sub.filter.matches(topic) {
-                    let msg = PublishedMessage {
-                        topic: topic.clone(),
-                        payload,
-                    };
-                    if sub.tx.send(msg).is_ok() {
-                        reached += 1;
-                    } else {
-                        dead.push(sub.id);
-                    }
+                if !sub.filter.matches(topic) {
+                    continue;
+                }
+                if !reserve_slot(&sub.depth, sub.capacity) {
+                    sub.dropped.fetch_add(1, Ordering::Relaxed);
+                    dropped += 1;
+                    continue;
+                }
+                let msg = PublishedMessage {
+                    topic: topic.clone(),
+                    payload,
+                };
+                if sub.tx.send(msg).is_ok() {
+                    reached += 1;
+                } else {
+                    sub.depth.fetch_sub(1, Ordering::Relaxed);
+                    dead.push(sub.id);
+                    dropped += 1;
                 }
             }
         }
@@ -159,7 +258,24 @@ impl Broker {
             self.subs.write().retain(|s| !dead.contains(&s.id));
         }
         self.delivered.fetch_add(reached as u64, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
         reached
+    }
+
+    /// Configures deterministic wire loss: each subsequent publish is
+    /// suppressed with probability `rate`, driven by a RNG seeded with
+    /// `seed` (identical seeds and traffic give identical loss patterns).
+    /// A rate of `0.0` disables injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn set_loss(&self, rate: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        *self.loss.lock() = (rate > 0.0).then(|| LossInjection {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+        });
     }
 
     /// Current counters.
@@ -167,12 +283,31 @@ impl Broker {
         BrokerStats {
             published: self.published.load(Ordering::Relaxed),
             delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            suppressed: self.suppressed.load(Ordering::Relaxed),
         }
     }
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
         self.subs.read().len()
+    }
+}
+
+/// Atomically claims a queue slot against an optional capacity; returns
+/// whether the claim succeeded. The compare-and-swap loop keeps the bound
+/// exact under concurrent publishers.
+fn reserve_slot(depth: &AtomicUsize, capacity: Option<usize>) -> bool {
+    match capacity {
+        None => {
+            depth.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Some(cap) => depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                (d < cap).then_some(d + 1)
+            })
+            .is_ok(),
     }
 }
 
@@ -234,6 +369,72 @@ mod tests {
         assert_eq!(broker.subscription_count(), 1);
         broker.publish(&t("a"), Payload::new(0.0, SimTime::ZERO));
         assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn injected_loss_is_seeded_and_counted() {
+        let run = |seed: u64| {
+            let broker = Broker::new();
+            let sub = broker.subscribe(f("#"));
+            broker.set_loss(0.4, seed);
+            for i in 0..100 {
+                broker.publish(&t("x"), Payload::new(i as f64, SimTime::ZERO));
+            }
+            (sub.drain().len(), broker.stats())
+        };
+        let (got_a, stats_a) = run(5);
+        let (got_b, stats_b) = run(5);
+        assert_eq!(got_a, got_b, "same seed, same loss pattern");
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(stats_a.published, 100);
+        assert_eq!(stats_a.suppressed + got_a as u64, 100);
+        assert!(stats_a.suppressed > 10);
+        // Disabling restores full delivery.
+        let broker = Broker::new();
+        let sub = broker.subscribe(f("#"));
+        broker.set_loss(1.0, 1);
+        broker.set_loss(0.0, 1);
+        broker.publish(&t("x"), Payload::new(0.0, SimTime::ZERO));
+        assert_eq!(sub.drain().len(), 1);
+    }
+
+    #[test]
+    fn bounded_subscription_drops_overflow_and_accounts_for_it() {
+        let broker = Broker::new();
+        let sub = broker.subscribe_bounded(f("#"), 3);
+        for i in 0..5 {
+            broker.publish(&t("x"), Payload::new(i as f64, SimTime::ZERO));
+        }
+        assert_eq!(sub.queued(), 3);
+        assert_eq!(sub.dropped(), 2);
+        let stats = broker.stats();
+        assert_eq!(stats.published, 5);
+        assert_eq!(stats.delivered, 3);
+        assert_eq!(stats.dropped, 2);
+        // Draining frees capacity for new deliveries.
+        assert_eq!(sub.drain().len(), 3);
+        assert_eq!(sub.queued(), 0);
+        broker.publish(&t("x"), Payload::new(9.0, SimTime::ZERO));
+        assert_eq!(sub.try_recv().unwrap().payload.value, 9.0);
+    }
+
+    #[test]
+    fn delivery_accounting_balances_under_disconnect() {
+        let broker = Broker::new();
+        let keeper = broker.subscribe(f("#"));
+        let quitter = broker.subscribe(f("#"));
+        broker.publish(&t("a"), Payload::new(1.0, SimTime::ZERO));
+        drop(quitter);
+        // The dropped receiver is detected on the next publish: that
+        // delivery is accounted as dropped, not silently lost.
+        broker.publish(&t("b"), Payload::new(2.0, SimTime::ZERO));
+        broker.publish(&t("c"), Payload::new(3.0, SimTime::ZERO));
+        let stats = broker.stats();
+        assert_eq!(stats.published, 3);
+        assert_eq!(stats.delivered, 4); // keeper x3 + quitter x1
+        assert_eq!(stats.dropped, 1); // quitter's missed second message
+        assert_eq!(keeper.drain().len(), 3);
+        assert_eq!(broker.subscription_count(), 1);
     }
 
     #[test]

@@ -1,12 +1,29 @@
 //! The broker→store collector (ExaMon's ingestion path).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use cimone_soc::units::{SimDuration, SimTime};
 use parking_lot::Mutex;
 
-use crate::broker::{Broker, Subscription};
+use crate::broker::{Broker, PublishedMessage, Subscription};
+use crate::payload::Payload;
 use crate::topic::TopicFilter;
 use crate::tsdb::TimeSeriesStore;
+
+/// A detected hole in a series: consecutive samples arrived further apart
+/// than the collector's expected interval tolerates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gap {
+    /// The affected series.
+    pub series: String,
+    /// Timestamp of the last sample before the hole.
+    pub from: SimTime,
+    /// Timestamp of the first sample after the hole.
+    pub to: SimTime,
+    /// Samples that should have arrived in between.
+    pub missing: usize,
+}
 
 /// Subscribes to a broker and drains matching messages into a store.
 ///
@@ -33,6 +50,15 @@ use crate::tsdb::TimeSeriesStore;
 #[derive(Debug)]
 pub struct Collector {
     subscription: Subscription,
+    /// Sampling interval the sources are expected to hold; enables gap
+    /// detection when set.
+    expected_interval: Option<SimDuration>,
+    /// Whether detected gaps are filled with sample-and-hold points.
+    backfill: bool,
+    /// Last ingested `(timestamp, value)` per series.
+    last_seen: BTreeMap<String, (SimTime, f64)>,
+    gaps: Vec<Gap>,
+    backfilled: usize,
 }
 
 impl Collector {
@@ -40,27 +66,124 @@ impl Collector {
     pub fn attach(broker: &Broker, filter: TopicFilter) -> Self {
         Collector {
             subscription: broker.subscribe(filter),
+            expected_interval: None,
+            backfill: false,
+            last_seen: BTreeMap::new(),
+            gaps: Vec::new(),
+            backfilled: 0,
         }
     }
 
-    /// Drains everything queued into `store`; returns the points ingested.
+    /// Like [`Collector::attach`], but with a bounded subscriber queue:
+    /// bursts beyond `capacity` are dropped (and accounted) at the broker
+    /// instead of growing the queue without limit.
+    pub fn attach_bounded(broker: &Broker, filter: TopicFilter, capacity: usize) -> Self {
+        Collector {
+            subscription: broker.subscribe_bounded(filter, capacity),
+            expected_interval: None,
+            backfill: false,
+            last_seen: BTreeMap::new(),
+            gaps: Vec::new(),
+            backfilled: 0,
+        }
+    }
+
+    /// Enables gap detection: consecutive samples of one series arriving
+    /// more than 1.5 × `interval` apart are recorded as a [`Gap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero.
+    #[must_use]
+    pub fn with_expected_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "expected interval must be non-zero");
+        self.expected_interval = Some(interval);
+        self
+    }
+
+    /// Additionally fills detected gaps with sample-and-hold points (the
+    /// last observed value repeated at the expected cadence), so range
+    /// aggregates stay dense across sensor dropouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if gap detection was not enabled first.
+    #[must_use]
+    pub fn with_backfill(mut self) -> Self {
+        assert!(
+            self.expected_interval.is_some(),
+            "backfill requires with_expected_interval"
+        );
+        self.backfill = true;
+        self
+    }
+
+    /// Gaps detected so far, in detection order.
+    pub fn gaps(&self) -> &[Gap] {
+        &self.gaps
+    }
+
+    /// Points synthesised by backfill so far.
+    pub fn backfilled(&self) -> usize {
+        self.backfilled
+    }
+
+    /// The underlying subscription (drop/overflow accounting lives there).
+    pub fn subscription(&self) -> &Subscription {
+        &self.subscription
+    }
+
+    /// Drains everything queued into `store`; returns the points ingested
+    /// (backfilled points are not counted — see [`Collector::backfilled`]).
     pub fn pump(&mut self, store: &mut TimeSeriesStore) -> usize {
         let mut n = 0;
         while let Some(msg) = self.subscription.try_recv() {
-            store.insert_message(&msg);
+            self.observe(store, &msg);
             n += 1;
         }
         n
     }
 
+    /// Ingests one message: detect (and optionally fill) a gap, insert,
+    /// remember the sample.
+    fn observe(&mut self, store: &mut TimeSeriesStore, msg: &PublishedMessage) {
+        let series = msg.topic.to_string();
+        if let Some(interval) = self.expected_interval {
+            if let Some(&(last_t, last_v)) = self.last_seen.get(&series) {
+                let delta = msg.payload.timestamp.saturating_since(last_t);
+                // Tolerate jitter up to half an interval.
+                if delta.as_micros() * 2 > interval.as_micros() * 3 {
+                    let missing =
+                        (delta.as_micros() / interval.as_micros()).saturating_sub(1) as usize;
+                    self.gaps.push(Gap {
+                        series: series.clone(),
+                        from: last_t,
+                        to: msg.payload.timestamp,
+                        missing,
+                    });
+                    if self.backfill {
+                        for k in 1..=missing as u64 {
+                            let at = last_t + interval * k;
+                            store.insert(&msg.topic, Payload::new(last_v, at));
+                            self.backfilled += 1;
+                        }
+                    }
+                }
+            }
+            self.last_seen
+                .insert(series, (msg.payload.timestamp, msg.payload.value));
+        }
+        store.insert_message(msg);
+    }
+
     /// Spawns an ingestion thread feeding a shared store. The thread exits
     /// when the broker drops the subscription's sender side (i.e. when the
     /// broker itself is dropped) — or, in practice, when the process ends.
-    pub fn spawn(self, store: Arc<Mutex<TimeSeriesStore>>) -> std::thread::JoinHandle<usize> {
+    pub fn spawn(mut self, store: Arc<Mutex<TimeSeriesStore>>) -> std::thread::JoinHandle<usize> {
         std::thread::spawn(move || {
             let mut ingested = 0;
             while let Some(msg) = self.subscription.recv() {
-                store.lock().insert_message(&msg);
+                self.observe(&mut store.lock(), &msg);
                 ingested += 1;
             }
             ingested
@@ -79,7 +202,10 @@ mod tests {
         let broker = Broker::new();
         let mut collector = Collector::attach(&broker, "temp/#".parse().unwrap());
         broker.publish(&"temp/a".parse().unwrap(), Payload::new(1.0, SimTime::ZERO));
-        broker.publish(&"power/a".parse().unwrap(), Payload::new(2.0, SimTime::ZERO));
+        broker.publish(
+            &"power/a".parse().unwrap(),
+            Payload::new(2.0, SimTime::ZERO),
+        );
         let mut db = TimeSeriesStore::new();
         assert_eq!(collector.pump(&mut db), 1);
         assert_eq!(db.series_count(), 1);
@@ -94,9 +220,81 @@ mod tests {
         broker.publish(&"x".parse().unwrap(), Payload::new(1.0, SimTime::ZERO));
         assert_eq!(collector.pump(&mut db), 1);
         assert_eq!(collector.pump(&mut db), 0);
-        broker.publish(&"x".parse().unwrap(), Payload::new(2.0, SimTime::from_secs(1)));
+        broker.publish(
+            &"x".parse().unwrap(),
+            Payload::new(2.0, SimTime::from_secs(1)),
+        );
         assert_eq!(collector.pump(&mut db), 1);
         assert_eq!(db.point_count(), 2);
+    }
+
+    #[test]
+    fn gap_detection_flags_sensor_dropouts() {
+        let broker = Broker::new();
+        let mut collector = Collector::attach(&broker, "#".parse().unwrap())
+            .with_expected_interval(SimDuration::from_secs(5));
+        let topic = "node/temp".parse().unwrap();
+        // Samples at 0, 5, then nothing until 25: a 3-sample hole.
+        for t in [0u64, 5, 25] {
+            broker.publish(&topic, Payload::new(t as f64, SimTime::from_secs(t)));
+        }
+        let mut db = TimeSeriesStore::new();
+        assert_eq!(collector.pump(&mut db), 3);
+        assert_eq!(collector.gaps().len(), 1);
+        let gap = &collector.gaps()[0];
+        assert_eq!(gap.series, "node/temp");
+        assert_eq!(gap.from, SimTime::from_secs(5));
+        assert_eq!(gap.to, SimTime::from_secs(25));
+        assert_eq!(gap.missing, 3);
+        // No backfill requested: the store holds only real samples.
+        assert_eq!(db.point_count(), 3);
+    }
+
+    #[test]
+    fn jitter_within_tolerance_is_not_a_gap() {
+        let broker = Broker::new();
+        let mut collector = Collector::attach(&broker, "#".parse().unwrap())
+            .with_expected_interval(SimDuration::from_secs(10));
+        let topic = "node/temp".parse().unwrap();
+        // 14 s spacing on a 10 s cadence: inside the 1.5x tolerance.
+        for t in [0u64, 14, 28] {
+            broker.publish(&topic, Payload::new(1.0, SimTime::from_secs(t)));
+        }
+        let mut db = TimeSeriesStore::new();
+        collector.pump(&mut db);
+        assert!(collector.gaps().is_empty());
+    }
+
+    #[test]
+    fn backfill_densifies_the_series_with_held_values() {
+        let broker = Broker::new();
+        let mut collector = Collector::attach(&broker, "#".parse().unwrap())
+            .with_expected_interval(SimDuration::from_secs(5))
+            .with_backfill();
+        let topic: crate::topic::Topic = "node/power".parse().unwrap();
+        broker.publish(&topic, Payload::new(30.0, SimTime::ZERO));
+        broker.publish(&topic, Payload::new(40.0, SimTime::from_secs(20)));
+        let mut db = TimeSeriesStore::new();
+        assert_eq!(collector.pump(&mut db), 2);
+        assert_eq!(collector.backfilled(), 3);
+        // 2 real + 3 held points at 5, 10, 15 carrying the last value.
+        assert_eq!(db.point_count(), 5);
+        let points = db.query("node/power", SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(points[1], (SimTime::from_secs(5), 30.0));
+        assert_eq!(points[3], (SimTime::from_secs(15), 30.0));
+        assert_eq!(points[4], (SimTime::from_secs(20), 40.0));
+    }
+
+    #[test]
+    fn bounded_collector_reports_overflow_via_subscription() {
+        let broker = Broker::new();
+        let mut collector = Collector::attach_bounded(&broker, "#".parse().unwrap(), 2);
+        for i in 0..5 {
+            broker.publish(&"x".parse().unwrap(), Payload::new(i as f64, SimTime::ZERO));
+        }
+        let mut db = TimeSeriesStore::new();
+        assert_eq!(collector.pump(&mut db), 2);
+        assert_eq!(collector.subscription().dropped(), 3);
     }
 
     #[test]

@@ -34,6 +34,7 @@ impl Heatmap {
     /// # Panics
     ///
     /// Panics if `bins` is zero or the range is empty.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_store(
         title: impl Into<String>,
         store: &TimeSeriesStore,
@@ -123,7 +124,13 @@ impl Heatmap {
 }
 
 /// Renders a single series as a one-line unicode sparkline.
-pub fn sparkline(store: &TimeSeriesStore, series: &str, from: SimTime, to: SimTime, bins: usize) -> String {
+pub fn sparkline(
+    store: &TimeSeriesStore,
+    series: &str,
+    from: SimTime,
+    to: SimTime,
+    bins: usize,
+) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     assert!(bins > 0, "need at least one bin");
     assert!(to > from, "empty time range");
@@ -231,7 +238,13 @@ mod tests {
     #[test]
     fn sparkline_reflects_the_trend() {
         let db = store();
-        let line = sparkline(&db, "node/mc-01/instret", SimTime::ZERO, SimTime::from_secs(30), 10);
+        let line = sparkline(
+            &db,
+            "node/mc-01/instret",
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+            10,
+        );
         assert_eq!(line.chars().count(), 10);
         assert_eq!(line.chars().next(), Some('▁'));
         assert_eq!(line.chars().last(), Some('█'));

@@ -47,6 +47,7 @@ pub mod anomaly;
 pub mod broker;
 pub mod collector;
 pub mod dashboard;
+pub mod json;
 pub mod payload;
 pub mod plugins;
 pub mod query;

@@ -397,7 +397,10 @@ mod tests {
         let snap = snapshot();
         assert!(runner.maybe_sample(SimTime::ZERO, &snap, &broker) > 0);
         // 100 ms later: not due (2 Hz).
-        assert_eq!(runner.maybe_sample(SimTime::from_millis(100), &snap, &broker), 0);
+        assert_eq!(
+            runner.maybe_sample(SimTime::from_millis(100), &snap, &broker),
+            0
+        );
         assert!(runner.maybe_sample(SimTime::from_millis(500), &snap, &broker) > 0);
         assert_eq!(sub.drain().len(), 10);
     }

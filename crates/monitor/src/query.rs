@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use cimone_soc::units::{SimDuration, SimTime};
 
+use crate::json::JsonValue;
 use crate::topic::TopicFilter;
 use crate::tsdb::{Aggregation, TimeSeriesStore};
 
@@ -89,7 +90,10 @@ impl std::error::Error for QueryError {}
 /// assert_eq!(resp.series[0].points, vec![(3.0, 7.0)]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn evaluate(store: &TimeSeriesStore, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
+pub fn evaluate(
+    store: &TimeSeriesStore,
+    request: &QueryRequest,
+) -> Result<QueryResponse, QueryError> {
     let filter: TopicFilter = request
         .filter
         .parse()
@@ -109,7 +113,13 @@ pub fn evaluate(store: &TimeSeriesStore, request: &QueryRequest) -> Result<Query
     for (name, points) in store.query_filter(&filter, from, to) {
         let points: Vec<(f64, f64)> = match request.bin_secs {
             Some(bin_secs) if bin_secs > 0.0 => store
-                .downsample(&name, from, to, SimDuration::from_secs_f64(bin_secs), aggregation)
+                .downsample(
+                    &name,
+                    from,
+                    to,
+                    SimDuration::from_secs_f64(bin_secs),
+                    aggregation,
+                )
                 .into_iter()
                 .map(|(t, v)| (t.as_secs_f64(), v))
                 .collect(),
@@ -123,6 +133,169 @@ pub fn evaluate(store: &TimeSeriesStore, request: &QueryRequest) -> Result<Query
     Ok(QueryResponse { series })
 }
 
+fn aggregation_name(aggregation: Aggregation) -> &'static str {
+    match aggregation {
+        Aggregation::Mean => "Mean",
+        Aggregation::Min => "Min",
+        Aggregation::Max => "Max",
+        Aggregation::Sum => "Sum",
+        Aggregation::Count => "Count",
+        Aggregation::Last => "Last",
+    }
+}
+
+fn aggregation_from_name(name: &str) -> Option<Aggregation> {
+    match name {
+        "Mean" => Some(Aggregation::Mean),
+        "Min" => Some(Aggregation::Min),
+        "Max" => Some(Aggregation::Max),
+        "Sum" => Some(Aggregation::Sum),
+        "Count" => Some(Aggregation::Count),
+        "Last" => Some(Aggregation::Last),
+        _ => None,
+    }
+}
+
+impl QueryRequest {
+    /// Serialises the request to its wire (JSON) form.
+    pub fn to_json(&self) -> String {
+        JsonValue::object([
+            ("filter".to_owned(), JsonValue::String(self.filter.clone())),
+            ("from_secs".to_owned(), JsonValue::Number(self.from_secs)),
+            ("to_secs".to_owned(), JsonValue::Number(self.to_secs)),
+            (
+                "bin_secs".to_owned(),
+                self.bin_secs.map_or(JsonValue::Null, JsonValue::Number),
+            ),
+            (
+                "aggregation".to_owned(),
+                self.aggregation.map_or(JsonValue::Null, |a| {
+                    JsonValue::String(aggregation_name(a).to_owned())
+                }),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parses a request from its wire (JSON) form.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, missing required fields, or unknown
+    /// aggregation names.
+    pub fn from_json(json: &str) -> Result<QueryRequest, String> {
+        let value = JsonValue::parse(json).map_err(|e| e.to_string())?;
+        let filter = value
+            .get("filter")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field 'filter'")?
+            .to_owned();
+        let from_secs = value
+            .get("from_secs")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing number field 'from_secs'")?;
+        let to_secs = value
+            .get("to_secs")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing number field 'to_secs'")?;
+        let bin_secs = match value.get("bin_secs") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => Some(v.as_f64().ok_or("field 'bin_secs' must be a number")?),
+        };
+        let aggregation = match value.get("aggregation") {
+            None => None,
+            Some(v) if v.is_null() => None,
+            Some(v) => {
+                let name = v.as_str().ok_or("field 'aggregation' must be a string")?;
+                Some(
+                    aggregation_from_name(name)
+                        .ok_or_else(|| format!("unknown aggregation '{name}'"))?,
+                )
+            }
+        };
+        Ok(QueryRequest {
+            filter,
+            from_secs,
+            to_secs,
+            bin_secs,
+            aggregation,
+        })
+    }
+}
+
+impl QueryResponse {
+    /// Serialises the response to its wire (JSON) form.
+    pub fn to_json(&self) -> String {
+        JsonValue::object([(
+            "series".to_owned(),
+            JsonValue::Array(
+                self.series
+                    .iter()
+                    .map(|s| {
+                        JsonValue::object([
+                            ("name".to_owned(), JsonValue::String(s.name.clone())),
+                            (
+                                "points".to_owned(),
+                                JsonValue::Array(
+                                    s.points
+                                        .iter()
+                                        .map(|&(t, v)| {
+                                            JsonValue::Array(vec![
+                                                JsonValue::Number(t),
+                                                JsonValue::Number(v),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+        .to_string()
+    }
+
+    /// Parses a response from its wire (JSON) form.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a structure that does not match
+    /// [`QueryResponse::to_json`].
+    pub fn from_json(json: &str) -> Result<QueryResponse, String> {
+        let value = JsonValue::parse(json).map_err(|e| e.to_string())?;
+        let mut series = Vec::new();
+        for item in value
+            .get("series")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field 'series'")?
+        {
+            let name = item
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("series missing string field 'name'")?
+                .to_owned();
+            let mut points = Vec::new();
+            for pair in item
+                .get("points")
+                .and_then(JsonValue::as_array)
+                .ok_or("series missing array field 'points'")?
+            {
+                let pair = pair.as_array().ok_or("point must be a [t, v] pair")?;
+                if pair.len() != 2 {
+                    return Err("point must be a [t, v] pair".to_owned());
+                }
+                let t = pair[0].as_f64().ok_or("point time must be a number")?;
+                let v = pair[1].as_f64().ok_or("point value must be a number")?;
+                points.push((t, v));
+            }
+            series.push(SeriesData { name, points });
+        }
+        Ok(QueryResponse { series })
+    }
+}
+
 /// Evaluates a JSON request and returns a JSON response — the full
 /// REST-over-HTTP round trip minus the socket.
 ///
@@ -130,10 +303,10 @@ pub fn evaluate(store: &TimeSeriesStore, request: &QueryRequest) -> Result<Query
 ///
 /// Returns a JSON error object string for malformed input.
 pub fn evaluate_json(store: &TimeSeriesStore, request_json: &str) -> Result<String, String> {
-    let request: QueryRequest =
-        serde_json::from_str(request_json).map_err(|e| format!("{{\"error\":\"{e}\"}}"))?;
+    let request =
+        QueryRequest::from_json(request_json).map_err(|e| format!("{{\"error\":\"{e}\"}}"))?;
     match evaluate(store, &request) {
-        Ok(resp) => serde_json::to_string(&resp).map_err(|e| format!("{{\"error\":\"{e}\"}}")),
+        Ok(resp) => Ok(resp.to_json()),
         Err(e) => Err(format!("{{\"error\":\"{e}\"}}")),
     }
 }
@@ -222,8 +395,26 @@ mod tests {
     fn json_round_trip() {
         let json = r#"{"filter":"node/a/power","from_secs":0,"to_secs":3,"bin_secs":null,"aggregation":null}"#;
         let out = evaluate_json(&db(), json).unwrap();
-        let parsed: QueryResponse = serde_json::from_str(&out).unwrap();
+        let parsed = QueryResponse::from_json(&out).unwrap();
         assert_eq!(parsed.series[0].points.len(), 3);
         assert!(evaluate_json(&db(), "not json").is_err());
+    }
+
+    #[test]
+    fn request_json_round_trip_preserves_fields() {
+        let request = QueryRequest {
+            filter: "node/+/power".to_owned(),
+            from_secs: 1.5,
+            to_secs: 9.0,
+            bin_secs: Some(2.0),
+            aggregation: Some(Aggregation::Max),
+        };
+        let parsed = QueryRequest::from_json(&request.to_json()).unwrap();
+        assert_eq!(parsed, request);
+        assert!(QueryRequest::from_json(r#"{"filter":"a"}"#).is_err());
+        assert!(QueryRequest::from_json(
+            r#"{"filter":"a","from_secs":0,"to_secs":1,"aggregation":"Median"}"#
+        )
+        .is_err());
     }
 }

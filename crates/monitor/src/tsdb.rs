@@ -257,7 +257,9 @@ mod tests {
         assert_eq!(pts.len(), 2);
         let all = db.query("s", SimTime::ZERO, SimTime::from_secs(11));
         assert_eq!(all.len(), 3);
-        assert!(db.query("missing", SimTime::ZERO, SimTime::from_secs(1)).is_empty());
+        assert!(db
+            .query("missing", SimTime::ZERO, SimTime::from_secs(1))
+            .is_empty());
     }
 
     #[test]
@@ -272,12 +274,30 @@ mod tests {
     fn aggregations() {
         let db = store_with("s", &[(0, 1.0), (1, 5.0), (2, 3.0)]);
         let range = (SimTime::ZERO, SimTime::from_secs(10));
-        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Mean), Some(3.0));
-        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Min), Some(1.0));
-        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Max), Some(5.0));
-        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Sum), Some(9.0));
-        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Count), Some(3.0));
-        assert_eq!(db.aggregate("s", range.0, range.1, Aggregation::Last), Some(3.0));
+        assert_eq!(
+            db.aggregate("s", range.0, range.1, Aggregation::Mean),
+            Some(3.0)
+        );
+        assert_eq!(
+            db.aggregate("s", range.0, range.1, Aggregation::Min),
+            Some(1.0)
+        );
+        assert_eq!(
+            db.aggregate("s", range.0, range.1, Aggregation::Max),
+            Some(5.0)
+        );
+        assert_eq!(
+            db.aggregate("s", range.0, range.1, Aggregation::Sum),
+            Some(9.0)
+        );
+        assert_eq!(
+            db.aggregate("s", range.0, range.1, Aggregation::Count),
+            Some(3.0)
+        );
+        assert_eq!(
+            db.aggregate("s", range.0, range.1, Aggregation::Last),
+            Some(3.0)
+        );
         assert_eq!(db.aggregate("s", range.1, range.1, Aggregation::Mean), None);
     }
 
@@ -321,7 +341,9 @@ mod tests {
         assert_eq!(evicted, 2);
         assert_eq!(db.series_count(), 1, "empty series removed");
         assert!(db.latest("fresh").is_some());
-        assert!(db.query("old", SimTime::ZERO, SimTime::from_secs(1000)).is_empty());
+        assert!(db
+            .query("old", SimTime::ZERO, SimTime::from_secs(1000))
+            .is_empty());
     }
 
     #[test]
@@ -332,7 +354,10 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].0, SimTime::from_secs(50));
         // A window larger than the history evicts nothing.
-        assert_eq!(db.retain_window(SimTime::from_secs(100), SimDuration::from_secs(9999)), 0);
+        assert_eq!(
+            db.retain_window(SimTime::from_secs(100), SimDuration::from_secs(9999)),
+            0
+        );
     }
 
     #[test]

@@ -8,14 +8,20 @@
 //! accounting semantics; the cluster monitor uses its traffic counters for
 //! the per-node network series in Fig. 5.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use cimone_soc::units::{Bytes, SimDuration, SimTime};
 
 use crate::link::LinkModel;
+
+/// Retransmit timeout charged per lost attempt in
+/// [`Fabric::send_reliable`] — a TCP-flavoured minimum RTO.
+pub const RETRANSMIT_TIMEOUT: SimDuration = SimDuration::from_millis(200);
 
 /// A delivered message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +47,49 @@ pub struct TrafficCounters {
     pub messages_sent: u64,
     /// Messages received.
     pub messages_received: u64,
+    /// Messages lost in flight to the configured loss rate.
+    pub messages_lost: u64,
+    /// Extra attempts made by [`Fabric::send_reliable`] after a loss.
+    pub retransmits: u64,
+}
+
+/// Deterministic, seeded impairments applied to a fabric's traffic.
+#[derive(Debug)]
+struct Impairments {
+    /// Per-message Bernoulli loss probability.
+    loss_rate: f64,
+    /// Seeded RNG driving loss decisions; identical seeds give identical
+    /// loss patterns.
+    rng: StdRng,
+    /// Multiplier (>= 1.0) on transfer time — a degraded or flapping link.
+    degradation: f64,
+    /// Endpoint pairs with the link administratively down (stored with
+    /// the smaller id first; links are symmetric).
+    down_links: BTreeSet<(usize, usize)>,
+}
+
+impl Default for Impairments {
+    fn default() -> Self {
+        Impairments {
+            loss_rate: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            degradation: 1.0,
+            down_links: BTreeSet::new(),
+        }
+    }
+}
+
+fn pair(a: usize, b: usize) -> (usize, usize) {
+    (a.min(b), a.max(b))
+}
+
+/// Scales a duration by a (>= 1.0) degradation factor, rounding to
+/// microseconds.
+fn scale_duration(d: SimDuration, factor: f64) -> SimDuration {
+    if factor == 1.0 {
+        return d;
+    }
+    SimDuration::from_micros((d.as_micros() as f64 * factor).round() as u64)
 }
 
 /// Errors from fabric operations.
@@ -57,6 +106,18 @@ pub enum FabricError {
     Empty,
     /// The far side of a mailbox was dropped.
     Disconnected,
+    /// The link between two endpoints is down (partitioned).
+    LinkDown {
+        /// One endpoint.
+        from: usize,
+        /// The other.
+        to: usize,
+    },
+    /// A reliable send lost every attempt.
+    TimedOut {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for FabricError {
@@ -67,6 +128,12 @@ impl std::fmt::Display for FabricError {
             }
             FabricError::Empty => write!(f, "mailbox empty"),
             FabricError::Disconnected => write!(f, "mailbox disconnected"),
+            FabricError::LinkDown { from, to } => {
+                write!(f, "link between {from} and {to} is down")
+            }
+            FabricError::TimedOut { attempts } => {
+                write!(f, "send lost all {attempts} attempts")
+            }
         }
     }
 }
@@ -95,6 +162,7 @@ pub struct Fabric {
     senders: Vec<Sender<Message>>,
     receivers: Vec<Receiver<Message>>,
     counters: Mutex<HashMap<usize, TrafficCounters>>,
+    impairments: Mutex<Impairments>,
 }
 
 impl Fabric {
@@ -111,6 +179,7 @@ impl Fabric {
             senders,
             receivers,
             counters: Mutex::new(HashMap::new()),
+            impairments: Mutex::new(Impairments::default()),
         }
     }
 
@@ -119,12 +188,60 @@ impl Fabric {
         self.senders.len()
     }
 
+    /// Configures per-message Bernoulli loss at `rate`, driven by a seeded
+    /// RNG: identical seeds and traffic give identical loss patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn set_loss(&self, rate: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        let mut imp = self.impairments.lock();
+        imp.loss_rate = rate;
+        imp.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Multiplies every transfer time by `factor` — a degraded link (e.g.
+    /// renegotiated down, or flapping). `1.0` restores full speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is below 1.0 or not finite.
+    pub fn set_degradation(&self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "degradation factor must be >= 1.0"
+        );
+        self.impairments.lock().degradation = factor;
+    }
+
+    /// Takes the (symmetric) link between `a` and `b` down: sends in
+    /// either direction fail with [`FabricError::LinkDown`].
+    pub fn set_link_down(&self, a: usize, b: usize) {
+        self.impairments.lock().down_links.insert(pair(a, b));
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn set_link_up(&self, a: usize, b: usize) {
+        self.impairments.lock().down_links.remove(&pair(a, b));
+    }
+
+    /// Whether the link between `a` and `b` is up.
+    pub fn link_is_up(&self, a: usize, b: usize) -> bool {
+        !self.impairments.lock().down_links.contains(&pair(a, b))
+    }
+
     /// Sends `payload` from `from` to `to`, stamping the arrival time
-    /// `now + link transfer time`.
+    /// `now + link transfer time` (scaled by any configured degradation).
+    ///
+    /// QoS-0 semantics under impairment: a message taken by the loss rate
+    /// still *appears* sent (counters count it sent, then lost) and `Ok`
+    /// is returned — the sender has no acknowledgement path. Use
+    /// [`Fabric::send_reliable`] when delivery must be confirmed.
     ///
     /// # Errors
     ///
-    /// Fails for unknown endpoints or a dropped receiver.
+    /// Fails for unknown endpoints, a downed link, or a dropped receiver.
     pub fn send(
         &self,
         from: usize,
@@ -133,28 +250,102 @@ impl Fabric {
         payload: Vec<u8>,
         now: SimTime,
     ) -> Result<SimTime, FabricError> {
+        self.send_tracked(from, to, tag, payload, now)
+            .map(|(eta, _)| eta)
+    }
+
+    /// Like [`Fabric::send`], but also reports whether the message was
+    /// actually delivered (`false` = taken by the loss rate).
+    fn send_tracked(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
+        payload: Vec<u8>,
+        now: SimTime,
+    ) -> Result<(SimTime, bool), FabricError> {
         let size = self.size();
         if from >= size {
-            return Err(FabricError::UnknownEndpoint { endpoint: from, size });
+            return Err(FabricError::UnknownEndpoint {
+                endpoint: from,
+                size,
+            });
         }
         let tx = self
             .senders
             .get(to)
             .ok_or(FabricError::UnknownEndpoint { endpoint: to, size })?;
+        let (lost, degradation) = {
+            let mut imp = self.impairments.lock();
+            if imp.down_links.contains(&pair(from, to)) {
+                return Err(FabricError::LinkDown { from, to });
+            }
+            let lost = imp.loss_rate > 0.0 && {
+                let rate = imp.loss_rate;
+                imp.rng.gen_bool(rate)
+            };
+            (lost, imp.degradation)
+        };
         let bytes = payload.len() as u64;
-        let arrives_at = now + self.transfer_time(Bytes::new(bytes));
-        tx.send(Message {
-            from,
-            tag,
-            payload,
-            arrives_at,
-        })
-        .map_err(|_| FabricError::Disconnected)?;
+        let transfer = self.transfer_time(Bytes::new(bytes));
+        let arrives_at = now + scale_duration(transfer, degradation);
+        if !lost {
+            tx.send(Message {
+                from,
+                tag,
+                payload,
+                arrives_at,
+            })
+            .map_err(|_| FabricError::Disconnected)?;
+        }
         let mut counters = self.counters.lock();
         let s = counters.entry(from).or_default();
         s.sent += bytes;
         s.messages_sent += 1;
-        Ok(arrives_at)
+        if lost {
+            s.messages_lost += 1;
+        }
+        Ok((arrives_at, !lost))
+    }
+
+    /// Sends with retransmit-on-loss: attempts delivery up to
+    /// `max_attempts` times, charging [`RETRANSMIT_TIMEOUT`] of simulated
+    /// time per lost attempt (the sender must wait out the ack timeout
+    /// before it can know to resend). Retransmissions are counted in the
+    /// sender's [`TrafficCounters::retransmits`].
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Fabric::send`], or with [`FabricError::TimedOut`]
+    /// after `max_attempts` losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn send_reliable(
+        &self,
+        from: usize,
+        to: usize,
+        tag: u64,
+        payload: Vec<u8>,
+        now: SimTime,
+        max_attempts: u32,
+    ) -> Result<SimTime, FabricError> {
+        assert!(max_attempts > 0, "need at least one attempt");
+        let mut at = now;
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                self.counters.lock().entry(from).or_default().retransmits += 1;
+            }
+            let (eta, delivered) = self.send_tracked(from, to, tag, payload.clone(), at)?;
+            if delivered {
+                return Ok(eta);
+            }
+            at += RETRANSMIT_TIMEOUT;
+        }
+        Err(FabricError::TimedOut {
+            attempts: max_attempts,
+        })
     }
 
     /// Non-blocking receive at endpoint `at`.
@@ -218,7 +409,9 @@ mod tests {
     fn arrival_times_follow_the_link_model() {
         let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
         let payload = vec![0u8; 125_000]; // 1 ms of serialisation at 125 MB/s
-        let eta = fabric.send(0, 1, 0, payload, SimTime::from_secs(1)).unwrap();
+        let eta = fabric
+            .send(0, 1, 0, payload, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(eta.as_micros(), 1_000_000 + 50 + 1_000);
     }
 
@@ -239,12 +432,142 @@ mod tests {
         let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
         assert!(matches!(
             fabric.send(0, 9, 0, vec![], SimTime::ZERO),
-            Err(FabricError::UnknownEndpoint { endpoint: 9, size: 2 })
+            Err(FabricError::UnknownEndpoint {
+                endpoint: 9,
+                size: 2
+            })
         ));
         assert!(matches!(
             fabric.try_recv(5),
-            Err(FabricError::UnknownEndpoint { endpoint: 5, size: 2 })
+            Err(FabricError::UnknownEndpoint {
+                endpoint: 5,
+                size: 2
+            })
         ));
+    }
+
+    #[test]
+    fn downed_links_partition_the_pair_both_ways() {
+        let fabric = Fabric::new(3, LinkModel::gigabit_ethernet());
+        fabric.set_link_down(0, 1);
+        assert!(!fabric.link_is_up(1, 0));
+        assert!(matches!(
+            fabric.send(0, 1, 0, vec![1], SimTime::ZERO),
+            Err(FabricError::LinkDown { from: 0, to: 1 })
+        ));
+        assert!(matches!(
+            fabric.send(1, 0, 0, vec![1], SimTime::ZERO),
+            Err(FabricError::LinkDown { from: 1, to: 0 })
+        ));
+        // Other pairs are unaffected.
+        fabric.send(0, 2, 0, vec![1], SimTime::ZERO).unwrap();
+        fabric.set_link_up(0, 1);
+        fabric.send(0, 1, 0, vec![1], SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn degradation_slows_transfers() {
+        let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
+        let clean = fabric
+            .send(0, 1, 0, vec![0u8; 125_000], SimTime::ZERO)
+            .unwrap();
+        fabric.set_degradation(4.0);
+        let slow = fabric
+            .send(0, 1, 0, vec![0u8; 125_000], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(slow.as_micros(), clean.as_micros() * 4);
+        fabric.set_degradation(1.0);
+        let back = fabric
+            .send(0, 1, 0, vec![0u8; 125_000], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(back, clean);
+    }
+
+    #[test]
+    fn seeded_loss_is_deterministic_and_accounted() {
+        let run = |seed: u64| {
+            let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
+            fabric.set_loss(0.5, seed);
+            for i in 0..100 {
+                fabric.send(0, 1, i, vec![0u8; 8], SimTime::ZERO).unwrap();
+            }
+            let mut delivered = 0;
+            while fabric.try_recv(1).is_ok() {
+                delivered += 1;
+            }
+            (delivered, fabric.counters(0))
+        };
+        let (delivered_a, counters_a) = run(42);
+        let (delivered_b, counters_b) = run(42);
+        assert_eq!(delivered_a, delivered_b, "same seed, same loss pattern");
+        assert_eq!(counters_a, counters_b);
+        assert_eq!(counters_a.messages_sent, 100);
+        assert_eq!(counters_a.messages_lost + delivered_a, 100);
+        assert!(counters_a.messages_lost > 10, "0.5 loss drops plenty");
+        // A different seed gives a different pattern (with near-certainty).
+        let (_, counters_c) = run(43);
+        assert_ne!(counters_a.messages_lost, counters_c.messages_lost);
+    }
+
+    #[test]
+    fn reliable_send_retransmits_through_loss() {
+        let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
+        fabric.set_loss(0.5, 7);
+        let mut delivered = 0;
+        for i in 0..50 {
+            if fabric
+                .send_reliable(0, 1, i, vec![0u8; 8], SimTime::ZERO, 8)
+                .is_ok()
+            {
+                delivered += 1;
+            }
+        }
+        assert_eq!(
+            delivered, 50,
+            "8 attempts at 0.5 loss all but guarantee delivery"
+        );
+        let counters = fabric.counters(0);
+        assert!(counters.retransmits > 0, "loss forced retransmissions");
+        assert_eq!(counters.retransmits, counters.messages_lost);
+        let mut received = 0;
+        while fabric.try_recv(1).is_ok() {
+            received += 1;
+        }
+        assert_eq!(received, 50);
+    }
+
+    #[test]
+    fn reliable_send_times_out_on_total_loss() {
+        let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
+        fabric.set_loss(1.0, 1);
+        assert_eq!(
+            fabric.send_reliable(0, 1, 0, vec![1], SimTime::ZERO, 3),
+            Err(FabricError::TimedOut { attempts: 3 })
+        );
+        assert_eq!(fabric.counters(0).messages_lost, 3);
+        assert_eq!(fabric.counters(0).retransmits, 2);
+    }
+
+    #[test]
+    fn lost_retransmits_delay_the_eventual_arrival() {
+        // Deterministically lose the first attempt only: loss rate 1.0,
+        // then clear it after one send.
+        let fabric = Fabric::new(2, LinkModel::gigabit_ethernet());
+        let clean = fabric.send(0, 1, 0, vec![0u8; 8], SimTime::ZERO).unwrap();
+        fabric.try_recv(1).unwrap();
+        fabric.set_loss(1.0, 1);
+        let eta = fabric.send(0, 1, 0, vec![0u8; 8], SimTime::ZERO).unwrap();
+        assert_eq!(eta, clean, "QoS-0 send reports the would-be arrival");
+        assert_eq!(
+            fabric.try_recv(1),
+            Err(FabricError::Empty),
+            "but nothing lands"
+        );
+        fabric.set_loss(0.0, 1);
+        let eta = fabric
+            .send_reliable(0, 1, 0, vec![0u8; 8], SimTime::ZERO, 4)
+            .unwrap();
+        assert_eq!(eta, clean, "no loss, no extra delay");
     }
 
     #[test]
@@ -252,7 +575,8 @@ mod tests {
         let fabric = std::sync::Arc::new(Fabric::new(2, LinkModel::infiniband_fdr()));
         let f2 = fabric.clone();
         let handle = std::thread::spawn(move || {
-            f2.send(0, 1, 42, b"from thread".to_vec(), SimTime::ZERO).unwrap();
+            f2.send(0, 1, 42, b"from thread".to_vec(), SimTime::ZERO)
+                .unwrap();
         });
         handle.join().unwrap();
         let msg = fabric.try_recv(1).unwrap();

@@ -74,7 +74,10 @@ impl fmt::Display for IbError {
             IbError::Unsupported { capability, reason } => {
                 write!(f, "{capability} unsupported: {reason}")
             }
-            IbError::InsufficientPcieLanes { required, available } => write!(
+            IbError::InsufficientPcieLanes {
+                required,
+                available,
+            } => write!(
                 f,
                 "HCA requires {required} PCIe lanes, slot provides {available}"
             ),

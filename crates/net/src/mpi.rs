@@ -130,7 +130,7 @@ impl ProcessGrid {
         let mut best = ProcessGrid::new(1, ranks);
         let mut p = 1;
         while p * p <= ranks {
-            if ranks % p == 0 {
+            if ranks.is_multiple_of(p) {
                 best = ProcessGrid::new(p, ranks / p);
             }
             p += 1;

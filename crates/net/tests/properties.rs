@@ -101,5 +101,8 @@ proptest! {
 #[test]
 fn zero_payload_still_pays_latency() {
     let link = LinkModel::gigabit_ethernet();
-    assert_eq!(link.transfer_time(Bytes::ZERO), SimDuration::from_micros(50));
+    assert_eq!(
+        link.transfer_time(Bytes::ZERO),
+        SimDuration::from_micros(50)
+    );
 }

@@ -52,7 +52,11 @@ impl fmt::Display for ConcreteSpec {
         write!(
             f,
             "{}@{} %{}@{} target={} /{}",
-            self.name, self.version, self.compiler.name, self.compiler.version, self.target,
+            self.name,
+            self.version,
+            self.compiler.name,
+            self.compiler.version,
+            self.target,
             &self.hash[..7.min(self.hash.len())]
         )
     }
@@ -263,7 +267,12 @@ pub fn concretize(
                 variants.insert(k.clone(), *v);
             }
         }
-        let deps: Vec<String> = edges.get(name).cloned().unwrap_or_default().into_iter().collect();
+        let deps: Vec<String> = edges
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
         let mut content = format!(
             "{name}@{}|%{}@{}|target={target}",
             versions[name], compiler.name, compiler.version
@@ -334,7 +343,9 @@ fn discover(
             .entry(name.to_owned())
             .or_default()
             .insert(dep.name.clone());
-        reqs.entry(dep.name.clone()).or_default().push(dep.req.clone());
+        reqs.entry(dep.name.clone())
+            .or_default()
+            .push(dep.req.clone());
         discover(&dep.name, root, repo, edges, reqs, path, done)?;
     }
     path.pop();

@@ -54,7 +54,10 @@ impl fmt::Display for InstallError {
             InstallError::MissingDependency {
                 package,
                 dependency,
-            } => write!(f, "cannot install {package}: dependency {dependency} not installed"),
+            } => write!(
+                f,
+                "cannot install {package}: dependency {dependency} not installed"
+            ),
             InstallError::HasDependents {
                 package,
                 dependents,
@@ -146,10 +149,12 @@ impl InstallTree {
     ) -> Result<&InstalledPackage, InstallError> {
         if !self.by_hash.contains_key(&spec.hash) {
             for dep in &spec.deps {
-                let dep_spec = dag.get(dep).ok_or_else(|| InstallError::MissingDependency {
-                    package: spec.name.clone(),
-                    dependency: dep.clone(),
-                })?;
+                let dep_spec = dag
+                    .get(dep)
+                    .ok_or_else(|| InstallError::MissingDependency {
+                        package: spec.name.clone(),
+                        dependency: dep.clone(),
+                    })?;
                 if !self.is_installed(dep_spec) {
                     return Err(InstallError::MissingDependency {
                         package: spec.name.clone(),
@@ -234,7 +239,11 @@ impl InstallTree {
 
     /// `module avail` over the installed tree, sorted.
     pub fn module_avail(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.by_hash.values().map(|p| module_name(&p.spec)).collect();
+        let mut names: Vec<String> = self
+            .by_hash
+            .values()
+            .map(|p| module_name(&p.spec))
+            .collect();
         names.sort();
         names
     }
@@ -310,6 +319,9 @@ mod tests {
         let stream = dag("stream");
         let mut tree = InstallTree::new("/opt/cimone");
         tree.install_dag(&stream).unwrap();
-        assert_eq!(tree.module_avail(), vec!["stream/5.10-gcc-10.3.0".to_owned()]);
+        assert_eq!(
+            tree.module_avail(),
+            vec!["stream/5.10-gcc-10.3.0".to_owned()]
+        );
     }
 }

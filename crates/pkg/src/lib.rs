@@ -46,7 +46,7 @@ pub mod spec;
 pub mod target;
 pub mod version;
 
-pub use concretize::{concretize, Concretization, ConcreteSpec, ConcretizeError};
+pub use concretize::{concretize, ConcreteSpec, Concretization, ConcretizeError};
 pub use install::InstallTree;
 pub use repo::{PackageRepo, TABLE_I_STACK};
 pub use spec::Spec;

@@ -182,10 +182,7 @@ impl PackageRepo {
             PackageDef::new("netlib-lapack", ["3.9.0", "3.9.1"]),
             PackageDef::new("netlib-scalapack", ["2.1.0"])
                 .dep(Dependency::any("netlib-lapack"))
-                .dep(
-                    Dependency::any("openmpi")
-                        .with_req("4.1".parse().expect("req parses")),
-                ),
+                .dep(Dependency::any("openmpi").with_req("4.1".parse().expect("req parses"))),
             PackageDef::new("hpl", ["2.3"])
                 .dep(Dependency::any("openmpi"))
                 .dep(Dependency::any("openblas")),

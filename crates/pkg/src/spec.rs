@@ -209,7 +209,10 @@ impl FromStr for Spec {
             } else if let Some(target) = token.strip_prefix("target=") {
                 spec = spec.with_target(target);
             } else {
-                return Err(SpecParseError::new(s, format!("unrecognised token {token:?}")));
+                return Err(SpecParseError::new(
+                    s,
+                    format!("unrecognised token {token:?}"),
+                ));
             }
         }
         Ok(spec)

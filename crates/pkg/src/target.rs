@@ -232,7 +232,10 @@ mod tests {
         assert!(old.contains("rv64imafdc"), "flags: {old}");
         assert!(!old.contains("zba"), "flags: {old}");
         let new = t.gcc_flags(&v("12.1.0"));
-        assert!(new.contains("zba_zbb") || new.contains("zba"), "flags: {new}");
+        assert!(
+            new.contains("zba_zbb") || new.contains("zba"),
+            "flags: {new}"
+        );
     }
 
     #[test]

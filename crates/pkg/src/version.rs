@@ -34,11 +34,7 @@ impl Eq for Version {}
 impl std::hash::Hash for Version {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         // Hash consistently with Eq: ignore trailing zero components.
-        let trimmed_len = self
-            .0
-            .iter()
-            .rposition(|&c| c != 0)
-            .map_or(1, |i| i + 1);
+        let trimmed_len = self.0.iter().rposition(|&c| c != 0).map_or(1, |i| i + 1);
         self.0[..trimmed_len].hash(state);
     }
 }
@@ -51,7 +47,10 @@ impl Version {
     /// Panics if `components` is empty.
     pub fn new(components: impl Into<Vec<u64>>) -> Self {
         let components = components.into();
-        assert!(!components.is_empty(), "version needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "version needs at least one component"
+        );
         Version(components)
     }
 
@@ -112,7 +111,9 @@ impl FromStr for Version {
     type Err = VersionParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || VersionParseError { input: s.to_owned() };
+        let err = || VersionParseError {
+            input: s.to_owned(),
+        };
         if s.is_empty() {
             return Err(err());
         }
@@ -221,8 +222,16 @@ impl FromStr for VersionReq {
             return Ok(VersionReq::Any);
         }
         if let Some((lo, hi)) = s.split_once(':') {
-            let min = if lo.is_empty() { None } else { Some(lo.parse()?) };
-            let max = if hi.is_empty() { None } else { Some(hi.parse()?) };
+            let min = if lo.is_empty() {
+                None
+            } else {
+                Some(lo.parse()?)
+            };
+            let max = if hi.is_empty() {
+                None
+            } else {
+                Some(hi.parse()?)
+            };
             Ok(VersionReq::Range { min, max })
         } else {
             Ok(VersionReq::Series(s.parse()?))

@@ -26,6 +26,10 @@ pub struct JobRecord {
     pub node_seconds: f64,
     /// Energy attributed to the job, if the monitoring stack supplied it.
     pub energy: Option<Energy>,
+    /// Times the job was requeued by node failures before finishing.
+    pub requeues: u32,
+    /// When the job last lost an allocation to a node failure, if ever.
+    pub last_failure_at: Option<SimTime>,
 }
 
 impl JobRecord {
@@ -47,6 +51,8 @@ impl JobRecord {
             elapsed,
             node_seconds: elapsed.as_secs_f64() * job.allocated_nodes().len() as f64,
             energy: None,
+            requeues: job.requeue_count(),
+            last_failure_at: job.last_failure_at(),
         })
     }
 
@@ -55,6 +61,36 @@ impl JobRecord {
         self.energy = Some(energy);
         self
     }
+}
+
+/// A scheduler-level job event worth auditing (the `sacct` event log).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobEventKind {
+    /// The job lost `node` to a failure and went back to the queue with a
+    /// backoff hold.
+    Requeued {
+        /// The failed node.
+        node: String,
+        /// How long the job is held before it may restart.
+        backoff: SimDuration,
+    },
+    /// The job lost `node` with its retry budget already spent and was
+    /// given up as failed.
+    RetriesExhausted {
+        /// The failed node.
+        node: String,
+    },
+}
+
+/// One timestamped entry in the scheduler event log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// The affected job.
+    pub job_id: u64,
+    /// What happened.
+    pub kind: JobEventKind,
 }
 
 /// The accounting database.
@@ -71,6 +107,7 @@ impl JobRecord {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AccountingLog {
     records: Vec<JobRecord>,
+    events: Vec<JobEvent>,
 }
 
 impl AccountingLog {
@@ -87,6 +124,26 @@ impl AccountingLog {
     /// All records in completion order.
     pub fn records(&self) -> &[JobRecord] {
         &self.records
+    }
+
+    /// Appends a timestamped job event (requeue, retry exhaustion, …).
+    pub fn record_event(&mut self, event: JobEvent) {
+        self.events.push(event);
+    }
+
+    /// Appends many events at once (e.g. drained from the scheduler).
+    pub fn record_events(&mut self, events: impl IntoIterator<Item = JobEvent>) {
+        self.events.extend(events);
+    }
+
+    /// All events in occurrence order.
+    pub fn events(&self) -> &[JobEvent] {
+        &self.events
+    }
+
+    /// Events for one job, in occurrence order.
+    pub fn events_for(&self, job_id: u64) -> impl Iterator<Item = &JobEvent> {
+        self.events.iter().filter(move |e| e.job_id == job_id)
     }
 
     /// Number of records.
@@ -184,6 +241,32 @@ mod tests {
         log.record(JobRecord::from_job(&finished_job()).unwrap());
         assert_eq!(log.by_user("alice").count(), 1);
         assert_eq!(log.by_user("bob").count(), 0);
+    }
+
+    #[test]
+    fn event_log_orders_and_filters() {
+        let mut log = AccountingLog::new();
+        log.record_event(JobEvent {
+            at: SimTime::from_secs(10),
+            job_id: 1,
+            kind: JobEventKind::Requeued {
+                node: "mc-node-07".into(),
+                backoff: SimDuration::from_secs(2),
+            },
+        });
+        log.record_event(JobEvent {
+            at: SimTime::from_secs(30),
+            job_id: 2,
+            kind: JobEventKind::RetriesExhausted {
+                node: "mc-node-03".into(),
+            },
+        });
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events_for(1).count(), 1);
+        assert!(matches!(
+            &log.events_for(2).next().unwrap().kind,
+            JobEventKind::RetriesExhausted { node } if node == "mc-node-03"
+        ));
     }
 
     #[test]

@@ -12,7 +12,10 @@ pub enum NodeAvailability {
     Idle,
     /// Running a job.
     Allocated,
-    /// Removed from service (failure or operator drain).
+    /// Administratively removed from scheduling (healthy, but held out of
+    /// service by the operator — Slurm's `drain`).
+    Drained,
+    /// Removed from service by a failure.
     Down,
 }
 
@@ -21,6 +24,7 @@ impl fmt::Display for NodeAvailability {
         let s = match self {
             NodeAvailability::Idle => "idle",
             NodeAvailability::Allocated => "alloc",
+            NodeAvailability::Drained => "drain",
             NodeAvailability::Down => "down",
         };
         f.write_str(s)
@@ -66,10 +70,7 @@ impl Partition {
     /// The paper's production partition: eight nodes, `mc-node-01` through
     /// `mc-node-08`.
     pub fn monte_cimone() -> Self {
-        Partition::new(
-            "cimone",
-            (1..=8).map(|i| format!("mc-node-{i:02}")),
-        )
+        Partition::new("cimone", (1..=8).map(|i| format!("mc-node-{i:02}")))
     }
 
     /// Partition name.
@@ -109,11 +110,12 @@ impl Partition {
             .count()
     }
 
-    /// Count of nodes not down (idle or allocated).
+    /// Count of nodes available for work (idle or allocated; drained and
+    /// down nodes are out of service).
     pub fn in_service_count(&self) -> usize {
         self.nodes
             .values()
-            .filter(|a| **a != NodeAvailability::Down)
+            .filter(|a| matches!(a, NodeAvailability::Idle | NodeAvailability::Allocated))
             .count()
     }
 

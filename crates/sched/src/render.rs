@@ -148,7 +148,12 @@ mod tests {
         )
         .expect("fits");
         s.submit(
-            JobSpec::new("qe-lax-with-long-name", "bench", 8, SimDuration::from_secs(60)),
+            JobSpec::new(
+                "qe-lax-with-long-name",
+                "bench",
+                8,
+                SimDuration::from_secs(60),
+            ),
             SimTime::ZERO,
         )
         .expect("fits");
@@ -176,7 +181,10 @@ mod tests {
         assert!(lines[1].contains("2:05"), "{text}");
         assert!(lines[2].contains("PD"), "{text}");
         assert!(lines[2].contains("(Resources)"), "{text}");
-        assert!(lines[2].contains("qe-lax-with+"), "long names truncate: {text}");
+        assert!(
+            lines[2].contains("qe-lax-with+"),
+            "long names truncate: {text}"
+        );
     }
 
     #[test]

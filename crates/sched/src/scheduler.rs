@@ -2,11 +2,12 @@
 //! node-exclusive allocation, and node-failure requeue — the slice of
 //! Slurm's behaviour Monte Cimone exercises.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cimone_soc::units::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::accounting::{JobEvent, JobEventKind};
 use crate::job::{Job, JobId, JobSpec, JobState};
 use crate::partition::{NodeAvailability, Partition};
 
@@ -92,6 +93,11 @@ pub struct Scheduler {
     /// Running jobs.
     running: Vec<JobId>,
     next_id: u64,
+    /// Allocated nodes with a drain pending: they leave service when
+    /// their job finishes instead of returning to the idle pool.
+    draining: BTreeSet<String>,
+    /// Requeue/retry events since the last [`Scheduler::take_events`].
+    events: Vec<JobEvent>,
 }
 
 impl Scheduler {
@@ -109,6 +115,8 @@ impl Scheduler {
             queue: Vec::new(),
             running: Vec::new(),
             next_id: 1,
+            draining: BTreeSet::new(),
+            events: Vec::new(),
         }
     }
 
@@ -167,30 +175,38 @@ impl Scheduler {
     }
 
     /// Runs one scheduling pass at `now`, starting every job the policy
-    /// allows. Returns the started ids in start order.
+    /// allows. A job held in requeue backoff keeps its queue position and
+    /// priority: it cannot start, but like a too-large head it blocks the
+    /// FIFO scan, so later jobs overtake it only through backfill (which
+    /// respects its reservation). Returns the started ids in start order.
     pub fn schedule(&mut self, now: SimTime) -> Vec<JobId> {
         let mut started = Vec::new();
 
-        // FIFO phase: start queue-head jobs while they fit.
-        while let Some(&head) = self.queue.first() {
-            let need = self.jobs[&head].spec().nodes;
-            if need <= self.partition.idle_count() {
-                self.start_job(head, now);
+        // FIFO phase: start jobs in queue order while they fit. The first
+        // job that cannot start — too large for the idle pool, or held in
+        // backoff — becomes the blocked head for the backfill pass.
+        let mut head_blocked = false;
+        while !self.queue.is_empty() {
+            let id = self.queue[0];
+            let need = self.jobs[&id].spec().nodes;
+            if self.jobs[&id].is_eligible(now) && need <= self.partition.idle_count() {
+                self.start_job(id, now);
                 self.queue.remove(0);
-                started.push(head);
+                started.push(id);
             } else {
+                head_blocked = true;
                 break;
             }
         }
 
-        if self.policy == SchedulingPolicy::Backfill && !self.queue.is_empty() {
+        if head_blocked && self.policy == SchedulingPolicy::Backfill {
             started.extend(self.backfill_pass(now));
         }
         started
     }
 
     /// EASY backfill: compute the head job's shadow start, then start any
-    /// later job that fits now and cannot delay the head.
+    /// later eligible job that fits now and cannot delay the head.
     fn backfill_pass(&mut self, now: SimTime) -> Vec<JobId> {
         let head = self.queue[0];
         let head_need = self.jobs[&head].spec().nodes;
@@ -232,6 +248,10 @@ impl Scheduler {
         let mut i = 1;
         while i < self.queue.len() {
             let id = self.queue[i];
+            if !self.jobs[&id].is_eligible(now) {
+                i += 1;
+                continue;
+            }
             let spec = self.jobs[&id].spec().clone();
             let fits_now = spec.nodes <= self.partition.idle_count();
             let ends_before_shadow = now + spec.time_limit <= shadow_time;
@@ -270,12 +290,7 @@ impl Scheduler {
     /// # Errors
     ///
     /// Fails for unknown jobs or jobs that are not running.
-    pub fn complete(
-        &mut self,
-        id: JobId,
-        now: SimTime,
-        state: JobState,
-    ) -> Result<(), SchedError> {
+    pub fn complete(&mut self, id: JobId, now: SimTime, state: JobState) -> Result<(), SchedError> {
         let job = self.jobs.get_mut(&id).ok_or(SchedError::UnknownJob(id))?;
         if job.state() != JobState::Running {
             return Err(SchedError::WrongState {
@@ -286,25 +301,36 @@ impl Scheduler {
         let nodes: Vec<String> = job.allocated_nodes().to_vec();
         job.finish(now, state);
         for node in nodes {
-            // Keep nodes that failed out of service.
+            // Keep nodes that failed out of service; nodes with a drain
+            // pending leave service now that their job is gone.
             if self.partition.availability(&node) == Some(NodeAvailability::Allocated) {
-                self.partition.set_availability(&node, NodeAvailability::Idle);
+                let next = if self.draining.remove(&node) {
+                    NodeAvailability::Drained
+                } else {
+                    NodeAvailability::Idle
+                };
+                self.partition.set_availability(&node, next);
             }
         }
         self.running.retain(|r| *r != id);
         Ok(())
     }
 
-    /// Takes `node` out of service; any job running on it is requeued at
-    /// the head of the queue (Slurm's `--requeue` behaviour) and its other
-    /// nodes are freed.
+    /// Takes `node` out of service at `now`; any job running on it is
+    /// requeued at the head of the queue (Slurm's `--requeue` behaviour)
+    /// with its failure time recorded and exponential backoff applied,
+    /// and its other nodes are freed. A victim whose retry budget is
+    /// already spent is instead marked [`JobState::Failed`].
     ///
-    /// Returns the requeued job, if any.
-    pub fn fail_node(&mut self, node: &str, _now: SimTime) -> Option<JobId> {
-        if self.partition.availability(node).is_none() {
-            return None;
-        }
-        self.partition.set_availability(node, NodeAvailability::Down);
+    /// Either outcome is appended to the scheduler event log
+    /// ([`Scheduler::events`]).
+    ///
+    /// Returns the victim job, if any.
+    pub fn fail_node(&mut self, node: &str, now: SimTime) -> Option<JobId> {
+        self.partition.availability(node)?;
+        self.partition
+            .set_availability(node, NodeAvailability::Down);
+        self.draining.remove(node);
         let victim = self
             .running
             .iter()
@@ -313,23 +339,88 @@ impl Scheduler {
         if let Some(id) = victim {
             let job = self.jobs.get_mut(&id).expect("victim exists");
             let nodes: Vec<String> = job.allocated_nodes().to_vec();
-            job.requeue();
+            let exhausted = job.retries_exhausted();
+            if exhausted {
+                job.fail_permanently(now);
+                self.events.push(JobEvent {
+                    at: now,
+                    job_id: id.0,
+                    kind: JobEventKind::RetriesExhausted {
+                        node: node.to_owned(),
+                    },
+                });
+            } else {
+                let backoff = job.requeue(now);
+                self.events.push(JobEvent {
+                    at: now,
+                    job_id: id.0,
+                    kind: JobEventKind::Requeued {
+                        node: node.to_owned(),
+                        backoff,
+                    },
+                });
+            }
             for n in nodes {
                 if self.partition.availability(&n) == Some(NodeAvailability::Allocated) {
-                    self.partition.set_availability(&n, NodeAvailability::Idle);
+                    let next = if self.draining.remove(&n) {
+                        NodeAvailability::Drained
+                    } else {
+                        NodeAvailability::Idle
+                    };
+                    self.partition.set_availability(&n, next);
                 }
             }
             self.running.retain(|r| *r != id);
-            self.queue.insert(0, id);
+            if !exhausted {
+                self.queue.insert(0, id);
+            }
         }
         victim
     }
 
-    /// Returns a failed node to service.
-    pub fn resume_node(&mut self, node: &str) {
-        if self.partition.availability(node) == Some(NodeAvailability::Down) {
-            self.partition.set_availability(node, NodeAvailability::Idle);
+    /// Administratively drains `node` (Slurm's `scontrol update
+    /// state=drain`): an idle node leaves service immediately; an
+    /// allocated node finishes its current job first, then leaves
+    /// service. Returns `false` for unknown nodes.
+    pub fn drain_node(&mut self, node: &str) -> bool {
+        match self.partition.availability(node) {
+            None => false,
+            Some(NodeAvailability::Idle) => {
+                self.partition
+                    .set_availability(node, NodeAvailability::Drained);
+                true
+            }
+            Some(NodeAvailability::Allocated) => {
+                self.draining.insert(node.to_owned());
+                true
+            }
+            // Already out of service (or drain already pending).
+            Some(NodeAvailability::Drained) | Some(NodeAvailability::Down) => true,
         }
+    }
+
+    /// Returns a failed or drained node to service.
+    pub fn resume_node(&mut self, node: &str) {
+        self.draining.remove(node);
+        if matches!(
+            self.partition.availability(node),
+            Some(NodeAvailability::Down) | Some(NodeAvailability::Drained)
+        ) {
+            self.partition
+                .set_availability(node, NodeAvailability::Idle);
+        }
+    }
+
+    /// Requeue/retry events accumulated since the last
+    /// [`Scheduler::take_events`], in occurrence order.
+    pub fn events(&self) -> &[JobEvent] {
+        &self.events
+    }
+
+    /// Drains the accumulated events (for transfer into an
+    /// [`crate::accounting::AccountingLog`]).
+    pub fn take_events(&mut self) -> Vec<JobEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Cancels a pending job.
@@ -351,20 +442,40 @@ impl Scheduler {
         Ok(())
     }
 
-    /// Sanity invariant: allocated node count equals the sum of running
-    /// jobs' allocations (used by tests and debug assertions).
+    /// Sanity invariants (used by tests and debug assertions):
+    ///
+    /// * every running job is in [`JobState::Running`];
+    /// * no node is allocated to two running jobs at once;
+    /// * every node a running job claims is marked `Allocated`;
+    /// * every `Allocated` node is claimed by exactly one running job;
+    /// * every queued job is pending.
     pub fn check_invariants(&self) -> bool {
+        let mut claimed = BTreeSet::new();
+        for id in &self.running {
+            let job = &self.jobs[id];
+            if job.state() != JobState::Running {
+                return false;
+            }
+            for node in job.allocated_nodes() {
+                if !claimed.insert(node.as_str()) {
+                    return false; // double allocation
+                }
+                if self.partition.availability(node) != Some(NodeAvailability::Allocated) {
+                    return false;
+                }
+            }
+        }
         let allocated = self
             .partition
             .iter()
             .filter(|(_, a)| *a == NodeAvailability::Allocated)
             .count();
-        let claimed: usize = self
-            .running
+        if allocated != claimed.len() {
+            return false;
+        }
+        self.queue
             .iter()
-            .map(|id| self.jobs[id].allocated_nodes().len())
-            .sum();
-        allocated == claimed
+            .all(|id| self.jobs[id].state() == JobState::Pending)
     }
 }
 
@@ -395,7 +506,8 @@ mod tests {
         let a = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
         let b = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
         s.schedule(SimTime::ZERO);
-        s.complete(a, SimTime::from_secs(50), JobState::Completed).unwrap();
+        s.complete(a, SimTime::from_secs(50), JobState::Completed)
+            .unwrap();
         let started = s.schedule(SimTime::from_secs(50));
         assert_eq!(started, vec![b]);
         assert!(s.check_invariants());
@@ -412,7 +524,10 @@ mod tests {
         let small = s.submit(spec(2, 100), SimTime::ZERO).unwrap();
         let started = s.schedule(SimTime::ZERO);
         assert!(started.contains(&long));
-        assert!(started.contains(&small), "backfill should start the small job");
+        assert!(
+            started.contains(&small),
+            "backfill should start the small job"
+        );
         assert!(!started.contains(&head));
         assert!(s.check_invariants());
     }
@@ -431,8 +546,7 @@ mod tests {
 
     #[test]
     fn fifo_only_policy_never_backfills() {
-        let mut s =
-            Scheduler::with_policy(Partition::monte_cimone(), SchedulingPolicy::FifoOnly);
+        let mut s = Scheduler::with_policy(Partition::monte_cimone(), SchedulingPolicy::FifoOnly);
         let _long = s.submit(spec(6, 10_000), SimTime::ZERO).unwrap();
         let _head = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
         let small = s.submit(spec(2, 10), SimTime::ZERO).unwrap();
@@ -457,6 +571,109 @@ mod tests {
         s.resume_node("mc-node-07");
         let started = s.schedule(SimTime::from_secs(20));
         assert!(started.contains(&a));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn failure_records_time_and_emits_requeue_event() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let a = s.submit(spec(2, 1_000), SimTime::ZERO).unwrap();
+        s.schedule(SimTime::ZERO);
+        let nodes = s.job(a).unwrap().allocated_nodes().to_vec();
+        s.fail_node(&nodes[0], SimTime::from_secs(42));
+        let job = s.job(a).unwrap();
+        assert_eq!(job.last_failure_at(), Some(SimTime::from_secs(42)));
+        assert!(job.eligible_at().unwrap() > SimTime::from_secs(42));
+        let events = s.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].at, SimTime::from_secs(42));
+        assert_eq!(events[0].job_id, a.0);
+        assert!(matches!(
+            &events[0].kind,
+            JobEventKind::Requeued { node, .. } if *node == nodes[0]
+        ));
+        assert!(s.events().is_empty(), "take_events drains");
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_the_job() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let a = s
+            .submit(spec(1, 1_000).with_retry_budget(1), SimTime::ZERO)
+            .unwrap();
+        s.schedule(SimTime::ZERO);
+        let node = s.job(a).unwrap().allocated_nodes()[0].clone();
+        // First failure: requeued with backoff.
+        s.fail_node(&node, SimTime::from_secs(10));
+        assert_eq!(s.job(a).unwrap().state(), JobState::Pending);
+        s.resume_node(&node);
+        s.schedule(SimTime::from_secs(100));
+        let node = s.job(a).unwrap().allocated_nodes()[0].clone();
+        // Second failure: budget spent, job fails permanently.
+        s.fail_node(&node, SimTime::from_secs(110));
+        let job = s.job(a).unwrap();
+        assert_eq!(job.state(), JobState::Failed);
+        assert_eq!(job.ended_at(), Some(SimTime::from_secs(110)));
+        assert!(s.pending().is_empty());
+        assert!(s.running().is_empty());
+        let events = s.take_events();
+        assert!(matches!(
+            events.last().unwrap().kind,
+            JobEventKind::RetriesExhausted { .. }
+        ));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn backoff_holds_the_requeued_job_until_eligible() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let a = s.submit(spec(1, 1_000), SimTime::ZERO).unwrap();
+        s.schedule(SimTime::ZERO);
+        let node = s.job(a).unwrap().allocated_nodes()[0].clone();
+        s.fail_node(&node, SimTime::from_secs(10));
+        let eligible_at = s.job(a).unwrap().eligible_at().unwrap();
+        // Plenty of idle nodes, but the backoff hold wins.
+        assert!(s.schedule(SimTime::from_secs(10)).is_empty());
+        assert!(s.schedule(eligible_at).contains(&a));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn drain_idle_node_leaves_service_immediately() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        assert!(s.drain_node("mc-node-05"));
+        assert_eq!(
+            s.partition().availability("mc-node-05"),
+            Some(NodeAvailability::Drained)
+        );
+        assert_eq!(s.partition().in_service_count(), 7);
+        assert!(!s.drain_node("mc-node-99"));
+        // An 8-node job can no longer be placed.
+        let a = s.submit(spec(8, 10), SimTime::ZERO).unwrap();
+        assert!(!s.schedule(SimTime::ZERO).contains(&a));
+        s.resume_node("mc-node-05");
+        assert!(s.schedule(SimTime::from_secs(1)).contains(&a));
+    }
+
+    #[test]
+    fn drain_allocated_node_waits_for_job_completion() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let a = s.submit(spec(2, 100), SimTime::ZERO).unwrap();
+        s.schedule(SimTime::ZERO);
+        let node = s.job(a).unwrap().allocated_nodes()[0].clone();
+        assert!(s.drain_node(&node));
+        // Still allocated while the job runs.
+        assert_eq!(
+            s.partition().availability(&node),
+            Some(NodeAvailability::Allocated)
+        );
+        s.complete(a, SimTime::from_secs(100), JobState::Completed)
+            .unwrap();
+        assert_eq!(
+            s.partition().availability(&node),
+            Some(NodeAvailability::Drained)
+        );
         assert!(s.check_invariants());
     }
 
@@ -488,7 +705,9 @@ mod tests {
     fn complete_rejects_wrong_states() {
         let mut s = Scheduler::new(Partition::monte_cimone());
         let id = s.submit(spec(1, 10), SimTime::ZERO).unwrap();
-        let err = s.complete(id, SimTime::ZERO, JobState::Completed).unwrap_err();
+        let err = s
+            .complete(id, SimTime::ZERO, JobState::Completed)
+            .unwrap_err();
         assert!(matches!(err, SchedError::WrongState { .. }));
         assert!(matches!(
             s.complete(JobId(999), SimTime::ZERO, JobState::Completed),

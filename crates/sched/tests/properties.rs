@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 
+use cimone_sched::accounting::JobEventKind;
 use cimone_sched::job::{JobId, JobSpec, JobState};
-use cimone_sched::partition::Partition;
+use cimone_sched::partition::{NodeAvailability, Partition};
 use cimone_sched::scheduler::{Scheduler, SchedulingPolicy};
 use cimone_soc::units::{SimDuration, SimTime};
 
@@ -46,13 +47,13 @@ fn drive_to_completion(scheduler: &mut Scheduler) -> Vec<(JobId, SimTime)> {
                     .running()
                     .iter()
                     .copied()
-                    .filter(|id| {
-                        scheduler.job(*id).expect("known").estimated_end() == Some(end)
-                    })
+                    .filter(|id| scheduler.job(*id).expect("known").estimated_end() == Some(end))
                     .collect();
                 now = end;
                 for id in finished {
-                    scheduler.complete(id, now, JobState::Completed).expect("running");
+                    scheduler
+                        .complete(id, now, JobState::Completed)
+                        .expect("running");
                 }
             }
         }
@@ -185,6 +186,181 @@ proptest! {
             None => {
                 // No job touched that node: the running set is unchanged.
                 prop_assert_eq!(scheduler.running().to_vec(), was_running);
+            }
+        }
+    }
+
+    /// A random interleaving of schedule / fail / resume / complete steps
+    /// never breaks the books: no node is double-allocated, every claimed
+    /// node is marked allocated, no job runs on a down node, and no job is
+    /// requeued past its retry budget.
+    #[test]
+    fn failure_interleavings_preserve_invariants(
+        arrivals in arrivals_strategy(),
+        ops in prop::collection::vec((0u8..4, 0usize..8, 1u64..200), 1..40),
+    ) {
+        let mut scheduler = Scheduler::new(Partition::monte_cimone());
+        for (i, arrival) in arrivals.iter().enumerate() {
+            scheduler
+                .submit(
+                    JobSpec::new(
+                        format!("job{i}"),
+                        "prop",
+                        arrival.nodes,
+                        SimDuration::from_secs(arrival.limit_secs),
+                    ),
+                    SimTime::ZERO,
+                )
+                .expect("fits");
+        }
+        let mut now = SimTime::ZERO;
+        for (kind, node_index, advance_secs) in ops {
+            now += SimDuration::from_secs(advance_secs);
+            let hostname = format!("mc-node-{:02}", node_index + 1);
+            match kind {
+                0 => {
+                    scheduler.schedule(now);
+                }
+                1 => {
+                    scheduler.fail_node(&hostname, now);
+                }
+                2 => {
+                    scheduler.resume_node(&hostname);
+                }
+                _ => {
+                    // Complete the earliest-started running job, if any.
+                    let earliest = scheduler
+                        .running()
+                        .iter()
+                        .copied()
+                        .min_by_key(|id| scheduler.job(*id).expect("known").started_at());
+                    if let Some(id) = earliest {
+                        scheduler.complete(id, now, JobState::Completed).expect("running");
+                    }
+                }
+            }
+            prop_assert!(scheduler.check_invariants(), "invariant broken at {now}");
+            for job in scheduler.jobs() {
+                prop_assert!(
+                    job.requeue_count() <= job.spec().retry_budget,
+                    "{} requeued {} times, budget {}",
+                    job.id(),
+                    job.requeue_count(),
+                    job.spec().retry_budget
+                );
+                if job.state() == JobState::Running {
+                    for node in job.allocated_nodes() {
+                        prop_assert_eq!(
+                            scheduler.partition().availability(node),
+                            Some(NodeAvailability::Allocated)
+                        );
+                    }
+                }
+            }
+        }
+        // Every requeue event recorded a strictly positive backoff.
+        for event in scheduler.events() {
+            if let JobEventKind::Requeued { backoff, .. } = &event.kind {
+                prop_assert!(!backoff.is_zero());
+            }
+        }
+    }
+
+    /// Once failures stop and all nodes return to service, every job
+    /// reaches a terminal state: completed, or failed only because its
+    /// retry budget was genuinely spent.
+    #[test]
+    fn all_jobs_terminate_after_failures_stop(
+        arrivals in arrivals_strategy(),
+        failures in prop::collection::vec((0usize..8, 1u64..50), 0..6),
+    ) {
+        let mut scheduler = Scheduler::new(Partition::monte_cimone());
+        let mut ids = Vec::new();
+        for (i, arrival) in arrivals.iter().enumerate() {
+            ids.push(
+                scheduler
+                    .submit(
+                        JobSpec::new(
+                            format!("job{i}"),
+                            "prop",
+                            arrival.nodes,
+                            SimDuration::from_secs(arrival.limit_secs),
+                        ),
+                        SimTime::ZERO,
+                    )
+                    .expect("fits"),
+            );
+        }
+        let mut now = SimTime::ZERO;
+        scheduler.schedule(now);
+        for (node_index, advance_secs) in failures {
+            now += SimDuration::from_secs(advance_secs);
+            scheduler.fail_node(&format!("mc-node-{:02}", node_index + 1), now);
+            prop_assert!(scheduler.check_invariants());
+        }
+        for i in 1..=8 {
+            scheduler.resume_node(&format!("mc-node-{i:02}"));
+        }
+        drive_resilient_to_completion(&mut scheduler, now);
+        for id in ids {
+            let job = scheduler.job(id).expect("known");
+            prop_assert!(
+                job.state().is_terminal(),
+                "{} stuck in {}",
+                id,
+                job.state()
+            );
+            if job.state() == JobState::Failed {
+                prop_assert!(job.retries_exhausted());
+                prop_assert!(job.last_failure_at().is_some());
+            }
+        }
+        prop_assert!(scheduler.pending().is_empty());
+        prop_assert!(scheduler.running().is_empty());
+        prop_assert_eq!(scheduler.partition().idle_count(), 8);
+    }
+}
+
+/// Like `drive_to_completion`, but aware of requeue backoff: when nothing
+/// is running and nothing can start, time jumps to the earliest backoff
+/// expiry among pending jobs.
+fn drive_resilient_to_completion(scheduler: &mut Scheduler, start: SimTime) {
+    let mut now = start;
+    loop {
+        scheduler.schedule(now);
+        assert!(scheduler.check_invariants(), "invariant broken at {now}");
+        let next_end = scheduler
+            .running()
+            .iter()
+            .filter_map(|id| scheduler.job(*id).ok().and_then(|j| j.estimated_end()))
+            .min();
+        match next_end {
+            Some(end) => {
+                let finished: Vec<JobId> = scheduler
+                    .running()
+                    .iter()
+                    .copied()
+                    .filter(|id| scheduler.job(*id).expect("known").estimated_end() == Some(end))
+                    .collect();
+                now = end;
+                for id in finished {
+                    scheduler
+                        .complete(id, now, JobState::Completed)
+                        .expect("running");
+                }
+            }
+            None => {
+                // Nothing running: either a backoff hold is pending, or we
+                // are done.
+                let next_eligible = scheduler
+                    .pending()
+                    .iter()
+                    .filter_map(|id| scheduler.job(*id).ok().and_then(|j| j.eligible_at()))
+                    .min();
+                match next_eligible {
+                    Some(t) if t > now => now = t,
+                    _ => break,
+                }
             }
         }
     }

@@ -97,8 +97,14 @@ impl BootSequence {
         os_ready: SimTime,
         os_boot_ramp: SimDuration,
     ) -> Self {
-        assert!(power_on < pll_activation, "power-on must precede PLL activation");
-        assert!(pll_activation < os_ready, "PLL activation must precede OS ready");
+        assert!(
+            power_on < pll_activation,
+            "power-on must precede PLL activation"
+        );
+        assert!(
+            pll_activation < os_ready,
+            "PLL activation must precede OS ready"
+        );
         assert!(
             pll_activation + os_boot_ramp <= os_ready,
             "OS boot ramp must fit inside region R2"
@@ -369,12 +375,10 @@ mod tests {
         // Off region is exactly zero.
         assert!(core[..39].iter().all(|p| *p == Power::ZERO));
         // R1 sits near 984 mW.
-        let r1_mean: f64 =
-            core[45..95].iter().map(|p| p.as_milliwatts()).sum::<f64>() / 50.0;
+        let r1_mean: f64 = core[45..95].iter().map(|p| p.as_milliwatts()).sum::<f64>() / 50.0;
         assert!((r1_mean - 984.0).abs() < 15.0, "R1 mean {r1_mean}");
         // R3 sits near idle.
-        let r3_mean: f64 =
-            core[450..].iter().map(|p| p.as_milliwatts()).sum::<f64>() / 350.0;
+        let r3_mean: f64 = core[450..].iter().map(|p| p.as_milliwatts()).sum::<f64>() / 350.0;
         assert!((r3_mean - 3075.0).abs() < 15.0, "R3 mean {r3_mean}");
     }
 

@@ -99,7 +99,9 @@ impl U74McComplex {
     pub fn new(firmware: UBootConfig) -> Self {
         let spec = Fu740Spec::monte_cimone();
         // Hart 0 is the S7 monitor core; application harts are 1..=4.
-        let cores = (1..=spec.application_cores).map(|id| U74Core::new(id, firmware)).collect();
+        let cores = (1..=spec.application_cores)
+            .map(|id| U74Core::new(id, firmware))
+            .collect();
         U74McComplex {
             spec,
             cores,
@@ -209,7 +211,11 @@ impl U74McComplex {
             .iter_mut()
             .enumerate()
             .map(|(i, core)| {
-                let w = if i < threads { workload } else { Workload::Idle };
+                let w = if i < threads {
+                    workload
+                } else {
+                    Workload::Idle
+                };
                 core.run(w, effective)
             })
             .collect()

@@ -235,7 +235,7 @@ mod tests {
         let work = core.run(Workload::Hpl, SimDuration::from_millis(500));
         assert_eq!(core.hpm().instret(), work.instructions);
         assert_eq!(core.hpm().cycle(), 600_000_000); // 1.2 GHz * 0.5 s
-        // Sustained IPC under HPL is ~0.97.
+                                                     // Sustained IPC under HPL is ~0.97.
         let ipc = work.instructions as f64 / work.cycles as f64;
         assert!((ipc - 0.97).abs() < 0.01, "ipc {ipc}");
     }

@@ -198,7 +198,10 @@ impl RetiredWork {
             events: [0; 14],
         };
         let mut set = |event: HpmEvent, value: f64| {
-            let idx = HpmEvent::ALL.iter().position(|e| *e == event).expect("event");
+            let idx = HpmEvent::ALL
+                .iter()
+                .position(|e| *e == event)
+                .expect("event");
             work.events[idx] = value.round().max(0.0) as u64;
         };
         set(HpmEvent::IntLoadRetired, loads * (1.0 - fp_mem_share));
@@ -223,7 +226,10 @@ impl RetiredWork {
 
     /// The count recorded for `event`.
     pub fn event_count(&self, event: HpmEvent) -> u64 {
-        let idx = HpmEvent::ALL.iter().position(|e| *e == event).expect("event");
+        let idx = HpmEvent::ALL
+            .iter()
+            .position(|e| *e == event)
+            .expect("event");
         self.events[idx]
     }
 
@@ -420,7 +426,10 @@ mod tests {
         let hpm = HpmUnit::new(UBootConfig::with_hpm_patch());
         assert!(matches!(
             hpm.read(5),
-            Err(HpmError::InvalidCounterIndex { index: 5, implemented: 2 })
+            Err(HpmError::InvalidCounterIndex {
+                index: 5,
+                implemented: 2
+            })
         ));
         assert!(matches!(
             hpm.read(0),

@@ -131,10 +131,7 @@ impl IsaString {
 
     /// The RV64IMAC ISA of the S7 monitor core (no FPU).
     pub fn s7() -> Self {
-        IsaString::new(
-            64,
-            [Extension::I, Extension::M, Extension::A, Extension::C],
-        )
+        IsaString::new(64, [Extension::I, Extension::M, Extension::A, Extension::C])
     }
 
     /// The register width in bits.

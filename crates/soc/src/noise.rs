@@ -99,7 +99,11 @@ mod tests {
         let var =
             samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
-        assert!((var.sqrt() - 3.0).abs() < 0.05, "sigma {} too far from 3", var.sqrt());
+        assert!(
+            (var.sqrt() - 3.0).abs() < 0.05,
+            "sigma {} too far from 3",
+            var.sqrt()
+        );
     }
 
     #[test]

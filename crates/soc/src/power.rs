@@ -397,7 +397,10 @@ impl PowerTrace {
     ///
     /// Panics if the windows differ.
     pub fn extend(&mut self, other: PowerTrace) {
-        assert_eq!(self.window, other.window, "cannot join traces with different windows");
+        assert_eq!(
+            self.window, other.window,
+            "cannot join traces with different windows"
+        );
         self.samples.extend(other.samples);
     }
 }
@@ -462,7 +465,8 @@ mod tests {
         assert!((total - 4.810).abs() < 1e-9);
         let core_pct = sample.percent_of_total(Rail::Core);
         assert!((core_pct - 64.0).abs() < 1.0, "core share {core_pct}");
-        let ddr_pct = sample.subsystem_total(Subsystem::Ddr).as_milliwatts() / (total * 1000.0) * 100.0;
+        let ddr_pct =
+            sample.subsystem_total(Subsystem::Ddr).as_milliwatts() / (total * 1000.0) * 100.0;
         assert!((ddr_pct - 13.0).abs() < 1.0, "ddr share {ddr_pct}");
     }
 
@@ -487,7 +491,11 @@ mod tests {
         let t = Celsius::new(45.0);
         let n = 20_000;
         let mean: f64 = (0..n)
-            .map(|_| model.sample(Rail::Core, Workload::Hpl, t, &mut rng).as_milliwatts())
+            .map(|_| {
+                model
+                    .sample(Rail::Core, Workload::Hpl, t, &mut rng)
+                    .as_milliwatts()
+            })
             .sum::<f64>()
             / n as f64;
         assert!((mean - 4097.0).abs() < 1.0, "sampled mean {mean}");

@@ -68,7 +68,10 @@ impl Rail {
 
     /// Index of the rail in [`Rail::ALL`].
     pub fn index(self) -> usize {
-        Rail::ALL.iter().position(|r| r == &self).expect("rail in ALL")
+        Rail::ALL
+            .iter()
+            .position(|r| r == &self)
+            .expect("rail in ALL")
     }
 
     /// The subsystem the rail belongs to, used for grouped trace plots

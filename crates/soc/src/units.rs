@@ -575,7 +575,10 @@ mod tests {
     fn power_conversions_are_consistent() {
         let p = Power::from_watts(5.935);
         assert!((p.as_milliwatts() - 5935.0).abs() < 1e-9);
-        assert_eq!(Power::from_milliwatts(-3.0).clamp_non_negative(), Power::ZERO);
+        assert_eq!(
+            Power::from_milliwatts(-3.0).clamp_non_negative(),
+            Power::ZERO
+        );
     }
 
     #[test]
@@ -604,10 +607,7 @@ mod tests {
 
     #[test]
     fn sums_work_for_quantities() {
-        let total: Power = [1.0, 2.0, 3.5]
-            .iter()
-            .map(|&w| Power::from_watts(w))
-            .sum();
+        let total: Power = [1.0, 2.0, 3.5].iter().map(|&w| Power::from_watts(w)).sum();
         assert!((total.as_watts() - 6.5).abs() < 1e-12);
         let d: SimDuration = (0..4).map(|_| SimDuration::from_millis(250)).sum();
         assert_eq!(d, SimDuration::from_secs(1));

@@ -129,7 +129,10 @@ impl InstructionMix {
             ("branch", branch),
             ("stall_fraction", stall_fraction),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{name} fraction {v} outside [0, 1]");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} fraction {v} outside [0, 1]"
+            );
         }
         let sum = fp + load + store + branch;
         assert!(
@@ -214,7 +217,12 @@ mod tests {
     #[test]
     fn hpl_has_the_highest_fp_density() {
         let hpl = Workload::Hpl.instruction_mix().fp();
-        for w in [Workload::Idle, Workload::StreamL2, Workload::StreamDdr, Workload::QeLax] {
+        for w in [
+            Workload::Idle,
+            Workload::StreamL2,
+            Workload::StreamDdr,
+            Workload::QeLax,
+        ] {
             assert!(hpl > w.instruction_mix().fp());
         }
     }

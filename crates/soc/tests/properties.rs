@@ -13,7 +13,13 @@ use cimone_soc::workload::{InstructionMix, Workload};
 
 /// Class fractions that always sum below 1.
 fn mix_strategy() -> impl Strategy<Value = InstructionMix> {
-    (0.0f64..0.25, 0.0f64..0.25, 0.0f64..0.2, 0.0f64..0.2, 0.0f64..1.0)
+    (
+        0.0f64..0.25,
+        0.0f64..0.25,
+        0.0f64..0.2,
+        0.0f64..0.2,
+        0.0f64..1.0,
+    )
         .prop_map(|(fp, load, store, branch, stall)| {
             InstructionMix::new(fp, load, store, branch, stall)
         })

@@ -22,14 +22,16 @@ fn main() {
         bin_secs: Some(10.0),
         aggregation: None,
     };
-    println!(
-        "\nREST-style query: {}",
-        serde_json::to_string(&request).expect("serialises")
-    );
+    println!("\nREST-style query: {}", request.to_json());
     let response = evaluate(&result.store, &request).expect("valid request");
     println!("series matched: {}", response.series.len());
     for series in response.series.iter().take(2) {
         let last = series.points.last().expect("points in range");
-        println!("  {} -> {} binned points, last = {:.1} °C", series.name, series.points.len(), last.1);
+        println!(
+            "  {} -> {} binned points, last = {:.1} °C",
+            series.name,
+            series.points.len(),
+            last.1
+        );
     }
 }

@@ -28,10 +28,19 @@ fn main() {
     println!("submitted {id} — running…");
     // Peek at the machine the way an operator would.
     engine.run_for(SimDuration::from_secs(10));
-    println!("\n$ squeue\n{}", monte_cimone::sched::render::squeue(engine.scheduler(), engine.now()));
-    println!("$ sinfo\n{}", monte_cimone::sched::render::sinfo(engine.scheduler()));
+    println!(
+        "\n$ squeue\n{}",
+        monte_cimone::sched::render::squeue(engine.scheduler(), engine.now())
+    );
+    println!(
+        "$ sinfo\n{}",
+        monte_cimone::sched::render::sinfo(engine.scheduler())
+    );
     let drained = engine.run_until_idle(SimDuration::from_secs(3600));
-    assert!(drained, "the job should finish within an hour of simulated time");
+    assert!(
+        drained,
+        "the job should finish within an hour of simulated time"
+    );
 
     let record = &engine.accounting().records()[0];
     let model = HplModel::monte_cimone(problem);

@@ -22,5 +22,8 @@ fn main() {
     let gcc12: Version = "12.1.0".parse().expect("parses");
     println!("\narchspec flags for {}:", u74mc.triple());
     println!("  gcc 10.3.0: {}", u74mc.gcc_flags(&gcc10));
-    println!("  gcc 12.1.0: {}  <- Zba/Zbb finally emitted", u74mc.gcc_flags(&gcc12));
+    println!(
+        "  gcc 12.1.0: {}  <- Zba/Zbb finally emitted",
+        u74mc.gcc_flags(&gcc12)
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
 
     println!("\nnode 7 temperature trajectory (sampled by stats_pub at 0.2 Hz):");
     for chunk in result.node7_series.chunks(12) {
-        let line: Vec<String> = chunk.iter().map(|(t, v)| format!("{t:.0}s:{v:.0}°C")).collect();
+        let line: Vec<String> = chunk
+            .iter()
+            .map(|(t, v)| format!("{t:.0}s:{v:.0}°C"))
+            .collect();
         println!("  {}", line.join(" "));
     }
 }

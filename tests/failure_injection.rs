@@ -6,12 +6,14 @@
 use monte_cimone::cluster::engine::{
     ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine,
 };
+use monte_cimone::cluster::faults::{FaultKind, FaultPlan};
 use monte_cimone::cluster::perf::HplProblem;
 use monte_cimone::cluster::thermal::AirflowConfig;
 use monte_cimone::kernels::lu::{LuError, LuFactorization};
 use monte_cimone::kernels::matrix::Matrix;
 use monte_cimone::monitor::broker::Broker;
 use monte_cimone::monitor::payload::Payload;
+use monte_cimone::sched::accounting::JobEventKind;
 use monte_cimone::sched::job::JobState;
 use monte_cimone::sched::scheduler::SchedError;
 use monte_cimone::soc::isa::CodeModel;
@@ -54,7 +56,10 @@ fn thermal_trip_requeues_and_machine_recovers() {
         "the victim job must be requeued"
     );
     // 7 nodes in service: the 8-node job cannot restart.
-    assert_eq!(engine.scheduler().job(id).expect("known").state(), JobState::Pending);
+    assert_eq!(
+        engine.scheduler().job(id).expect("known").state(),
+        JobState::Pending
+    );
     assert_eq!(engine.scheduler().partition().in_service_count(), 7);
 
     // Fix the airflow, cool down, return the node: the job restarts.
@@ -62,8 +67,14 @@ fn thermal_trip_requeues_and_machine_recovers() {
     engine.run_for(SimDuration::from_secs(600)); // cool-down
     engine.resume_node(6);
     engine.run_for(SimDuration::from_secs(30));
-    assert_eq!(engine.scheduler().job(id).expect("known").state(), JobState::Running);
-    assert_eq!(engine.scheduler().job(id).expect("known").requeue_count(), 1);
+    assert_eq!(
+        engine.scheduler().job(id).expect("known").state(),
+        JobState::Running
+    );
+    assert_eq!(
+        engine.scheduler().job(id).expect("known").requeue_count(),
+        1
+    );
 }
 
 #[test]
@@ -78,7 +89,11 @@ fn broker_survives_dead_subscribers_mid_burst() {
             Payload::new(i as f64, SimTime::from_micros(i)),
         );
     }
-    assert_eq!(keep.drain().len(), 1000, "surviving subscriber sees everything");
+    assert_eq!(
+        keep.drain().len(),
+        1000,
+        "surviving subscriber sees everything"
+    );
     assert_eq!(broker.subscription_count(), 1, "dead subscriber pruned");
 }
 
@@ -96,7 +111,13 @@ fn oversized_jobs_are_rejected_not_queued_forever() {
             },
         })
         .expect_err("nine nodes never fit an eight-node machine");
-    assert!(matches!(err, SchedError::TooLarge { requested: 9, available: 8 }));
+    assert!(matches!(
+        err,
+        SchedError::TooLarge {
+            requested: 9,
+            available: 8
+        }
+    ));
 }
 
 #[test]
@@ -105,7 +126,9 @@ fn medany_code_model_rejects_oversized_static_arrays() {
     // 2 GiB under the RV64 medany code model.
     let model = CodeModel::Medany;
     let three_arrays_of_80m_doubles = 3 * 80_000_000 * 8u64; // 1.92 GB: links
-    assert!(model.check_static_allocation(three_arrays_of_80m_doubles).is_ok());
+    assert!(model
+        .check_static_allocation(three_arrays_of_80m_doubles)
+        .is_ok());
     let three_arrays_of_1gib = 3 * 1024 * 1024 * 1024u64; // 3 GiB: relocation overflow
     let err = model
         .check_static_allocation(three_arrays_of_1gib)
@@ -127,6 +150,114 @@ fn singular_systems_report_breakdown() {
 }
 
 #[test]
+fn planned_crash_mid_job_backs_off_requeues_and_completes_elsewhere() {
+    let mut engine = SimEngine::new(EngineConfig {
+        monitoring: false,
+        dt: SimDuration::from_secs(1),
+        ..EngineConfig::default()
+    })
+    .with_fault_plan(
+        FaultPlan::new()
+            .with(SimTime::from_secs(10), FaultKind::NodeCrash { node: 0 })
+            .with(SimTime::from_secs(90), FaultKind::NodeRecover { node: 0 }),
+    );
+    let id = engine
+        .submit(JobRequest {
+            name: "resilient".into(),
+            user: "ops".into(),
+            nodes: 2,
+            workload: ClusterWorkload::Synthetic {
+                workload: Workload::Hpl,
+                secs: 30,
+            },
+        })
+        .expect("fits");
+    // Run past the planned recovery so the outage interval closes.
+    engine.run_for(SimDuration::from_secs(120));
+    assert!(engine.run_until_idle(SimDuration::ZERO), "must drain");
+
+    // The crash hit the job's first node, the scheduler requeued it, and
+    // it completed on the surviving nodes.
+    let job = engine.scheduler().job(id).expect("known");
+    assert_eq!(job.state(), JobState::Completed);
+    assert_eq!(job.requeue_count(), 1);
+    assert!(
+        !job.allocated_nodes().contains(&"mc-node-01".to_owned()),
+        "restart must avoid the crashed node, got {:?}",
+        job.allocated_nodes()
+    );
+
+    // The exponential backoff is visible in the accounting log: the first
+    // retry waits the 2 s base, charged against the crashed node.
+    let requeue = engine
+        .accounting()
+        .events()
+        .iter()
+        .find_map(|e| match &e.kind {
+            JobEventKind::Requeued { node, backoff } if e.job_id == id.0 => {
+                Some((node.clone(), *backoff))
+            }
+            _ => None,
+        })
+        .expect("requeue event recorded");
+    assert_eq!(requeue.0, "mc-node-01");
+    assert_eq!(requeue.1, SimDuration::from_secs(2));
+    assert_eq!(job.last_failure_at(), Some(SimTime::from_secs(10)));
+
+    // Outage bookkeeping: one failure, 80 s of downtime, node back up.
+    assert_eq!(engine.failure_count(), 1);
+    assert_eq!(engine.node_downtime(0), SimDuration::from_secs(80));
+    assert_eq!(engine.scheduler().partition().in_service_count(), 8);
+}
+
+#[test]
+fn fault_campaigns_replay_identically_for_one_seed() {
+    let campaign = || {
+        let plan = FaultPlan::random_crashes(
+            42,
+            8,
+            SimDuration::from_secs(900),
+            20.0,
+            SimDuration::from_secs(60),
+        );
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(plan);
+        for _ in 0..3 {
+            engine
+                .submit(JobRequest {
+                    name: "churn".into(),
+                    user: "ops".into(),
+                    nodes: 2,
+                    workload: ClusterWorkload::Synthetic {
+                        workload: Workload::Hpl,
+                        secs: 120,
+                    },
+                })
+                .expect("fits");
+        }
+        engine.run_for(SimDuration::from_secs(900));
+        (
+            engine.events().to_vec(),
+            engine.accounting().events().to_vec(),
+            engine.total_downtime(),
+            engine.failure_count(),
+        )
+    };
+    let a = campaign();
+    let b = campaign();
+    assert!(
+        a.0.iter()
+            .any(|e| matches!(e, EngineEvent::FaultInjected { .. })),
+        "the plan must actually fire"
+    );
+    assert_eq!(a, b, "identical seed + plan must replay identically");
+}
+
+#[test]
 fn node_failure_mid_stream_job_frees_other_nodes() {
     let mut engine = SimEngine::new(EngineConfig {
         monitoring: false,
@@ -141,7 +272,10 @@ fn node_failure_mid_stream_job_frees_other_nodes() {
         })
         .expect("fits");
     engine.run_for(SimDuration::from_secs(5));
-    assert_eq!(engine.scheduler().job(id).expect("known").state(), JobState::Running);
+    assert_eq!(
+        engine.scheduler().job(id).expect("known").state(),
+        JobState::Running
+    );
 
     // Kill one of the job's nodes: the job is requeued, its second node is
     // freed, and the partition bookkeeping stays consistent.

@@ -77,8 +77,8 @@ fn working_rdma_would_lift_the_scaling_curve() {
     // §V-C: "We can expect to achieve higher performance once the RDMA
     // will be supported over infiniband."
     let gbe = HplModel::monte_cimone(HplProblem::paper());
-    let ib = HplModel::monte_cimone(HplProblem::paper())
-        .with_link(LinkModel::infiniband_fdr(), 1.5);
+    let ib =
+        HplModel::monte_cimone(HplProblem::paper()).with_link(LinkModel::infiniband_fdr(), 1.5);
     assert!(ib.efficiency_vs_linear(8) > 0.97);
     assert!(gbe.efficiency_vs_linear(8) < 0.88);
     assert!(ib.gflops(8) > 14.0, "IB full machine {}", ib.gflops(8));

@@ -45,7 +45,10 @@ fn ddr_resident_working_sets_thrash_the_l2() {
     l2.reset_stats();
     replay_triad(&mut l2, elements, 1);
     let hit_rate = l2.stats().hit_rate();
-    assert!(hit_rate < 0.01, "DDR-resident rerun should miss: {hit_rate}");
+    assert!(
+        hit_rate < 0.01,
+        "DDR-resident rerun should miss: {hit_rate}"
+    );
 }
 
 #[test]

@@ -18,8 +18,8 @@ fn abstract_power_numbers() {
     // power, 13 % related to DDR and 23 % of related to PCI subsystem"
     let idle_total = power.mean_total(Workload::Idle);
     assert!((idle_total.as_watts() - 4.81).abs() < 0.001);
-    let core_share = power.mean_power(Rail::Core, Workload::Idle).as_milliwatts()
-        / idle_total.as_milliwatts();
+    let core_share =
+        power.mean_power(Rail::Core, Workload::Idle).as_milliwatts() / idle_total.as_milliwatts();
     assert!((core_share - 0.64).abs() < 0.01);
     let ddr_share: f64 = Subsystem::Ddr
         .rails()

@@ -12,7 +12,9 @@ use monte_cimone::soc::units::SimDuration;
 fn login_run_and_store_results() {
     // 1. The user authenticates against the LDAP directory.
     let directory = LdapDirectory::monte_cimone();
-    let account = directory.bind("alice", "alice-pw").expect("correct password");
+    let account = directory
+        .bind("alice", "alice-pw")
+        .expect("correct password");
     assert_eq!(account.home, "/home/alice");
 
     // 2. Her home directory lives on the NFS export every node mounts.
@@ -42,10 +44,19 @@ fn login_run_and_store_results() {
         record.elapsed,
         record.energy
     );
-    nfs.write(&mount, "/home/alice/hpl.out", account.uid, report.as_bytes())
-        .expect("owner writes");
-    let (stored, _) = nfs.read(&mount, "/home/alice/hpl.out", account.uid).expect("readable");
-    assert!(String::from_utf8(stored).unwrap().contains("user=alice nodes=4"));
+    nfs.write(
+        &mount,
+        "/home/alice/hpl.out",
+        account.uid,
+        report.as_bytes(),
+    )
+    .expect("owner writes");
+    let (stored, _) = nfs
+        .read(&mount, "/home/alice/hpl.out", account.uid)
+        .expect("readable");
+    assert!(String::from_utf8(stored)
+        .unwrap()
+        .contains("user=alice nodes=4"));
 }
 
 #[test]
@@ -62,7 +73,8 @@ fn other_users_cannot_clobber_results() {
     let bench = directory.account("bench").expect("exists").uid;
     let mut nfs = NfsServer::monte_cimone();
     let mount = nfs.mount("/home", "mc-node-03").expect("exported");
-    nfs.create(&mount, "/home/alice/private.dat", alice, false).expect("fresh");
+    nfs.create(&mount, "/home/alice/private.dat", alice, false)
+        .expect("fresh");
     let err = nfs
         .write(&mount, "/home/alice/private.dat", bench, b"overwrite!")
         .expect_err("must be denied");
@@ -75,6 +87,9 @@ fn every_node_can_mount_the_shared_exports() {
     for i in 1..=8 {
         let host = format!("mc-node-{i:02}");
         assert!(nfs.mount("/home", &host).is_ok());
-        assert!(nfs.mount("/opt/cimone", &host).is_ok(), "the Spack tree is shared");
+        assert!(
+            nfs.mount("/opt/cimone", &host).is_ok(),
+            "the Spack tree is shared"
+        );
     }
 }

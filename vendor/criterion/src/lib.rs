@@ -1,0 +1,250 @@
+//! In-tree stand-in for the subset of the `criterion` API this
+//! workspace's benches use. Measurement is deliberately simple — a
+//! warm-up iteration followed by a bounded timed loop, reporting the
+//! mean wall-clock time per iteration (plus throughput when declared).
+//! There is no statistical analysis, HTML report, or baseline storage;
+//! the point is that `cargo bench` produces honest per-iteration numbers
+//! and `cargo test --benches` stays fast (one iteration per benchmark,
+//! driven by the `--test` flag cargo passes in that mode).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to report derived throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Labels a benchmark by parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured loop.
+pub struct Bencher<'a> {
+    samples: usize,
+    budget: Duration,
+    result: &'a mut Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, storing the mean time per iteration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine()); // warm-up, and the only iteration in test mode
+        if self.samples <= 1 {
+            *self.result = Some(Duration::ZERO);
+            return;
+        }
+        let started = Instant::now();
+        let mut iters = 0u32;
+        while iters < self.samples as u32 && started.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        *self.result = Some(started.elapsed() / iters.max(1));
+    }
+}
+
+/// The benchmark driver. Holds mode (bench vs `--test`) and defaults.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs harness=false bench binaries with
+        // `--test`; honour it by running each routine exactly once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 50,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name, sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for derived throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut result = None;
+        let mut bencher = Bencher {
+            samples,
+            budget: Duration::from_secs(3),
+            result: &mut result,
+        };
+        f(&mut bencher);
+        self.report(&id.id, result);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |bencher| f(bencher, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, result: Option<Duration>) {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let Some(mean) = result else {
+            println!("bench {label:<40} (no measurement)");
+            return;
+        };
+        if self.criterion.test_mode {
+            println!("bench {label:<40} ok (test mode, 1 iteration)");
+            return;
+        }
+        let per_iter = mean.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:.2} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("bench {label:<40} {:>12.3} us/iter{rate}", per_iter * 1e6);
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut group = criterion.benchmark_group("demo");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        group.bench_function("count", |bench| bench.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("param", 42), &3u64, |bench, &x| {
+            bench.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(ran, 1, "test mode runs exactly one iteration");
+    }
+}

@@ -1,0 +1,246 @@
+//! In-tree stand-in for the subset of `crossbeam` this workspace uses:
+//! the unbounded MPMC channel. Both [`channel::Sender`] and
+//! [`channel::Receiver`] are `Send + Sync` (unlike `std::sync::mpsc`),
+//! which the fabric and broker rely on to share endpoints behind `Arc`
+//! across threads. Disconnect is detected in both directions: sending to
+//! a channel whose receivers are all gone fails, and receiving from a
+//! channel whose senders are all gone reports `Disconnected`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        available: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// Carries the rejected message, like upstream.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// No message is queued and all senders are gone.
+        Disconnected,
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Queues a message. Fails (returning the message) when every
+        /// receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            self.inner
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .push_back(msg);
+            self.inner.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::AcqRel);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe the
+                // disconnect instead of sleeping forever.
+                self.inner.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Pops a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+            match queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if self.inner.senders.load(Ordering::Acquire) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(msg) = queue.pop_front() {
+                    return Ok(msg);
+                }
+                if self.inner.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .inner
+                    .available
+                    .wait(queue)
+                    .expect("channel mutex poisoned");
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .expect("channel mutex poisoned")
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvError, TryRecvError};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.try_recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1u32).is_err());
+    }
+
+    #[test]
+    fn recv_unblocks_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let handle = thread::spawn(move || rx.recv());
+        tx.send(5).unwrap();
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), Ok(5));
+    }
+
+    #[test]
+    fn try_recv_reports_disconnect_when_drained() {
+        let (tx, rx) = unbounded();
+        tx.send(1u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn endpoints_are_shareable_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx = Arc::new(tx);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = Arc::clone(&tx);
+                thread::spawn(move || {
+                    for i in 0..250 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(v) = rx.try_recv() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 1000);
+    }
+}

@@ -1,0 +1,645 @@
+//! In-tree stand-in for the subset of the `proptest` API this workspace
+//! uses, so the build has no network dependency.
+//!
+//! Supported surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` inner attribute), integer/float range
+//! strategies, tuple strategies, [`Strategy::prop_map`],
+//! [`prop::collection::vec`], [`prop::sample::select`], [`any`],
+//! [`Just`], and the `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/
+//! `prop_assume!` family.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test name (reproducible across runs and
+//! machines, no `proptest-regressions` replay), and failing inputs are
+//! reported but not shrunk.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case asked to be discarded (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (the case does not count).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// The result type `proptest!` bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + Clone + PartialOrd + Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(self.start.clone(), self.end.clone(), rng)
+    }
+}
+
+macro_rules! impl_strategy_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+
+/// String strategies from a pattern, as in upstream proptest where any
+/// `&str` is a regex strategy. Only the subset the workspace uses is
+/// implemented: literal characters, character classes `[...]` with
+/// ranges, `\`-escapes, and counted repetition `{m}` / `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a (possibly escaped) literal.
+        let options: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                let mut opts = Vec::new();
+                let mut j = 0;
+                while j < class.len() {
+                    if j + 2 < class.len() && class[j + 1] == '-' {
+                        let (lo, hi) = (class[j] as u32, class[j + 2] as u32);
+                        assert!(lo <= hi, "bad range in pattern {pattern:?}");
+                        opts.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        opts.push(class[j]);
+                        j += 1;
+                    }
+                }
+                opts
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional counted repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse::<usize>().expect("repeat lower bound"),
+                    hi.trim().parse::<usize>().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!options.is_empty(), "empty class in pattern {pattern:?}");
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            out.push(options[rng.gen_range(0..options.len())]);
+        }
+    }
+    out
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, i8, i16, i32);
+
+/// The canonical strategy for `T` (`any::<bool>()`).
+#[derive(Debug, Clone, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Strategy combinator modules (`prop::collection`, `prop::sample`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Debug, Strategy, TestRng};
+        use rand::Rng;
+
+        /// A range of collection sizes.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_exclusive: usize,
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi_exclusive: r.end,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                let (lo, hi) = r.into_inner();
+                assert!(lo <= hi, "empty size range");
+                SizeRange {
+                    lo,
+                    hi_exclusive: hi + 1,
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    lo: n,
+                    hi_exclusive: n + 1,
+                }
+            }
+        }
+
+        /// A strategy for `Vec`s whose elements come from `element`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Debug, Strategy, TestRng};
+        use rand::Rng;
+
+        /// A strategy choosing uniformly from a fixed set.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+
+        /// `prop::sample::select(options)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// One executed case's outcome, as reported to [`run_cases`].
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// Counted towards the case budget.
+    Pass,
+    /// Discarded; another case is drawn.
+    Reject,
+    /// Failure: inputs and message.
+    Fail {
+        /// Debug rendering of the generated inputs.
+        inputs: String,
+        /// The assertion message.
+        message: String,
+    },
+}
+
+/// Drives one property test: draws cases from a name-seeded RNG until
+/// `config.cases` cases pass, a case fails (panic), or the reject budget
+/// is exhausted.
+///
+/// # Panics
+///
+/// Panics when a case fails or too many cases are rejected.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> CaseOutcome,
+) {
+    // FNV-1a over the test name: deterministic across runs and platforms.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        seed ^= byte as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(10).max(256);
+    while passed < config.cases {
+        match case(&mut rng) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest '{name}': too many rejected cases ({rejected})"
+                );
+            }
+            CaseOutcome::Fail { inputs, message } => {
+                panic!(
+                    "proptest '{name}' failed after {passed} passing case(s)\n\
+                     message: {message}\n\
+                     inputs:  {inputs}\n\
+                     (deterministic seed {seed:#018x}; no shrinking in the in-tree runner)"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                let mut __inputs = String::new();
+                $(
+                    let __generated = $crate::Strategy::generate(&($strat), __rng);
+                    __inputs.push_str(concat!(stringify!($arg), " = "));
+                    __inputs.push_str(&format!("{:?}, ", &__generated));
+                    let $arg = __generated;
+                )+
+                let __outcome = (move || -> $crate::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                match __outcome {
+                    Ok(()) => $crate::CaseOutcome::Pass,
+                    Err($crate::TestCaseError::Reject(_)) => $crate::CaseOutcome::Reject,
+                    Err($crate::TestCaseError::Fail(message)) => $crate::CaseOutcome::Fail {
+                        inputs: __inputs,
+                        message,
+                    },
+                }
+            });
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident() $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() $body
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left, right, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair_strategy() -> impl Strategy<Value = (usize, u64)> {
+        (1usize..=8, 1u64..500).prop_map(|(a, b)| (a, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in prop::collection::vec(0u64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| *x < 100));
+        }
+
+        #[test]
+        fn select_picks_members(k in prop::sample::select(vec![1usize, 2, 4, 8])) {
+            prop_assert!([1usize, 2, 4, 8].contains(&k));
+        }
+
+        #[test]
+        fn mapped_tuples_flow_through(p in pair_strategy(), flag in any::<bool>()) {
+            let (nodes, limit) = p;
+            prop_assert!((1..=8).contains(&nodes));
+            prop_assert!((1..500).contains(&limit));
+            prop_assume!(flag || limit > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'always_fails' failed")]
+    #[allow(unnameable_test_items)]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[test]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

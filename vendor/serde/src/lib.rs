@@ -1,0 +1,54 @@
+//! In-tree stand-in for the subset of `serde` this workspace uses.
+//! Types in the workspace carry `#[derive(Serialize, Deserialize)]` as a
+//! structural annotation, but nothing serialises through serde (the
+//! monitor's JSON endpoint is hand-rolled), so [`Serialize`] and
+//! [`Deserialize`] are empty marker traits blanket-implemented for every
+//! type, and the derives (re-exported from the companion `serde_derive`
+//! shim) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    use crate as serde;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        host: String,
+        watts: f64,
+    }
+
+    #[derive(Debug, Serialize, Deserialize)]
+    #[allow(dead_code)]
+    enum Kind {
+        A,
+        B(u32),
+        C { x: f64 },
+    }
+
+    fn assert_markers<T: Serialize + for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_compile_and_markers_hold() {
+        assert_markers::<Sample>();
+        assert_markers::<Kind>();
+        let s = Sample {
+            host: "mc-node-01".into(),
+            watts: 4.81,
+        };
+        assert_eq!(s.clone(), s);
+    }
+}

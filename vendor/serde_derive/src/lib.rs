@@ -1,0 +1,19 @@
+//! In-tree stand-in for `serde_derive`. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as annotation — nothing ever
+//! serialises through serde (the monitor's JSON path is hand-rolled) —
+//! so the derives expand to nothing and the companion `serde` shim
+//! blanket-implements the marker traits.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: the trait is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
