@@ -1,0 +1,463 @@
+//! Job-level checkpoint metadata and the NFS-backed checkpoint store.
+//!
+//! The engine's checkpoint/restart path snapshots each running job's
+//! progress at a configurable cadence and replays it after a node failure,
+//! so a requeued job resumes from its last checkpoint instead of from
+//! zero. The snapshot is *metadata* at cluster scale — the kernels crate
+//! proves the per-kernel state round-trips losslessly
+//! ([`cimone_kernels::checkpoint`]); here the engine tracks which restart
+//! point each job holds, what it cost to write, and where it is stored.
+//!
+//! Checkpoints live on the in-sim NFS master export, so an injected
+//! [`crate::faults::FaultKind::NfsStall`] delays in-flight checkpoint
+//! writes exactly as it delays every other filesystem client.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cimone_soc::units::{Bytes, SimDuration, SimTime};
+
+use crate::services::nfs::{MountHandle, NfsError, NfsServer};
+
+/// Uid the engine writes checkpoints under (a system service account).
+const CKPT_UID: u32 = 900;
+
+/// The export checkpoints are kept on.
+const CKPT_EXPORT: &str = "/ckpt";
+
+/// Where a job resumes inside its kernel: the natural restart unit of
+/// each workload in the paper's campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckpointPosition {
+    /// HPL / blocked LU: panels of the factorisation completed.
+    HplPanel(usize),
+    /// STREAM: full copy/scale/add/triad iterations completed.
+    StreamIteration(u64),
+    /// QE LAX: diagonalisation sweeps completed.
+    LaxSweep(usize),
+    /// Workloads without a finer-grained unit: the raw progress fraction.
+    Fraction,
+}
+
+impl fmt::Display for CheckpointPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointPosition::HplPanel(p) => write!(f, "hpl-panel:{p}"),
+            CheckpointPosition::StreamIteration(i) => write!(f, "stream-iter:{i}"),
+            CheckpointPosition::LaxSweep(s) => write!(f, "lax-sweep:{s}"),
+            CheckpointPosition::Fraction => write!(f, "fraction"),
+        }
+    }
+}
+
+/// One committed checkpoint: the restart point a job falls back to when a
+/// node failure evicts it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobCheckpoint {
+    /// The owning job.
+    pub job_id: u64,
+    /// Work fraction completed at the snapshot, as IEEE-754 bits so the
+    /// wire format round-trips exactly.
+    progress_bits: u64,
+    /// Kernel-level restart position.
+    pub position: CheckpointPosition,
+    /// Commit time.
+    pub written_at: SimTime,
+}
+
+impl JobCheckpoint {
+    /// Creates a checkpoint record.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `progress` lies in `[0, 1]`.
+    pub fn new(
+        job_id: u64,
+        progress: f64,
+        position: CheckpointPosition,
+        written_at: SimTime,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&progress),
+            "progress must be a fraction, got {progress}"
+        );
+        JobCheckpoint {
+            job_id,
+            progress_bits: progress.to_bits(),
+            position,
+            written_at,
+        }
+    }
+
+    /// Work fraction completed at the snapshot.
+    pub fn progress(&self) -> f64 {
+        f64::from_bits(self.progress_bits)
+    }
+
+    /// Serialises to the on-disk line format:
+    /// `ckpt v1 job=<id> progress=<hex bits> pos=<position> at=<micros>`.
+    pub fn encode(&self) -> String {
+        format!(
+            "ckpt v1 job={} progress={:016x} pos={} at={}",
+            self.job_id,
+            self.progress_bits,
+            self.position,
+            self.written_at.as_micros()
+        )
+    }
+
+    /// Parses the [`JobCheckpoint::encode`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Malformed`] for anything else.
+    pub fn decode(line: &str) -> Result<Self, CheckpointError> {
+        let malformed = || CheckpointError::Malformed {
+            line: line.to_owned(),
+        };
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("ckpt") || fields.next() != Some("v1") {
+            return Err(malformed());
+        }
+        let mut job_id = None;
+        let mut progress_bits = None;
+        let mut position = None;
+        let mut written_at = None;
+        for field in fields {
+            let (key, value) = field.split_once('=').ok_or_else(malformed)?;
+            match key {
+                "job" => job_id = Some(value.parse().map_err(|_| malformed())?),
+                "progress" => {
+                    progress_bits = Some(u64::from_str_radix(value, 16).map_err(|_| malformed())?);
+                }
+                "pos" => {
+                    position = Some(match value.split_once(':') {
+                        Some(("hpl-panel", p)) => {
+                            CheckpointPosition::HplPanel(p.parse().map_err(|_| malformed())?)
+                        }
+                        Some(("stream-iter", i)) => {
+                            CheckpointPosition::StreamIteration(i.parse().map_err(|_| malformed())?)
+                        }
+                        Some(("lax-sweep", s)) => {
+                            CheckpointPosition::LaxSweep(s.parse().map_err(|_| malformed())?)
+                        }
+                        None if value == "fraction" => CheckpointPosition::Fraction,
+                        _ => return Err(malformed()),
+                    });
+                }
+                "at" => {
+                    let micros: u64 = value.parse().map_err(|_| malformed())?;
+                    written_at = Some(SimTime::from_micros(micros));
+                }
+                _ => return Err(malformed()),
+            }
+        }
+        Ok(JobCheckpoint {
+            job_id: job_id.ok_or_else(malformed)?,
+            progress_bits: progress_bits.ok_or_else(malformed)?,
+            position: position.ok_or_else(malformed)?,
+            written_at: written_at.ok_or_else(malformed)?,
+        })
+    }
+}
+
+/// Errors from the checkpoint store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// A stored record did not parse.
+    Malformed {
+        /// The offending line.
+        line: String,
+    },
+    /// No checkpoint exists for the job.
+    Missing {
+        /// The job asked about.
+        job_id: u64,
+    },
+    /// The underlying filesystem refused the operation.
+    Storage(NfsError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Malformed { line } => {
+                write!(f, "malformed checkpoint record: {line:?}")
+            }
+            CheckpointError::Missing { job_id } => {
+                write!(f, "no checkpoint stored for job {job_id}")
+            }
+            CheckpointError::Storage(e) => write!(f, "checkpoint storage failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NfsError> for CheckpointError {
+    fn from(e: NfsError) -> Self {
+        CheckpointError::Storage(e)
+    }
+}
+
+/// How long a checkpoint write pauses the job (the overhead side of the
+/// overhead-vs-rework tradeoff the recovery sweep measures).
+///
+/// The application data drains to the master node's disks over the same
+/// Gigabit Ethernet every NFS client shares, so the variable term is the
+/// job's resident set divided by the link rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointCostModel {
+    /// Fixed barrier + metadata overhead per checkpoint.
+    pub fixed: SimDuration,
+    /// Drain rate to stable storage, bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl CheckpointCostModel {
+    /// Monte Cimone's path today: quiesce barrier ≈ 1 s, drain over
+    /// Gigabit Ethernet (~117 MiB/s effective).
+    pub fn gigabit_nfs() -> Self {
+        CheckpointCostModel {
+            fixed: SimDuration::from_secs(1),
+            bytes_per_sec: 117.0e6,
+        }
+    }
+
+    /// The pause a checkpoint of `bytes` of application state costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured drain rate is not positive.
+    pub fn cost(&self, bytes: f64) -> SimDuration {
+        assert!(self.bytes_per_sec > 0.0, "drain rate must be positive");
+        self.fixed + SimDuration::from_secs_f64(bytes.max(0.0) / self.bytes_per_sec)
+    }
+}
+
+impl Default for CheckpointCostModel {
+    fn default() -> Self {
+        CheckpointCostModel::gigabit_nfs()
+    }
+}
+
+/// The cluster's checkpoint directory: one record per job on a dedicated
+/// NFS export, plus a decoded cache for the scheduler's restart path.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_cluster::checkpoint::{CheckpointPosition, CheckpointStore, JobCheckpoint};
+/// use cimone_soc::units::SimTime;
+///
+/// let mut store = CheckpointStore::new();
+/// let ckpt = JobCheckpoint::new(7, 0.25, CheckpointPosition::HplPanel(53), SimTime::from_secs(40));
+/// store.save(ckpt)?;
+/// assert_eq!(store.load(7).unwrap().progress(), 0.25);
+/// # Ok::<(), cimone_cluster::checkpoint::CheckpointError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointStore {
+    nfs: NfsServer,
+    mount: MountHandle,
+    cache: BTreeMap<u64, JobCheckpoint>,
+}
+
+impl CheckpointStore {
+    /// A store on a fresh master-node export over Gigabit Ethernet.
+    pub fn new() -> Self {
+        let mut nfs = NfsServer::monte_cimone();
+        nfs.export(CKPT_EXPORT, Bytes::from_gib(20));
+        let mount = nfs
+            .mount(CKPT_EXPORT, "mc-master")
+            .expect("the export was just created");
+        CheckpointStore {
+            nfs,
+            mount,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    fn path(job_id: u64) -> String {
+        format!("{CKPT_EXPORT}/job-{job_id}.ckpt")
+    }
+
+    /// Commits a checkpoint record, replacing the job's previous one.
+    /// Returns the metadata write's network cost (the application data's
+    /// drain time is the [`CheckpointCostModel`]'s business).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (quota, export gone).
+    pub fn save(&mut self, ckpt: JobCheckpoint) -> Result<SimDuration, CheckpointError> {
+        let path = Self::path(ckpt.job_id);
+        let encoded = ckpt.encode();
+        if !self.cache.contains_key(&ckpt.job_id) {
+            self.nfs.create(&self.mount, &path, CKPT_UID, false)?;
+        }
+        let cost = self
+            .nfs
+            .write(&self.mount, &path, CKPT_UID, encoded.as_bytes())?;
+        self.cache.insert(ckpt.job_id, ckpt);
+        Ok(cost)
+    }
+
+    /// The last committed checkpoint for `job_id`, if any.
+    pub fn load(&self, job_id: u64) -> Option<&JobCheckpoint> {
+        self.cache.get(&job_id)
+    }
+
+    /// Re-reads and re-parses `job_id`'s record from the filesystem (what
+    /// a restarting job actually does; tests use it to prove the stored
+    /// bytes round-trip).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Missing`] if no record exists, or a parse or
+    /// filesystem error.
+    pub fn reload(&mut self, job_id: u64) -> Result<JobCheckpoint, CheckpointError> {
+        if !self.cache.contains_key(&job_id) {
+            return Err(CheckpointError::Missing { job_id });
+        }
+        let (data, _cost) = self.nfs.read(&self.mount, &Self::path(job_id), CKPT_UID)?;
+        let text = String::from_utf8(data).map_err(|e| CheckpointError::Malformed {
+            line: format!("<invalid utf-8: {e}>"),
+        })?;
+        JobCheckpoint::decode(&text)
+    }
+
+    /// Deletes a job's checkpoint (done on completion: the restart point
+    /// is dead weight once the job finishes).
+    pub fn remove(&mut self, job_id: u64) {
+        if self.cache.remove(&job_id).is_some() {
+            let _ = self.nfs.remove(&self.mount, &Self::path(job_id), CKPT_UID);
+        }
+    }
+
+    /// Checkpoints currently held.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether no checkpoint is held.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The underlying filesystem (op and byte accounting lives there).
+    pub fn nfs(&self) -> &NfsServer {
+        &self.nfs
+    }
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobCheckpoint {
+        JobCheckpoint::new(
+            42,
+            0.333_333_333_333_333_3,
+            CheckpointPosition::HplPanel(70),
+            SimTime::from_secs(1234),
+        )
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        for ckpt in [
+            sample(),
+            JobCheckpoint::new(
+                1,
+                f64::from_bits(0x3FDF_FFFF_FFFF_FFFF),
+                CheckpointPosition::StreamIteration(9),
+                SimTime::ZERO,
+            ),
+            JobCheckpoint::new(
+                2,
+                0.0,
+                CheckpointPosition::LaxSweep(88),
+                SimTime::from_micros(7),
+            ),
+            JobCheckpoint::new(3, 1.0, CheckpointPosition::Fraction, SimTime::from_secs(1)),
+        ] {
+            let decoded = JobCheckpoint::decode(&ckpt.encode()).expect("round trip");
+            assert_eq!(decoded, ckpt);
+            assert_eq!(decoded.progress().to_bits(), ckpt.progress().to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        for bad in [
+            "",
+            "ckpt v2 job=1 progress=0 pos=fraction at=0",
+            "ckpt v1 job=x progress=0 pos=fraction at=0",
+            "ckpt v1 job=1 pos=fraction at=0",
+            "ckpt v1 job=1 progress=0 pos=unknown:3 at=0",
+            "ckpt v1 job=1 progress=0 pos=fraction at=0 extra=1",
+        ] {
+            assert!(JobCheckpoint::decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn store_saves_reloads_and_replaces() {
+        let mut store = CheckpointStore::new();
+        let cost = store.save(sample()).expect("saves");
+        assert!(cost > SimDuration::ZERO);
+        // A newer checkpoint replaces the record in place.
+        let newer = JobCheckpoint::new(
+            42,
+            0.5,
+            CheckpointPosition::HplPanel(106),
+            SimTime::from_secs(2000),
+        );
+        store.save(newer).expect("replaces");
+        assert_eq!(store.len(), 1);
+        let reloaded = store.reload(42).expect("reads back");
+        assert_eq!(reloaded, newer);
+        store.remove(42);
+        assert!(store.is_empty());
+        assert!(matches!(
+            store.reload(42),
+            Err(CheckpointError::Missing { job_id: 42 })
+        ));
+    }
+
+    #[test]
+    fn cost_model_scales_with_state_size() {
+        let model = CheckpointCostModel::gigabit_nfs();
+        let small = model.cost(1.0e6);
+        let large = model.cost(13.0e9); // the paper HPL's full matrix
+        assert!(small >= model.fixed);
+        // 13 GB over ~117 MB/s ≈ 111 s.
+        assert!((large.as_secs_f64() - 112.1).abs() < 2.0, "{large}");
+    }
+
+    #[test]
+    fn errors_format_and_chain() {
+        let err = CheckpointError::Missing { job_id: 9 };
+        assert!(err.to_string().contains("job 9"));
+        let storage: CheckpointError = NfsError::NoSuchFile {
+            path: "/ckpt/x".into(),
+        }
+        .into();
+        assert!(std::error::Error::source(&storage).is_some());
+    }
+}

@@ -25,8 +25,10 @@ use cimone_soc::power::PowerModel;
 use cimone_soc::units::{Celsius, Energy, Power, SimDuration, SimTime};
 use cimone_soc::workload::Workload;
 
+use crate::checkpoint::{CheckpointPosition, CheckpointStore, JobCheckpoint};
 use crate::dpm::{GovernorAction, ThermalGovernor};
 use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+use crate::healing::{ControlAction, ControlPlane, RecoveryConfig};
 use crate::node::{ComputeNode, NodeConditions};
 use crate::perf::{HplModel, HplProblem, LaxModel};
 use crate::thermal::{AirflowConfig, ThermalModel};
@@ -84,6 +86,11 @@ pub struct EngineConfig {
     /// Optional per-node thermal DVFS governor (the paper's future-work
     /// item: dynamic power and thermal management).
     pub governor: Option<ThermalGovernor>,
+    /// Optional recovery subsystem: heartbeat failure detection, node
+    /// fencing and checkpoint/restart. When `None` (the default) the
+    /// engine keeps its oracle semantics — a crash reaches the scheduler
+    /// the same instant it happens.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +101,7 @@ impl Default for EngineConfig {
             seed: 2022,
             monitoring: true,
             governor: None,
+            recovery: None,
         }
     }
 }
@@ -154,6 +162,54 @@ pub enum EngineEvent {
         /// When.
         at: SimTime,
     },
+    /// The failure detector crossed its phi threshold for a node.
+    NodeSuspected {
+        /// Node index.
+        node: usize,
+        /// When.
+        at: SimTime,
+        /// The phi value at detection.
+        phi: f64,
+    },
+    /// The control plane fenced a node (took it out of scheduling).
+    NodeFenced {
+        /// Node index.
+        node: usize,
+        /// When.
+        at: SimTime,
+    },
+    /// The control plane returned a fenced node to service.
+    NodeUnfenced {
+        /// Node index.
+        node: usize,
+        /// When.
+        at: SimTime,
+    },
+    /// A job committed a checkpoint to the NFS store.
+    CheckpointWritten {
+        /// The job.
+        id: JobId,
+        /// When the write completed.
+        at: SimTime,
+        /// Work fraction the checkpoint preserves.
+        progress: f64,
+    },
+    /// A requeued job restarted from its last checkpoint instead of zero.
+    JobResumed {
+        /// The job.
+        id: JobId,
+        /// When.
+        at: SimTime,
+        /// The progress fraction it resumed from.
+        progress: f64,
+    },
+    /// The thermal watchdog stepped a hot node's DVFS down.
+    WatchdogThrottled {
+        /// Node index.
+        node: usize,
+        /// When.
+        at: SimTime,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -171,6 +227,16 @@ struct RunningJob {
     panel_cycle: SimDuration,
     mem_per_node: f64,
     energy: Energy,
+    // Checkpoint/restart state (idle unless the engine runs with a
+    // checkpointing RecoveryConfig).
+    /// When the next checkpoint write begins.
+    next_ckpt_at: Option<SimTime>,
+    /// While `Some`, a write is draining and the job is quiesced.
+    ckpt_until: Option<SimTime>,
+    /// Progress captured when the in-flight write began.
+    ckpt_pending: f64,
+    /// Progress preserved by the last *committed* checkpoint.
+    last_ckpt_progress: f64,
 }
 
 /// The Monte Cimone simulation engine.
@@ -231,6 +297,31 @@ pub struct SimEngine {
     node_down_since: Vec<Option<SimTime>>,
     node_downtime: Vec<SimDuration>,
     failures: usize,
+    /// The recovery subsystem, when configured.
+    recovery: Option<RecoveryState>,
+}
+
+/// Everything the recovery subsystem tracks: the control plane, the
+/// checkpoint store, and the physical (as opposed to scheduler-visible)
+/// liveness of each node.
+#[derive(Debug)]
+struct RecoveryState {
+    config: RecoveryConfig,
+    control: ControlPlane,
+    store: CheckpointStore,
+    /// Physical liveness. A dead node stops heartbeating and stalls its
+    /// jobs, but the *scheduler* only learns about it when the control
+    /// plane fences the node off the failure detector.
+    node_alive: Vec<bool>,
+    next_heartbeat: Vec<SimTime>,
+    /// Progress each requeued job restarts from (captured at eviction
+    /// from its last committed checkpoint, consumed at the next start).
+    resume_progress: HashMap<JobId, f64>,
+    /// Node-seconds of completed work thrown away by evictions.
+    wasted_node_secs: f64,
+    checkpoints_written: usize,
+    suspicions: usize,
+    fences: usize,
 }
 
 impl SimEngine {
@@ -256,6 +347,25 @@ impl SimEngine {
             .map(|_| PluginRunner::new(StatsPlugin::new(schema.clone())))
             .collect();
         let n = nodes.len();
+        let recovery = config.recovery.map(|rc| RecoveryState {
+            config: rc,
+            control: ControlPlane::new(
+                &broker,
+                rc,
+                nodes
+                    .iter()
+                    .map(|node| node.hostname().to_owned())
+                    .collect(),
+            ),
+            store: CheckpointStore::new(),
+            node_alive: vec![true; n],
+            next_heartbeat: vec![SimTime::ZERO; n],
+            resume_progress: HashMap::new(),
+            wasted_node_secs: 0.0,
+            checkpoints_written: 0,
+            suspicions: 0,
+            fences: 0,
+        });
         SimEngine {
             config,
             nodes,
@@ -289,6 +399,7 @@ impl SimEngine {
             node_down_since: vec![None; n],
             node_downtime: vec![SimDuration::ZERO; n],
             failures: 0,
+            recovery,
         }
     }
 
@@ -374,16 +485,62 @@ impl SimEngine {
     }
 
     /// Operator-style failure injection: takes a node out of service as a
-    /// hardware fault would, requeueing any job running on it. Returns the
-    /// requeued job, if any. This is the immediate form of scheduling a
-    /// [`FaultKind::NodeCrash`] at the current time.
-    pub fn inject_node_failure(&mut self, node_index: usize) -> Option<JobId> {
+    /// hardware fault would, requeueing every job running on it. Returns
+    /// the affected jobs (requeued or lost). This is the immediate form of
+    /// scheduling a [`FaultKind::NodeCrash`] at the current time. With
+    /// recovery enabled the crash is physical only — the scheduler learns
+    /// of it through the failure detector, so the returned list is empty.
+    pub fn inject_node_failure(&mut self, node_index: usize) -> Vec<JobId> {
         self.apply_fault(FaultKind::NodeCrash { node: node_index })
     }
 
-    /// Returns a tripped or crashed node to service after repair.
+    /// Returns a tripped or crashed node to service after repair. With
+    /// recovery enabled the repair is physical: the node resumes
+    /// heartbeating and the control plane unfences it once suspicion
+    /// clears.
     pub fn resume_node(&mut self, node_index: usize) {
-        self.node_recovered(node_index);
+        if self.recovery.is_some() {
+            self.physical_up(node_index);
+        } else {
+            self.node_recovered(node_index);
+        }
+    }
+
+    /// Whether the recovery subsystem is active.
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Node-seconds of completed work thrown away by evictions (work past
+    /// the last committed checkpoint at the moment a job lost its nodes).
+    pub fn wasted_node_seconds(&self) -> f64 {
+        self.recovery.as_ref().map_or(0.0, |r| r.wasted_node_secs)
+    }
+
+    /// Checkpoints committed so far.
+    pub fn checkpoints_written(&self) -> usize {
+        self.recovery.as_ref().map_or(0, |r| r.checkpoints_written)
+    }
+
+    /// Times the failure detector crossed its threshold.
+    pub fn suspicion_count(&self) -> usize {
+        self.recovery.as_ref().map_or(0, |r| r.suspicions)
+    }
+
+    /// Nodes fenced by the control plane so far (suspicion or watchdog).
+    pub fn fence_count(&self) -> usize {
+        self.recovery.as_ref().map_or(0, |r| r.fences)
+    }
+
+    /// The NFS-backed checkpoint store, when recovery is configured.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.recovery.as_ref().map(|r| &r.store)
+    }
+
+    /// The control plane (suspicion levels, fence state), when recovery is
+    /// configured.
+    pub fn control_plane(&self) -> Option<&ControlPlane> {
+        self.recovery.as_ref().map(|r| &r.control)
     }
 
     /// Accumulated outage time of one node, including any outage still
@@ -460,6 +617,13 @@ impl SimEngine {
         // 0. Fire any faults the clock has reached, expire span effects.
         self.apply_due_faults();
 
+        // 0b. Recovery: heartbeats out through the broker, then the
+        //     control plane turns their absence into fencing decisions.
+        if self.recovery.is_some() {
+            self.publish_heartbeats();
+            self.control_plane_tick();
+        }
+
         // 1. Start whatever the scheduler releases.
         for id in self.scheduler.schedule(self.now) {
             self.start_job(id);
@@ -482,6 +646,7 @@ impl SimEngine {
             Some(t) if self.now < t => self.partitioned,
             _ => None,
         };
+        let alive = self.recovery.as_ref().map(|r| r.node_alive.clone());
         for job in self.running.values_mut() {
             let mut speed = job
                 .node_indices
@@ -490,6 +655,17 @@ impl SimEngine {
                 .fold(1.0f64, f64::min);
             if nfs_stalled {
                 // I/O blocks cluster-wide: no job makes progress.
+                speed = 0.0;
+            }
+            if let Some(alive) = &alive {
+                // A crashed node takes its jobs with it; until the control
+                // plane notices, the scheduler still believes they run.
+                if job.node_indices.iter().any(|&i| !alive[i]) {
+                    speed = 0.0;
+                }
+            }
+            if job.ckpt_until.is_some() {
+                // Quiesced for a checkpoint write.
                 speed = 0.0;
             }
             if let Some((a, b)) = partitioned {
@@ -504,6 +680,9 @@ impl SimEngine {
             }
             job.progress += dt.as_secs_f64() / job.duration.as_secs_f64() * speed;
         }
+        // 2b. Checkpoint state machine: commit finished writes, begin due
+        //     ones.
+        self.advance_checkpoints();
         let finished: Vec<JobId> = self
             .running
             .values()
@@ -706,6 +885,24 @@ impl SimEngine {
             at: self.now,
             nodes: node_indices.clone(),
         });
+        // Restart from the last committed checkpoint when one survived a
+        // previous eviction; schedule the first checkpoint of this run.
+        let resumed = self
+            .recovery
+            .as_mut()
+            .and_then(|r| r.resume_progress.remove(&id));
+        if let Some(progress) = resumed {
+            self.events.push(EngineEvent::JobResumed {
+                id,
+                at: self.now,
+                progress,
+            });
+        }
+        let next_ckpt_at = self
+            .recovery
+            .as_ref()
+            .and_then(|r| r.config.checkpoint)
+            .map(|c| self.now + c.interval);
         self.running.insert(
             id,
             RunningJob {
@@ -714,7 +911,7 @@ impl SimEngine {
                 node_indices,
                 started: self.now,
                 duration,
-                progress: 0.0,
+                progress: resumed.unwrap_or(0.0),
                 comm_fraction,
                 panel_cycle: if panel_cycle.is_zero() {
                     SimDuration::from_secs(1)
@@ -723,6 +920,10 @@ impl SimEngine {
                 },
                 mem_per_node,
                 energy: Energy::ZERO,
+                next_ckpt_at,
+                ckpt_until: None,
+                ckpt_pending: 0.0,
+                last_ckpt_progress: resumed.unwrap_or(0.0),
             },
         );
     }
@@ -765,6 +966,11 @@ impl SimEngine {
         self.scheduler
             .complete(id, self.now, state)
             .expect("running job completes");
+        if let Some(rec) = self.recovery.as_mut() {
+            // A finished job's restart point is dead weight.
+            rec.store.remove(id.0);
+            rec.resume_progress.remove(&id);
+        }
         if let Some(record) = JobRecord::from_job(self.scheduler.job(id).expect("job exists")) {
             self.accounting.record(record.with_energy(job.energy));
         }
@@ -779,7 +985,13 @@ impl SimEngine {
             at: self.now,
             temperature,
         });
-        self.node_failed(node_index);
+        if self.recovery.is_some() {
+            // The hardware shut itself off; heartbeats stop and the
+            // failure detector does the rest.
+            self.physical_down(node_index);
+        } else {
+            self.node_failed(node_index);
+        }
     }
 
     /// Fires every planned fault the clock has reached and winds down
@@ -806,16 +1018,30 @@ impl SimEngine {
         }
     }
 
-    /// Applies one fault right now. Returns the victim job for node
-    /// crashes (requeued or lost), `None` otherwise.
-    fn apply_fault(&mut self, kind: FaultKind) -> Option<JobId> {
+    /// Applies one fault right now. Returns the victim jobs for node
+    /// crashes (requeued or lost), empty otherwise. With recovery enabled
+    /// a crash is physical only (the detector finds it later), so the list
+    /// is empty there too.
+    fn apply_fault(&mut self, kind: FaultKind) -> Vec<JobId> {
         self.events.push(EngineEvent::FaultInjected {
             at: self.now,
             kind: kind.clone(),
         });
         match kind {
-            FaultKind::NodeCrash { node } => return self.node_failed(node),
-            FaultKind::NodeRecover { node } => self.node_recovered(node),
+            FaultKind::NodeCrash { node } => {
+                if self.recovery.is_some() {
+                    self.physical_down(node);
+                } else {
+                    return self.node_failed(node);
+                }
+            }
+            FaultKind::NodeRecover { node } => {
+                if self.recovery.is_some() {
+                    self.physical_up(node);
+                } else {
+                    self.node_recovered(node);
+                }
+            }
             FaultKind::SensorDropout { node, span } => {
                 self.sensor_dropout_until[node] = self.now + span;
             }
@@ -846,29 +1072,51 @@ impl SimEngine {
             }
             FaultKind::SpuriousThermalTrip { node } => self.handle_trip(node),
         }
-        None
+        Vec::new()
     }
 
-    /// The uniform node-outage path: scheduler bookkeeping, victim-job
-    /// disposition (requeue vs lost), outage clock, accounting.
-    fn node_failed(&mut self, node_index: usize) -> Option<JobId> {
+    /// The uniform oracle node-outage path: scheduler bookkeeping,
+    /// victim-job disposition (requeue vs lost), outage clock, accounting.
+    fn node_failed(&mut self, node_index: usize) -> Vec<JobId> {
         let hostname = self.nodes[node_index].hostname().to_owned();
-        let victim = self.scheduler.fail_node(&hostname, self.now);
+        let victims = self.scheduler.fail_node(&hostname, self.now);
         if self.node_down_since[node_index].is_none() {
             self.node_down_since[node_index] = Some(self.now);
             self.failures += 1;
         }
-        if let Some(id) = victim {
+        self.dispose_victims(&victims);
+        victims
+    }
+
+    /// Books every job a node failure or fence evicted: wasted-work and
+    /// restart-point accounting (recovery mode), the requeue-vs-lost
+    /// split, and the scheduler's event drain.
+    fn dispose_victims(&mut self, victims: &[JobId]) {
+        for &id in victims {
             let run = self.running.remove(&id);
+            if let (Some(rec), Some(run)) = (self.recovery.as_mut(), run.as_ref()) {
+                // Work past the last committed checkpoint is gone.
+                let saved = run.last_ckpt_progress;
+                let wasted = (run.progress - saved).max(0.0);
+                rec.wasted_node_secs +=
+                    wasted * run.duration.as_secs_f64() * run.node_indices.len() as f64;
+                if saved > 0.0 {
+                    rec.resume_progress.insert(id, saved);
+                }
+            }
             let job = self.scheduler.job(id).expect("victim job exists");
             if job.state() == JobState::Failed {
                 // Retry budget exhausted: the job is gone for good.
                 if let Some(record) = JobRecord::from_job(job) {
-                    let record = match run {
+                    let record = match &run {
                         Some(r) => record.with_energy(r.energy),
                         None => record,
                     };
                     self.accounting.record(record);
+                }
+                if let Some(rec) = self.recovery.as_mut() {
+                    rec.store.remove(id.0);
+                    rec.resume_progress.remove(&id);
                 }
                 self.events.push(EngineEvent::JobLost { id, at: self.now });
             } else {
@@ -877,7 +1125,195 @@ impl SimEngine {
             }
         }
         self.accounting.record_events(self.scheduler.take_events());
-        victim
+    }
+
+    /// A node's hardware stops: heartbeats cease and its jobs stall, but
+    /// the scheduler is told nothing — detection is the control plane's
+    /// job. (Recovery mode only.)
+    fn physical_down(&mut self, node_index: usize) {
+        let rec = self.recovery.as_mut().expect("recovery mode");
+        if !rec.node_alive[node_index] {
+            return;
+        }
+        rec.node_alive[node_index] = false;
+        if self.node_down_since[node_index].is_none() {
+            self.node_down_since[node_index] = Some(self.now);
+            self.failures += 1;
+        }
+    }
+
+    /// A node's hardware returns: heartbeats resume. If the control plane
+    /// fenced it meanwhile, the fence (and the outage clock) clears only
+    /// once suspicion drains; if the repair beat detection, the outage
+    /// closes here.
+    fn physical_up(&mut self, node_index: usize) {
+        let rec = self.recovery.as_mut().expect("recovery mode");
+        if rec.node_alive[node_index] {
+            return;
+        }
+        rec.node_alive[node_index] = true;
+        if !rec.control.is_fenced(node_index) {
+            self.thermal.clear_trip(node_index);
+            if let Some(since) = self.node_down_since[node_index].take() {
+                self.node_downtime[node_index] += self.now.saturating_since(since);
+                self.events.push(EngineEvent::NodeRecovered {
+                    node: node_index,
+                    at: self.now,
+                });
+            }
+        }
+    }
+
+    /// Fences a node off the machine: the scheduler evicts its jobs
+    /// through the requeue path and stops placing work on it.
+    fn fence_node(&mut self, node_index: usize) {
+        let hostname = self.nodes[node_index].hostname().to_owned();
+        let victims = self.scheduler.fail_node(&hostname, self.now);
+        self.events.push(EngineEvent::NodeFenced {
+            node: node_index,
+            at: self.now,
+        });
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.fences += 1;
+            rec.control.set_fenced(node_index, true);
+        }
+        // A false suspicion still takes a healthy node out of service:
+        // that availability cost is real, so the outage clock opens either
+        // way (a physical crash already opened it).
+        if self.node_down_since[node_index].is_none() {
+            self.node_down_since[node_index] = Some(self.now);
+        }
+        self.dispose_victims(&victims);
+    }
+
+    /// Returns a fenced node to the scheduler and closes its outage.
+    fn unfence_node(&mut self, node_index: usize) {
+        self.thermal.clear_trip(node_index);
+        let hostname = self.nodes[node_index].hostname().to_owned();
+        self.scheduler.resume_node(&hostname);
+        if let Some(rec) = self.recovery.as_mut() {
+            rec.control.set_fenced(node_index, false);
+        }
+        if let Some(since) = self.node_down_since[node_index].take() {
+            self.node_downtime[node_index] += self.now.saturating_since(since);
+        }
+        self.events.push(EngineEvent::NodeUnfenced {
+            node: node_index,
+            at: self.now,
+        });
+    }
+
+    /// Publishes heartbeats for every physically alive node whose cadence
+    /// is due. A partition cuts both endpoints off the management network,
+    /// so their heartbeats are suppressed (a source of false suspicion);
+    /// seeded broker loss drops beats inside the broker itself.
+    fn publish_heartbeats(&mut self) {
+        let partitioned = match self.partition_until {
+            Some(t) if self.now < t => self.partitioned,
+            _ => None,
+        };
+        let rec = self.recovery.as_mut().expect("recovery mode");
+        for i in 0..self.nodes.len() {
+            if !rec.node_alive[i] {
+                continue;
+            }
+            if partitioned.is_some_and(|(a, b)| a == i || b == i) {
+                continue;
+            }
+            if self.now >= rec.next_heartbeat[i] {
+                let topic = heartbeat_topic(self.nodes[i].hostname());
+                self.broker.publish(&topic, Payload::new(1.0, self.now));
+                rec.next_heartbeat[i] = self.now + rec.config.heartbeat_interval;
+            }
+        }
+    }
+
+    /// One control-plane decision tick: suspicion, fencing, unfencing and
+    /// the thermal watchdog.
+    fn control_plane_tick(&mut self) {
+        let temps: Vec<Celsius> = (0..self.nodes.len())
+            .map(|i| self.thermal.temperature(i))
+            .collect();
+        let actions = {
+            let rec = self.recovery.as_mut().expect("recovery mode");
+            rec.control.tick(self.now, &temps)
+        };
+        for action in actions {
+            match action {
+                ControlAction::FenceSuspect { node, phi } => {
+                    self.events.push(EngineEvent::NodeSuspected {
+                        node,
+                        at: self.now,
+                        phi,
+                    });
+                    if let Some(rec) = self.recovery.as_mut() {
+                        rec.suspicions += 1;
+                    }
+                    self.fence_node(node);
+                }
+                ControlAction::FenceHot { node, .. } => {
+                    self.fence_node(node);
+                }
+                ControlAction::Unfence { node } => {
+                    self.unfence_node(node);
+                }
+                ControlAction::ThrottleHot { node, .. } => {
+                    if self.nodes[node].cpufreq_mut().step_down() {
+                        self.events
+                            .push(EngineEvent::WatchdogThrottled { node, at: self.now });
+                    }
+                }
+                ControlAction::RelaxCool { node } => {
+                    self.nodes[node].cpufreq_mut().step_up();
+                }
+            }
+        }
+    }
+
+    /// Advances every running job's checkpoint state machine: commits
+    /// writes whose drain completed, and begins writes whose cadence is
+    /// due. An active NFS stall pushes the completion time out, exactly as
+    /// it stalls every other filesystem client.
+    fn advance_checkpoints(&mut self) {
+        let now = self.now;
+        let nfs_stalled_until = self.nfs_stall_until.filter(|&t| now < t);
+        let Some(rec) = self.recovery.as_mut() else {
+            return;
+        };
+        let Some(cfg) = rec.config.checkpoint else {
+            return;
+        };
+        let events = &mut self.events;
+        for job in self.running.values_mut() {
+            if let Some(until) = job.ckpt_until {
+                if now >= until {
+                    let ckpt = JobCheckpoint::new(
+                        job.id.0,
+                        job.ckpt_pending,
+                        checkpoint_position(&job.workload, job.ckpt_pending),
+                        now,
+                    );
+                    rec.store.save(ckpt).expect("checkpoint export healthy");
+                    rec.checkpoints_written += 1;
+                    job.last_ckpt_progress = job.ckpt_pending;
+                    job.ckpt_until = None;
+                    job.next_ckpt_at = Some(now + cfg.interval);
+                    events.push(EngineEvent::CheckpointWritten {
+                        id: job.id,
+                        at: now,
+                        progress: job.ckpt_pending,
+                    });
+                }
+            } else if job.next_ckpt_at.is_some_and(|t| now >= t)
+                && job.progress < 1.0
+                && job.node_indices.iter().all(|&i| rec.node_alive[i])
+            {
+                let bytes = job.mem_per_node * job.node_indices.len() as f64;
+                let start = nfs_stalled_until.unwrap_or(now);
+                job.ckpt_until = Some(start + cfg.cost.cost(bytes));
+                job.ckpt_pending = job.progress;
+            }
+        }
     }
 
     /// The uniform recovery path: clears any thermal trip latch, returns
@@ -893,6 +1329,43 @@ impl SimEngine {
                 at: self.now,
             });
         }
+    }
+}
+
+/// The ExaMon-style topic a node's heartbeats ride on.
+fn heartbeat_topic(hostname: &str) -> Topic {
+    Topic::new(
+        [
+            "org",
+            "unibo",
+            "cluster",
+            "cimone",
+            "node",
+            hostname,
+            "plugin",
+            "health_pub",
+            "chnl",
+            "data",
+            "heartbeat",
+        ]
+        .map(str::to_owned),
+    )
+}
+
+/// Maps a job's progress fraction onto its kernel's natural restart unit.
+fn checkpoint_position(workload: &ClusterWorkload, progress: f64) -> CheckpointPosition {
+    match workload {
+        ClusterWorkload::Hpl(problem) => {
+            CheckpointPosition::HplPanel((progress * problem.panels() as f64) as usize)
+        }
+        ClusterWorkload::QeLax => {
+            // The LAX driver's 93 Davidson iterations (paper Table IV).
+            CheckpointPosition::LaxSweep((progress * 93.0) as usize)
+        }
+        ClusterWorkload::StreamDdr { secs } | ClusterWorkload::StreamL2 { secs } => {
+            CheckpointPosition::StreamIteration((progress * *secs as f64) as u64)
+        }
+        ClusterWorkload::Synthetic { .. } => CheckpointPosition::Fraction,
     }
 }
 

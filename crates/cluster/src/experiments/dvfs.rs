@@ -65,6 +65,7 @@ pub fn run(seed: u64) -> DvfsResult {
         seed,
         monitoring: false,
         governor: None,
+        recovery: None,
     });
     baseline.submit(job()).expect("fits");
     let deadline = baseline.now() + SimDuration::from_secs(2500);
@@ -87,6 +88,7 @@ pub fn run(seed: u64) -> DvfsResult {
         seed,
         monitoring: false,
         governor: Some(ThermalGovernor::fu740_default()),
+        recovery: None,
     });
     governed.submit(job()).expect("fits");
     let mut governed_max_temp = 0.0f64;
@@ -123,6 +125,7 @@ pub fn run(seed: u64) -> DvfsResult {
         seed,
         monitoring: false,
         governor: None,
+        recovery: None,
     });
     healthy.submit(job()).expect("fits");
     healthy.run_until_idle(SimDuration::from_secs(12_000));

@@ -19,6 +19,7 @@
 //! | [`dvfs`] | extension: the paper's future-work item (ii) — thermal DVFS |
 //! | [`energy`] | extension: energy-to-solution across the OPP ladder |
 //! | [`availability`] | extension: HPL campaign under a node-crash fault sweep |
+//! | [`recovery`] | extension: checkpoint/restart + heartbeat detection under crashes |
 
 pub mod availability;
 pub mod boot_trace;
@@ -29,6 +30,7 @@ pub mod monitored_hpl;
 pub mod power_table;
 pub mod power_traces;
 pub mod qe_lax;
+pub mod recovery;
 pub mod software_stack;
 pub mod stream_table;
 pub mod thermal_runaway;

@@ -53,6 +53,7 @@ pub fn run(seed: u64) -> ThermalRunawayResult {
         seed,
         monitoring: true,
         governor: None,
+        recovery: None,
     });
     engine
         .submit(JobRequest {

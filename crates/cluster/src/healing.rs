@@ -1,0 +1,444 @@
+//! The self-healing control plane: heartbeat-driven failure detection,
+//! node fencing, and a closed-loop thermal watchdog.
+//!
+//! With recovery enabled the engine stops telling the scheduler about
+//! crashes directly. Instead every node publishes a periodic heartbeat
+//! through the ExaMon broker, a [`cimone_monitor::heartbeat::HeartbeatMonitor`]
+//! accrues suspicion from the *absence* of arrivals, and the
+//! [`ControlPlane`] turns suspicion into actions: fence the node (evicting
+//! its jobs through the scheduler's requeue path, where checkpointed work
+//! migrates to healthy nodes), and unfence it when the stream resumes.
+//! Because detection rides the telemetry path, injected broker message
+//! loss and network partitions can fence perfectly healthy nodes — the
+//! false-positive cost the phi threshold trades against latency.
+//!
+//! The thermal watchdog closes the loop the paper had to close by hand
+//! during its node-7 runaway: sustained over-temperature first throttles
+//! DVFS, and past a hotter line fences the blade before the 107 °C
+//! hardware trip fires.
+
+use serde::{Deserialize, Serialize};
+
+use cimone_monitor::broker::Broker;
+use cimone_monitor::heartbeat::{HeartbeatMonitor, DEFAULT_PHI_THRESHOLD};
+use cimone_soc::units::{Celsius, SimDuration, SimTime};
+
+use crate::checkpoint::CheckpointCostModel;
+
+/// Checkpoint/restart policy for the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Cadence between checkpoint commits of one job.
+    pub interval: SimDuration,
+    /// What each commit costs the job.
+    pub cost: CheckpointCostModel,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints every `interval` at the default Gigabit-NFS cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is zero.
+    pub fn every(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "checkpoint interval must be non-zero");
+        CheckpointConfig {
+            interval,
+            cost: CheckpointCostModel::default(),
+        }
+    }
+}
+
+/// The closed-loop thermal watchdog policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalWatchdog {
+    /// Above this, step the node's DVFS down one OPP per tick.
+    pub throttle_above: Celsius,
+    /// Below this, step back up (hysteresis against oscillation).
+    pub release_below: Celsius,
+    /// Above this for [`ThermalWatchdog::sustain`], fence the blade.
+    pub fence_above: Celsius,
+    /// How long over-temperature must persist before fencing.
+    pub sustain: SimDuration,
+}
+
+impl ThermalWatchdog {
+    /// Defaults tuned under the FU740's 107 °C trip: throttle at 95 °C,
+    /// release below 85 °C, fence after 30 s sustained above 103 °C.
+    pub fn fu740_default() -> Self {
+        ThermalWatchdog {
+            throttle_above: Celsius::new(95.0),
+            release_below: Celsius::new(85.0),
+            fence_above: Celsius::new(103.0),
+            sustain: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Recovery-subsystem configuration (engine-level).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Heartbeat publication cadence per node.
+    pub heartbeat_interval: SimDuration,
+    /// Phi threshold above which a node is suspected (see
+    /// [`cimone_monitor::heartbeat`] for the latency/false-positive
+    /// tradeoff).
+    pub phi_threshold: f64,
+    /// Checkpoint/restart policy; `None` restarts evicted jobs from zero.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Whether suspicion fences the node (evicting its jobs). Disabling
+    /// leaves detection observable but inert.
+    pub fence_on_suspicion: bool,
+    /// Whether a fenced node returns to service automatically once its
+    /// heartbeat stream resumes (covers both real repair and false
+    /// suspicion).
+    pub auto_unfence: bool,
+    /// Optional closed-loop thermal watchdog.
+    pub thermal_watchdog: Option<ThermalWatchdog>,
+}
+
+impl RecoveryConfig {
+    /// Detection and self-healing on, checkpointing off: 5 s heartbeats,
+    /// phi threshold 8, fence + auto-unfence, no watchdog.
+    pub fn detection_only() -> Self {
+        RecoveryConfig {
+            heartbeat_interval: SimDuration::from_secs(5),
+            phi_threshold: DEFAULT_PHI_THRESHOLD,
+            checkpoint: None,
+            fence_on_suspicion: true,
+            auto_unfence: true,
+            thermal_watchdog: None,
+        }
+    }
+
+    /// [`RecoveryConfig::detection_only`] plus checkpoints every
+    /// `interval`.
+    pub fn with_checkpoints(interval: SimDuration) -> Self {
+        RecoveryConfig {
+            checkpoint: Some(CheckpointConfig::every(interval)),
+            ..RecoveryConfig::detection_only()
+        }
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig::detection_only()
+    }
+}
+
+/// An action the control plane asks the engine to apply. The control
+/// plane never touches the scheduler itself — the engine stays the single
+/// writer, so every action is observable and testable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlAction {
+    /// The failure detector crossed its threshold for this node.
+    FenceSuspect {
+        /// Node index.
+        node: usize,
+        /// The phi value at detection.
+        phi: f64,
+    },
+    /// A fenced node's heartbeat stream resumed: return it to service.
+    Unfence {
+        /// Node index.
+        node: usize,
+    },
+    /// Watchdog: the node is over its throttle line; step DVFS down.
+    ThrottleHot {
+        /// Node index.
+        node: usize,
+        /// The temperature observed.
+        temperature: Celsius,
+    },
+    /// Watchdog: the node cooled below the release line; step DVFS up.
+    RelaxCool {
+        /// Node index.
+        node: usize,
+    },
+    /// Watchdog: sustained over-temperature; fence before the trip.
+    FenceHot {
+        /// Node index.
+        node: usize,
+        /// The temperature observed.
+        temperature: Celsius,
+    },
+}
+
+/// Heartbeat-fed decision loop over the cluster's nodes.
+pub struct ControlPlane {
+    monitor: HeartbeatMonitor,
+    config: RecoveryConfig,
+    hostnames: Vec<String>,
+    /// Which nodes this control plane has fenced.
+    fenced: Vec<bool>,
+    /// When each node crossed the watchdog's fence line, if it is over it.
+    hot_since: Vec<Option<SimTime>>,
+    /// Outstanding watchdog DVFS step-downs per node, so cooling only
+    /// relaxes what the watchdog itself throttled.
+    throttle_depth: Vec<usize>,
+}
+
+impl ControlPlane {
+    /// Attaches the control plane to `broker`, watching heartbeats of the
+    /// given nodes (in index order).
+    pub fn new(broker: &Broker, config: RecoveryConfig, hostnames: Vec<String>) -> Self {
+        let monitor = HeartbeatMonitor::attach(
+            broker,
+            "org/unibo/cluster/cimone/node/+/plugin/health_pub/chnl/data/heartbeat"
+                .parse()
+                .expect("valid filter"),
+            config.phi_threshold,
+        );
+        let n = hostnames.len();
+        ControlPlane {
+            monitor,
+            config,
+            hostnames,
+            fenced: vec![false; n],
+            hot_since: vec![None; n],
+            throttle_depth: vec![0; n],
+        }
+    }
+
+    /// The failure detector (suspicion levels are readable at any time).
+    pub fn monitor(&self) -> &HeartbeatMonitor {
+        &self.monitor
+    }
+
+    /// Whether this control plane has node `i` fenced.
+    pub fn is_fenced(&self, node: usize) -> bool {
+        self.fenced[node]
+    }
+
+    /// Marks `node` fenced (the engine calls this after applying a fence
+    /// action so operator-driven fences stay in sync too).
+    pub fn set_fenced(&mut self, node: usize, fenced: bool) {
+        self.fenced[node] = fenced;
+    }
+
+    /// One decision tick: ingest heartbeats, evaluate suspicion for every
+    /// node, and run the thermal watchdog over `temperatures`. Returns the
+    /// actions for the engine to apply, in node order.
+    // The index walks four parallel per-node vectors; iterating any one
+    // of them would just obscure that.
+    #[allow(clippy::needless_range_loop)]
+    pub fn tick(&mut self, now: SimTime, temperatures: &[Celsius]) -> Vec<ControlAction> {
+        self.monitor.pump();
+        let mut actions = Vec::new();
+        for node in 0..self.hostnames.len() {
+            let host = &self.hostnames[node];
+            let phi = self.monitor.phi(host, now);
+            if !self.fenced[node] {
+                if self.config.fence_on_suspicion && phi >= self.config.phi_threshold {
+                    actions.push(ControlAction::FenceSuspect { node, phi });
+                    // Applied optimistically: the engine fences in the same
+                    // tick it receives the action.
+                    self.fenced[node] = true;
+                    continue;
+                }
+            } else if self.config.auto_unfence {
+                // Unfence once the stream has demonstrably resumed: a
+                // fresh arrival and suspicion back under half the line.
+                // A thermally fenced node keeps heartbeating, so it must
+                // additionally have cooled below the release line.
+                let resumed = self
+                    .monitor
+                    .detector(host)
+                    .and_then(|d| d.last_arrival())
+                    .is_some_and(|t| now.saturating_since(t) < self.config.heartbeat_interval * 2);
+                let cooled = self
+                    .config
+                    .thermal_watchdog
+                    .is_none_or(|w| temperatures[node] < w.release_below);
+                if resumed && cooled && phi < self.config.phi_threshold * 0.5 {
+                    actions.push(ControlAction::Unfence { node });
+                    self.fenced[node] = false;
+                }
+            }
+            if let Some(watchdog) = self.config.thermal_watchdog {
+                if self.fenced[node] {
+                    self.hot_since[node] = None;
+                    continue;
+                }
+                let temp = temperatures[node];
+                if temp >= watchdog.fence_above {
+                    let since = *self.hot_since[node].get_or_insert(now);
+                    if now.saturating_since(since) >= watchdog.sustain {
+                        actions.push(ControlAction::FenceHot {
+                            node,
+                            temperature: temp,
+                        });
+                        self.fenced[node] = true;
+                        self.hot_since[node] = None;
+                        continue;
+                    }
+                } else {
+                    self.hot_since[node] = None;
+                }
+                if temp >= watchdog.throttle_above {
+                    actions.push(ControlAction::ThrottleHot {
+                        node,
+                        temperature: temp,
+                    });
+                    self.throttle_depth[node] += 1;
+                } else if temp < watchdog.release_below && self.throttle_depth[node] > 0 {
+                    actions.push(ControlAction::RelaxCool { node });
+                    self.throttle_depth[node] -= 1;
+                }
+            }
+        }
+        actions
+    }
+}
+
+impl std::fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("config", &self.config)
+            .field("fenced", &self.fenced)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimone_monitor::payload::Payload;
+    use cimone_monitor::topic::Topic;
+
+    fn heartbeat_topic(host: &str) -> Topic {
+        Topic::new(
+            [
+                "org",
+                "unibo",
+                "cluster",
+                "cimone",
+                "node",
+                host,
+                "plugin",
+                "health_pub",
+                "chnl",
+                "data",
+                "heartbeat",
+            ]
+            .map(str::to_owned),
+        )
+    }
+
+    fn hosts() -> Vec<String> {
+        (1..=2).map(|i| format!("mc-node-{i:02}")).collect()
+    }
+
+    fn cool() -> Vec<Celsius> {
+        vec![Celsius::new(50.0); 2]
+    }
+
+    #[test]
+    fn silence_fences_and_resumption_unfences() {
+        let broker = Broker::new();
+        let mut cp = ControlPlane::new(&broker, RecoveryConfig::detection_only(), hosts());
+        let topic = heartbeat_topic("mc-node-01");
+        for s in (0..60).step_by(5) {
+            broker.publish(&topic, Payload::new(1.0, SimTime::from_secs(s)));
+        }
+        assert!(cp.tick(SimTime::from_secs(60), &cool()).is_empty());
+        // 30 s of silence: node 0 crosses phi 8 and is fenced.
+        let actions = cp.tick(SimTime::from_secs(90), &cool());
+        assert!(matches!(
+            actions.as_slice(),
+            [ControlAction::FenceSuspect { node: 0, phi }] if *phi >= 8.0
+        ));
+        assert!(cp.is_fenced(0));
+        // The stream resumes: the node is unfenced.
+        broker.publish(&topic, Payload::new(1.0, SimTime::from_secs(95)));
+        let actions = cp.tick(SimTime::from_secs(96), &cool());
+        assert_eq!(actions, vec![ControlAction::Unfence { node: 0 }]);
+        assert!(!cp.is_fenced(0));
+    }
+
+    #[test]
+    fn fencing_can_be_disabled() {
+        let broker = Broker::new();
+        let config = RecoveryConfig {
+            fence_on_suspicion: false,
+            ..RecoveryConfig::detection_only()
+        };
+        let mut cp = ControlPlane::new(&broker, config, hosts());
+        let topic = heartbeat_topic("mc-node-02");
+        for s in (0..60).step_by(5) {
+            broker.publish(&topic, Payload::new(1.0, SimTime::from_secs(s)));
+        }
+        assert!(cp.tick(SimTime::from_secs(200), &cool()).is_empty());
+        // Suspicion is still observable even though nothing was fenced.
+        assert!(cp
+            .monitor()
+            .is_suspect("mc-node-02", SimTime::from_secs(200)));
+    }
+
+    #[test]
+    fn watchdog_fences_only_after_sustained_heat() {
+        let broker = Broker::new();
+        let config = RecoveryConfig {
+            thermal_watchdog: Some(ThermalWatchdog {
+                throttle_above: Celsius::new(95.0),
+                release_below: Celsius::new(85.0),
+                fence_above: Celsius::new(103.0),
+                sustain: SimDuration::from_secs(30),
+            }),
+            ..RecoveryConfig::detection_only()
+        };
+        let mut cp = ControlPlane::new(&broker, config, hosts());
+        let hot = vec![Celsius::new(104.0), Celsius::new(50.0)];
+        // First sighting: throttle, arm the sustain clock — no fence yet.
+        let actions = cp.tick(SimTime::from_secs(10), &hot);
+        assert_eq!(
+            actions,
+            vec![ControlAction::ThrottleHot {
+                node: 0,
+                temperature: Celsius::new(104.0)
+            }]
+        );
+        // Still hot within the sustain window: throttle again.
+        let actions = cp.tick(SimTime::from_secs(30), &hot);
+        assert!(matches!(
+            actions.as_slice(),
+            [ControlAction::ThrottleHot { node: 0, .. }]
+        ));
+        // Past the sustain window: fence.
+        let actions = cp.tick(SimTime::from_secs(40), &hot);
+        assert!(matches!(
+            actions.as_slice(),
+            [ControlAction::FenceHot { node: 0, .. }]
+        ));
+        assert!(cp.is_fenced(0));
+    }
+
+    #[test]
+    fn watchdog_cooling_resets_the_sustain_clock() {
+        let broker = Broker::new();
+        let config = RecoveryConfig {
+            thermal_watchdog: Some(ThermalWatchdog::fu740_default()),
+            ..RecoveryConfig::detection_only()
+        };
+        let mut cp = ControlPlane::new(&broker, config, hosts());
+        let hot = vec![Celsius::new(104.0), Celsius::new(50.0)];
+        let warm = vec![Celsius::new(90.0), Celsius::new(50.0)];
+        cp.tick(SimTime::from_secs(0), &hot);
+        // Dipping below the fence line resets the sustain clock...
+        cp.tick(SimTime::from_secs(20), &warm);
+        // ...so heat at t=40 has accrued 0 s, not 40 s.
+        let actions = cp.tick(SimTime::from_secs(40), &hot);
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ControlAction::FenceHot { .. })),
+            "{actions:?}"
+        );
+        // Cool air below the release line steps DVFS back up — but only
+        // on the node the watchdog actually throttled.
+        let cold = vec![Celsius::new(60.0), Celsius::new(50.0)];
+        let actions = cp.tick(SimTime::from_secs(60), &cold);
+        assert_eq!(actions, vec![ControlAction::RelaxCool { node: 0 }]);
+    }
+}

@@ -16,6 +16,10 @@
 //!   thermal and monitoring integrated;
 //! * [`faults`] — deterministic, seeded fault injection driven against
 //!   the engine clock;
+//! * [`checkpoint`] / [`healing`] — the recovery subsystem: NFS-backed
+//!   checkpoint/restart, phi-accrual failure detection over broker
+//!   heartbeats, and the self-healing control plane (fencing, migration,
+//!   thermal watchdog);
 //! * [`experiments`] — one module per paper table/figure.
 //!
 //! # Examples
@@ -34,10 +38,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod blade;
+pub mod checkpoint;
 pub mod dpm;
 pub mod engine;
 pub mod experiments;
 pub mod faults;
+pub mod healing;
 pub mod node;
 pub mod perf;
 pub mod reference;
@@ -45,9 +51,11 @@ pub mod report;
 pub mod services;
 pub mod thermal;
 
+pub use checkpoint::{CheckpointCostModel, CheckpointStore, JobCheckpoint};
 pub use dpm::ThermalGovernor;
 pub use engine::{ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use healing::{CheckpointConfig, ControlPlane, RecoveryConfig, ThermalWatchdog};
 pub use node::ComputeNode;
 pub use perf::{HplModel, HplProblem, LaxModel};
 pub use reference::ReferenceNode;

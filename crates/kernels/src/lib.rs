@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod dgemm;
 pub mod eig;
 pub mod hpl;
@@ -33,6 +34,7 @@ pub mod lu;
 pub mod matrix;
 pub mod stream;
 
+pub use checkpoint::{Checkpoint, SteppableLu};
 pub use eig::EigenDecomposition;
 pub use lu::LuFactorization;
 pub use matrix::Matrix;

@@ -163,6 +163,12 @@ impl LuFactorization {
         x
     }
 
+    /// Packages factors computed elsewhere (the steppable/checkpointable
+    /// path in [`crate::checkpoint`]).
+    pub(crate) fn from_parts(lu: Matrix, pivots: Vec<usize>, block: usize) -> Self {
+        LuFactorization { lu, pivots, block }
+    }
+
     /// Reconstructs `P·A` from the factors (test helper; O(n³)).
     pub fn reconstruct_permuted(&self) -> Matrix {
         let n = self.order();
@@ -186,7 +192,12 @@ impl LuFactorization {
 /// Unblocked panel factorisation over columns `k..k+kb`, full row height,
 /// with immediate full-row pivot swaps (keeps already-computed and
 /// not-yet-touched columns consistent).
-fn factor_panel(a: &mut Matrix, k: usize, kb: usize, pivots: &mut [usize]) -> Result<(), LuError> {
+pub(crate) fn factor_panel(
+    a: &mut Matrix,
+    k: usize,
+    kb: usize,
+    pivots: &mut [usize],
+) -> Result<(), LuError> {
     let n = a.rows();
     for j in k..k + kb {
         // Partial pivoting: largest magnitude in column j at/below the diagonal.
@@ -226,7 +237,7 @@ fn factor_panel(a: &mut Matrix, k: usize, kb: usize, pivots: &mut [usize]) -> Re
 
 /// Computes `U12 = L11⁻¹ · A12` (unit-lower triangular solve applied to
 /// each trailing column's panel rows).
-fn solve_block_row(a: &mut Matrix, k: usize, kb: usize) {
+pub(crate) fn solve_block_row(a: &mut Matrix, k: usize, kb: usize) {
     let n = a.rows();
     for jj in k + kb..n {
         for j in k..k + kb {
@@ -243,7 +254,7 @@ fn solve_block_row(a: &mut Matrix, k: usize, kb: usize) {
 }
 
 /// Trailing update `A22 ← A22 − L21 · U12` (the GEMM that dominates HPL).
-fn update_trailing(a: &mut Matrix, k: usize, kb: usize) {
+pub(crate) fn update_trailing(a: &mut Matrix, k: usize, kb: usize) {
     let n = a.rows();
     let rows = n;
     // Split borrows manually through raw column offsets on the backing slice.

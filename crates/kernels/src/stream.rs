@@ -150,6 +150,31 @@ impl StreamRun {
         &self.config
     }
 
+    /// The arrays and iteration count, for checkpoint snapshots.
+    pub(crate) fn parts(&self) -> (&[f64], &[f64], &[f64], usize) {
+        (&self.a, &self.b, &self.c, self.iterations)
+    }
+
+    /// Rebuilds a run mid-flight from snapshotted arrays.
+    pub(crate) fn from_parts(
+        config: StreamConfig,
+        a: Vec<f64>,
+        b: Vec<f64>,
+        c: Vec<f64>,
+        iterations: usize,
+    ) -> Self {
+        assert_eq!(a.len(), config.elements, "array a length matches config");
+        assert_eq!(b.len(), config.elements, "array b length matches config");
+        assert_eq!(c.len(), config.elements, "array c length matches config");
+        StreamRun {
+            config,
+            a,
+            b,
+            c,
+            iterations,
+        }
+    }
+
     /// Executes one kernel once across all threads; returns elapsed seconds.
     pub fn run_kernel(&mut self, kernel: StreamKernel) -> f64 {
         let threads = self.config.threads;

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use cimone_kernels::checkpoint::{Checkpoint, SteppableLu};
 use cimone_kernels::dgemm;
 use cimone_kernels::eig::EigenDecomposition;
 use cimone_kernels::lu::{hpl_residual, LuFactorization, HPL_RESIDUAL_THRESHOLD};
@@ -42,6 +43,61 @@ proptest! {
         let lu_b = LuFactorization::factor(a, nb_b).expect("nonsingular");
         prop_assert_eq!(lu_a.pivots(), lu_b.pivots());
         prop_assert!(lu_a.packed().max_abs_diff(lu_b.packed()) < 1e-10);
+    }
+
+    #[test]
+    fn lu_checkpoint_restore_round_trip_is_lossless(
+        n in 2usize..40,
+        nb in 1usize..16,
+        interrupt_after in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(n, n, &mut rng);
+        // Run one factorisation straight through...
+        let direct = LuFactorization::factor(a.clone(), nb).expect("nonsingular");
+        // ...and another interrupted mid-flight, checkpointed, restored.
+        let mut stepped = SteppableLu::new(a, nb).expect("square");
+        for _ in 0..interrupt_after {
+            if !stepped.step().expect("nonsingular") {
+                break;
+            }
+        }
+        let resumed = SteppableLu::restore(stepped.checkpoint());
+        prop_assert_eq!(resumed.panels_done(), stepped.panels_done());
+        let from_snapshot = resumed.run_to_completion().expect("nonsingular");
+        // Bit-identical, not just close: checkpointing loses nothing.
+        prop_assert_eq!(from_snapshot.packed().as_slice(), direct.packed().as_slice());
+        prop_assert_eq!(from_snapshot.pivots(), direct.pivots());
+    }
+
+    #[test]
+    fn stream_checkpoint_restore_round_trip_is_lossless(
+        elements in 1usize..500,
+        threads in 1usize..4,
+        before in 0usize..3,
+        after in 0usize..3,
+    ) {
+        let config = StreamConfig::new(elements, threads);
+        let mut direct = StreamRun::new(config);
+        let mut interrupted = StreamRun::new(config);
+        for _ in 0..before {
+            direct.run_iteration();
+            interrupted.run_iteration();
+        }
+        let mut resumed = StreamRun::restore(interrupted.checkpoint());
+        for _ in 0..after {
+            direct.run_iteration();
+            resumed.run_iteration();
+        }
+        prop_assert!(resumed.validate(before + after).is_ok());
+        // Bit-identical to the uninterrupted run.
+        let d = direct.checkpoint();
+        let r = resumed.checkpoint();
+        prop_assert_eq!(d.a_bits, r.a_bits);
+        prop_assert_eq!(d.b_bits, r.b_bits);
+        prop_assert_eq!(d.c_bits, r.c_bits);
+        prop_assert_eq!(d.iterations, r.iterations);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`query`] — the REST/JSON-style batch interface;
 //! * [`dashboard`] — Grafana-role text heatmaps (Fig. 5) and sparklines;
 //! * [`anomaly`] — threshold and rate-of-rise detection, including the
-//!   thermal-runaway detector motivated by the paper's node-7 incident.
+//!   thermal-runaway detector motivated by the paper's node-7 incident;
+//! * [`heartbeat`] — per-node heartbeats and a phi-accrual failure
+//!   detector, so crash detection rides the telemetry path instead of an
+//!   oracle.
 //!
 //! # Examples
 //!
@@ -47,6 +50,7 @@ pub mod anomaly;
 pub mod broker;
 pub mod collector;
 pub mod dashboard;
+pub mod heartbeat;
 pub mod json;
 pub mod payload;
 pub mod plugins;
@@ -58,6 +62,7 @@ pub use anomaly::{Alarm, Severity, ThermalRunawayDetector};
 pub use broker::{Broker, PublishedMessage, Subscription};
 pub use collector::Collector;
 pub use dashboard::Heatmap;
+pub use heartbeat::{HeartbeatMonitor, PhiAccrualDetector};
 pub use payload::Payload;
 pub use plugins::{NodeSnapshot, Plugin, PluginRunner, PmuPlugin, StatsPlugin};
 pub use topic::{ExamonSchema, Topic, TopicFilter};

@@ -127,6 +127,40 @@ proptest! {
     }
 
     #[test]
+    fn phi_detector_never_suspects_an_uninterrupted_heartbeat_stream(
+        period_ms in 100u64..30_000,
+        beats in 4usize..200,
+        // Arrival jitter as a fraction of the period, within the sigma
+        // floor's design envelope (±25% of the mean interval).
+        jitter_pct in 0u64..20,
+        phase in 0u64..7,
+    ) {
+        use cimone_monitor::heartbeat::{PhiAccrualDetector, DEFAULT_PHI_THRESHOLD};
+
+        let mut det = PhiAccrualDetector::default();
+        let mut t = 0u64;
+        let mut last = 0u64;
+        for i in 0..beats {
+            // Deterministic bounded jitter, alternating early/late.
+            let jitter = period_ms * jitter_pct / 100;
+            let offset = if (i as u64 + phase).is_multiple_of(2) { jitter } else { 0 };
+            let at = t + offset;
+            det.record(SimTime::from_millis(at));
+            // The stream is uninterrupted: evaluated at any point up to the
+            // next arrival, suspicion never crosses the threshold.
+            for probe in [at, at + period_ms / 2, t + period_ms] {
+                let phi = det.phi(SimTime::from_millis(probe.max(last)));
+                prop_assert!(
+                    phi < DEFAULT_PHI_THRESHOLD,
+                    "beat {i}: phi {phi} at probe {probe}ms (period {period_ms}ms)"
+                );
+            }
+            last = at;
+            t += period_ms;
+        }
+    }
+
+    #[test]
     fn payload_round_trips_through_the_wire_format(
         value in -1e9f64..1e9,
         // Bounded so the seconds-as-f64 wire encoding keeps µs resolution.

@@ -316,27 +316,34 @@ impl Scheduler {
         Ok(())
     }
 
-    /// Takes `node` out of service at `now`; any job running on it is
+    /// Takes `node` out of service at `now`; *every* job running on it is
     /// requeued at the head of the queue (Slurm's `--requeue` behaviour)
     /// with its failure time recorded and exponential backoff applied,
     /// and its other nodes are freed. A victim whose retry budget is
     /// already spent is instead marked [`JobState::Failed`].
     ///
-    /// Either outcome is appended to the scheduler event log
+    /// Each outcome is appended to the scheduler event log
     /// ([`Scheduler::events`]).
     ///
-    /// Returns the victim job, if any.
-    pub fn fail_node(&mut self, node: &str, now: SimTime) -> Option<JobId> {
-        self.partition.availability(node)?;
+    /// Returns all victim jobs, in running order (empty for an unknown or
+    /// idle node). Monte Cimone allocates whole nodes exclusively, so
+    /// today at most one victim is possible — but the contract covers
+    /// co-scheduled jobs so shared-node allocation cannot silently drop
+    /// victims later.
+    pub fn fail_node(&mut self, node: &str, now: SimTime) -> Vec<JobId> {
+        if self.partition.availability(node).is_none() {
+            return Vec::new();
+        }
         self.partition
             .set_availability(node, NodeAvailability::Down);
         self.draining.remove(node);
-        let victim = self
+        let victims: Vec<JobId> = self
             .running
             .iter()
             .copied()
-            .find(|id| self.jobs[id].allocated_nodes().iter().any(|n| n == node));
-        if let Some(id) = victim {
+            .filter(|id| self.jobs[id].allocated_nodes().iter().any(|n| n == node))
+            .collect();
+        for &id in &victims {
             let job = self.jobs.get_mut(&id).expect("victim exists");
             let nodes: Vec<String> = job.allocated_nodes().to_vec();
             let exhausted = job.retries_exhausted();
@@ -375,7 +382,7 @@ impl Scheduler {
                 self.queue.insert(0, id);
             }
         }
-        victim
+        victims
     }
 
     /// Administratively drains `node` (Slurm's `scontrol update
@@ -560,8 +567,8 @@ mod tests {
         let a = s.submit(spec(8, 1_000), SimTime::ZERO).unwrap();
         s.schedule(SimTime::ZERO);
         let _queued = s.submit(spec(1, 10), SimTime::from_secs(1)).unwrap();
-        let victim = s.fail_node("mc-node-07", SimTime::from_secs(10));
-        assert_eq!(victim, Some(a));
+        let victims = s.fail_node("mc-node-07", SimTime::from_secs(10));
+        assert_eq!(victims, vec![a]);
         assert_eq!(s.pending()[0], a);
         assert_eq!(s.job(a).unwrap().state(), JobState::Pending);
         assert_eq!(s.job(a).unwrap().requeue_count(), 1);

@@ -175,18 +175,17 @@ proptest! {
         scheduler.schedule(SimTime::ZERO);
         let hostname = format!("mc-node-{:02}", node_index + 1);
         let was_running: Vec<JobId> = scheduler.running().to_vec();
-        let victim = scheduler.fail_node(&hostname, SimTime::from_secs(1));
+        let victims = scheduler.fail_node(&hostname, SimTime::from_secs(1));
         prop_assert!(scheduler.check_invariants());
-        match victim {
-            Some(id) => {
+        if victims.is_empty() {
+            // No job touched that node: the running set is unchanged.
+            prop_assert_eq!(scheduler.running().to_vec(), was_running);
+        } else {
+            for &id in &victims {
                 prop_assert!(was_running.contains(&id));
                 prop_assert_eq!(scheduler.job(id).expect("known").state(), JobState::Pending);
-                prop_assert_eq!(scheduler.pending().first(), Some(&id));
             }
-            None => {
-                // No job touched that node: the running set is unchanged.
-                prop_assert_eq!(scheduler.running().to_vec(), was_running);
-            }
+            prop_assert_eq!(scheduler.pending().first(), victims.last());
         }
     }
 

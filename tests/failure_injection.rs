@@ -28,6 +28,7 @@ fn thermal_trip_requeues_and_machine_recovers() {
         seed: 7,
         monitoring: false, // keep the test fast; the alarm path is covered elsewhere
         governor: None,
+        recovery: None,
     });
     let id = engine
         .submit(JobRequest {
@@ -287,7 +288,7 @@ fn node_failure_mid_stream_job_frees_other_nodes() {
         .expect("hostname parses")
         - 1;
     let requeued = engine.inject_node_failure(index);
-    assert_eq!(requeued, Some(id));
+    assert_eq!(requeued, vec![id]);
     assert_eq!(engine.scheduler().partition().in_service_count(), 7);
     assert!(engine.scheduler().check_invariants());
 

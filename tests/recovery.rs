@@ -1,0 +1,172 @@
+//! End-to-end recovery: a node dies mid-HPL, the *failure detector* (not
+//! an oracle) notices the silent heartbeats, the control plane fences the
+//! node, and the job migrates to healthy nodes resuming from its last NFS
+//! checkpoint — losing less than one checkpoint interval of work.
+
+use monte_cimone::cluster::engine::{
+    ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine,
+};
+use monte_cimone::cluster::healing::RecoveryConfig;
+use monte_cimone::cluster::perf::HplProblem;
+use monte_cimone::sched::job::JobState;
+use monte_cimone::soc::units::SimDuration;
+
+const CKPT_INTERVAL_SECS: u64 = 300;
+
+#[test]
+fn crash_mid_hpl_is_detected_by_heartbeats_and_resumes_from_checkpoint() {
+    let mut engine = SimEngine::new(EngineConfig {
+        dt: SimDuration::from_secs(2),
+        monitoring: false,
+        recovery: Some(RecoveryConfig::with_checkpoints(SimDuration::from_secs(
+            CKPT_INTERVAL_SECS,
+        ))),
+        ..EngineConfig::default()
+    });
+    // Half the machine, so the evicted job has healthy nodes to migrate to.
+    let id = engine
+        .submit(JobRequest {
+            name: "hpl-ckpt".into(),
+            user: "ops".into(),
+            nodes: 4,
+            workload: ClusterWorkload::Hpl(HplProblem::paper()),
+        })
+        .expect("fits");
+
+    // Run long enough for at least one checkpoint commit, then kill one
+    // of the job's nodes. The kill is *physical*: heartbeats stop, but
+    // the scheduler is told nothing.
+    engine.run_for(SimDuration::from_secs(1000));
+    assert!(
+        engine.checkpoints_written() >= 1,
+        "a checkpoint must have committed before the crash"
+    );
+    let victim_host = engine.scheduler().job(id).expect("known").allocated_nodes()[0].clone();
+    let victim = victim_host
+        .rsplit('-')
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .expect("hostname parses")
+        - 1;
+    let crash_at = engine.now();
+    let evicted = engine.inject_node_failure(victim);
+    assert!(
+        evicted.is_empty(),
+        "recovery mode must not short-circuit the scheduler: {evicted:?}"
+    );
+    assert!(
+        engine.scheduler().running().contains(&id),
+        "immediately after the crash the scheduler still believes the job runs"
+    );
+
+    // The campaign finishes on the surviving nodes.
+    assert!(
+        engine.run_until_idle(SimDuration::from_secs(40_000)),
+        "the job must finish on the surviving nodes"
+    );
+
+    // Detection came off the heartbeat path, with real latency.
+    let suspected_at = engine
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            EngineEvent::NodeSuspected { node, at, phi } if *node == victim => Some((*at, *phi)),
+            _ => None,
+        })
+        .expect("the detector must suspect the silent node");
+    let fenced_at = engine
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            EngineEvent::NodeFenced { node, at } if *node == victim => Some(*at),
+            _ => None,
+        })
+        .expect("the control plane must fence the suspect");
+    assert!(
+        suspected_at.1 >= 8.0,
+        "phi at detection: {}",
+        suspected_at.1
+    );
+    let latency = fenced_at.saturating_since(crash_at);
+    assert!(
+        latency > SimDuration::ZERO && latency < SimDuration::from_secs(120),
+        "detection latency {latency} must be positive and bounded"
+    );
+    assert_eq!(engine.fence_count(), 1, "no false suspicions elsewhere");
+
+    // The job restarted from its checkpoint, not from zero.
+    let resumed = engine
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            EngineEvent::JobResumed {
+                id: j,
+                at,
+                progress,
+            } if *j == id => Some((*at, *progress)),
+            _ => None,
+        })
+        .expect("the job must resume from a checkpoint");
+    assert!(resumed.0 >= fenced_at, "restart follows the fence");
+    assert!(
+        resumed.1 > 0.0 && resumed.1 < 1.0,
+        "resume progress {} must be a mid-run checkpoint",
+        resumed.1
+    );
+
+    // Wasted work stays under one checkpoint interval (per node), the
+    // whole point of checkpointing.
+    let wasted_per_node = engine.wasted_node_seconds() / 4.0;
+    assert!(
+        wasted_per_node < (CKPT_INTERVAL_SECS + 60) as f64,
+        "wasted {wasted_per_node} progress-seconds per node, interval {CKPT_INTERVAL_SECS}"
+    );
+
+    // The job completed away from the dead node, and its restart point
+    // was cleaned up.
+    let job = engine.scheduler().job(id).expect("known");
+    assert_eq!(job.state(), JobState::Completed);
+    assert!(
+        !job.allocated_nodes().contains(&victim_host),
+        "the rerun must avoid the dead node, got {:?}",
+        job.allocated_nodes()
+    );
+    assert!(
+        engine.checkpoint_store().expect("recovery on").is_empty(),
+        "completed jobs leave no checkpoint behind"
+    );
+}
+
+#[test]
+fn recovery_campaigns_replay_identically_for_one_seed() {
+    let campaign = || {
+        let mut engine = SimEngine::new(EngineConfig {
+            dt: SimDuration::from_secs(2),
+            monitoring: false,
+            seed: 11,
+            recovery: Some(RecoveryConfig::with_checkpoints(SimDuration::from_secs(
+                CKPT_INTERVAL_SECS,
+            ))),
+            ..EngineConfig::default()
+        });
+        engine
+            .submit(JobRequest {
+                name: "hpl-replay".into(),
+                user: "ops".into(),
+                nodes: 4,
+                workload: ClusterWorkload::Hpl(HplProblem::paper()),
+            })
+            .expect("fits");
+        engine.run_for(SimDuration::from_secs(800));
+        engine.inject_node_failure(0);
+        engine.run_until_idle(SimDuration::from_secs(40_000));
+        (engine.events().to_vec(), engine.wasted_node_seconds())
+    };
+    let (events_a, wasted_a) = campaign();
+    let (events_b, wasted_b) = campaign();
+    assert!(events_a
+        .iter()
+        .any(|e| matches!(e, EngineEvent::JobResumed { .. })));
+    assert_eq!(events_a, events_b);
+    assert_eq!(wasted_a.to_bits(), wasted_b.to_bits());
+}
