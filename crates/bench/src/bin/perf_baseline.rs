@@ -1,0 +1,320 @@
+//! The perf-regression baseline: pinned-size kernel and engine runs,
+//! serial vs threaded, with machine-readable output.
+//!
+//! Emits `BENCH_kernels.json` (blocked LU GFLOP/s, packed DGEMM GFLOP/s,
+//! STREAM triad GB/s, each with the threaded-over-serial speedup) and
+//! `BENCH_engine.json` (simulation steps/s at 1 and 4 engine threads).
+//! Every threaded run is checked bitwise against its serial twin — any
+//! divergence is a hard failure (non-zero exit), because the worker pool's
+//! whole contract is that thread count never changes a result.
+//!
+//! `--smoke` shrinks the problem sizes for CI; `REPS` overrides the
+//! repetition count. Timings report the median rep, the stable statistic
+//! on a noisy shared host.
+
+use std::time::Instant;
+
+use cimone_cluster::engine::{ClusterWorkload, EngineConfig, JobRequest, SimEngine};
+use cimone_kernels::checkpoint::Checkpoint;
+use cimone_kernels::dgemm;
+use cimone_kernels::lu::LuFactorization;
+use cimone_kernels::matrix::Matrix;
+use cimone_kernels::pool::WorkerPool;
+use cimone_kernels::stream::{StreamConfig, StreamKernel, StreamRun};
+use cimone_monitor::json::JsonValue;
+use cimone_soc::workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pinned worker count for every threaded measurement (the paper's
+/// machine has four cores per node; the acceptance gate is LU at 4).
+const WORKERS: usize = 4;
+
+struct Sizes {
+    mode: &'static str,
+    lu_n: usize,
+    lu_nb: usize,
+    gemm_n: usize,
+    gemm_block: usize,
+    stream_elements: usize,
+    engine_steps: usize,
+    reps: usize,
+}
+
+impl Sizes {
+    fn full() -> Sizes {
+        Sizes {
+            mode: "full",
+            lu_n: 512,
+            lu_nb: 64,
+            gemm_n: 384,
+            gemm_block: 64,
+            stream_elements: 2_000_000,
+            engine_steps: 240,
+            reps: 5,
+        }
+    }
+
+    fn smoke() -> Sizes {
+        Sizes {
+            mode: "smoke",
+            lu_n: 192,
+            lu_nb: 64,
+            gemm_n: 128,
+            gemm_block: 64,
+            stream_elements: 200_000,
+            engine_steps: 60,
+            reps: 3,
+        }
+    }
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Times `reps` calls of `f`, returning (median seconds, last result).
+fn time_reps<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        last = Some(f());
+        times.push(start.elapsed().as_secs_f64());
+    }
+    (median(times), last.expect("at least one rep"))
+}
+
+fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)))
+}
+
+fn num(v: f64) -> JsonValue {
+    JsonValue::Number(v)
+}
+
+fn bench_lu(sizes: &Sizes, pool: &WorkerPool, divergences: &mut Vec<String>) -> JsonValue {
+    let (n, nb, reps) = (sizes.lu_n, sizes.lu_nb, sizes.reps);
+    let mut rng = StdRng::seed_from_u64(2022);
+    let a = Matrix::random(n, n, &mut rng);
+    let flops = 2.0 / 3.0 * (n as f64).powi(3);
+
+    // Warm up both paths once so page faults and lazy init stay out of
+    // the measured reps.
+    let warm_s = LuFactorization::factor(a.clone(), nb).expect("factors");
+    let warm_p = LuFactorization::factor_parallel(a.clone(), nb, pool).expect("factors");
+    if warm_s.packed().as_slice() != warm_p.packed().as_slice()
+        || warm_s.pivots() != warm_p.pivots()
+    {
+        divergences.push(format!("LU {n}x{n} nb={nb}: threaded != serial"));
+    }
+
+    let (serial_s, _) = time_reps(reps, || {
+        LuFactorization::factor(a.clone(), nb).expect("factors")
+    });
+    let (threaded_s, _) = time_reps(reps, || {
+        LuFactorization::factor_parallel(a.clone(), nb, pool).expect("factors")
+    });
+    let speedup = serial_s / threaded_s;
+    println!(
+        "LU      n={n:<8} nb={nb:<4} serial {:>8.2} ms ({:>6.2} GFLOP/s)  threaded {:>8.2} ms ({:>6.2} GFLOP/s)  speedup {speedup:.2}x",
+        serial_s * 1e3,
+        flops / serial_s / 1e9,
+        threaded_s * 1e3,
+        flops / threaded_s / 1e9,
+    );
+    obj(vec![
+        ("n", num(n as f64)),
+        ("nb", num(nb as f64)),
+        ("serial_ms", num(serial_s * 1e3)),
+        ("threaded_ms", num(threaded_s * 1e3)),
+        ("serial_gflops", num(flops / serial_s / 1e9)),
+        ("threaded_gflops", num(flops / threaded_s / 1e9)),
+        ("speedup", num(speedup)),
+        ("bit_identical", JsonValue::Bool(divergences.is_empty())),
+    ])
+}
+
+fn bench_dgemm(sizes: &Sizes, pool: &WorkerPool, divergences: &mut Vec<String>) -> JsonValue {
+    let (n, block, reps) = (sizes.gemm_n, sizes.gemm_block, sizes.reps);
+    let mut rng = StdRng::seed_from_u64(2023);
+    let a = Matrix::random(n, n, &mut rng);
+    let b = Matrix::random(n, n, &mut rng);
+    let c0 = Matrix::random(n, n, &mut rng);
+    let flops = 2.0 * (n as f64).powi(3);
+
+    let mut c_serial = c0.clone();
+    dgemm::blocked(1.0, &a, &b, 0.5, &mut c_serial, block);
+    let mut c_threaded = c0.clone();
+    dgemm::blocked_parallel(1.0, &a, &b, 0.5, &mut c_threaded, block, pool);
+    let identical = c_serial.as_slice() == c_threaded.as_slice();
+    if !identical {
+        divergences.push(format!("DGEMM {n}x{n} block={block}: threaded != serial"));
+    }
+
+    let (serial_s, _) = time_reps(reps, || {
+        let mut c = c0.clone();
+        dgemm::blocked(1.0, &a, &b, 0.5, &mut c, block);
+        c
+    });
+    let (threaded_s, _) = time_reps(reps, || {
+        let mut c = c0.clone();
+        dgemm::blocked_parallel(1.0, &a, &b, 0.5, &mut c, block, pool);
+        c
+    });
+    let speedup = serial_s / threaded_s;
+    println!(
+        "DGEMM   n={n:<8} bl={block:<4} serial {:>8.2} ms ({:>6.2} GFLOP/s)  threaded {:>8.2} ms ({:>6.2} GFLOP/s)  speedup {speedup:.2}x",
+        serial_s * 1e3,
+        flops / serial_s / 1e9,
+        threaded_s * 1e3,
+        flops / threaded_s / 1e9,
+    );
+    obj(vec![
+        ("n", num(n as f64)),
+        ("block", num(block as f64)),
+        ("serial_ms", num(serial_s * 1e3)),
+        ("threaded_ms", num(threaded_s * 1e3)),
+        ("serial_gflops", num(flops / serial_s / 1e9)),
+        ("threaded_gflops", num(flops / threaded_s / 1e9)),
+        ("speedup", num(speedup)),
+        ("bit_identical", JsonValue::Bool(identical)),
+    ])
+}
+
+fn bench_stream(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
+    let (elements, reps) = (sizes.stream_elements, sizes.reps);
+
+    // Bit-identity first: one full iteration with serial vs threaded
+    // chunking must leave all three arrays exactly equal.
+    let mut serial_run = StreamRun::new(StreamConfig::new(elements, 1));
+    let mut threaded_run = StreamRun::new(StreamConfig::new(elements, WORKERS));
+    serial_run.run_iteration();
+    threaded_run.run_iteration();
+    let s = serial_run.checkpoint();
+    let t = threaded_run.checkpoint();
+    let identical = s.a_bits == t.a_bits && s.b_bits == t.b_bits && s.c_bits == t.c_bits;
+    if !identical {
+        divergences.push(format!("STREAM {elements} elements: threaded != serial"));
+    }
+
+    let serial_triad = serial_run.benchmark(StreamKernel::Triad, reps);
+    let threaded_triad = threaded_run.benchmark(StreamKernel::Triad, reps);
+    let speedup = threaded_triad.best_mb_per_s / serial_triad.best_mb_per_s;
+    println!(
+        "STREAM  elems={elements:<7} triad serial {:>7.2} GB/s  threaded {:>7.2} GB/s  speedup {speedup:.2}x",
+        serial_triad.best_mb_per_s / 1e3,
+        threaded_triad.best_mb_per_s / 1e3,
+    );
+    obj(vec![
+        ("elements", num(elements as f64)),
+        ("serial_gb_per_s", num(serial_triad.best_mb_per_s / 1e3)),
+        ("threaded_gb_per_s", num(threaded_triad.best_mb_per_s / 1e3)),
+        ("speedup", num(speedup)),
+        ("bit_identical", JsonValue::Bool(identical)),
+    ])
+}
+
+fn engine_with_threads(threads: usize, steps: usize) -> (f64, SimEngine) {
+    let mut engine = SimEngine::new(EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    });
+    engine
+        .submit(JobRequest {
+            name: "perf-baseline".into(),
+            user: "bench".into(),
+            nodes: 8,
+            workload: ClusterWorkload::Synthetic {
+                workload: Workload::Hpl,
+                secs: 100_000, // never finishes: every step does full work
+            },
+        })
+        .expect("job fits the machine");
+    let start = Instant::now();
+    for _ in 0..steps {
+        engine.step();
+    }
+    (start.elapsed().as_secs_f64(), engine)
+}
+
+fn bench_engine(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
+    let steps = sizes.engine_steps;
+    let mut serial_times = Vec::with_capacity(sizes.reps);
+    let mut threaded_times = Vec::with_capacity(sizes.reps);
+    let mut identical = true;
+    for _ in 0..sizes.reps {
+        let (st, serial) = engine_with_threads(1, steps);
+        let (tt, threaded) = engine_with_threads(WORKERS, steps);
+        serial_times.push(st);
+        threaded_times.push(tt);
+        identical &= serial.store() == threaded.store() && serial.events() == threaded.events();
+    }
+    if !identical {
+        divergences.push(format!("engine {steps} steps: threaded != serial"));
+    }
+    let serial_s = median(serial_times);
+    let threaded_s = median(threaded_times);
+    let speedup = serial_s / threaded_s;
+    println!(
+        "ENGINE  steps={steps:<7} serial {:>8.0} steps/s  threaded {:>8.0} steps/s  speedup {speedup:.2}x",
+        steps as f64 / serial_s,
+        steps as f64 / threaded_s,
+    );
+    obj(vec![
+        ("steps", num(steps as f64)),
+        ("serial_steps_per_s", num(steps as f64 / serial_s)),
+        ("threaded_steps_per_s", num(steps as f64 / threaded_s)),
+        ("speedup", num(speedup)),
+        ("bit_identical", JsonValue::Bool(identical)),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut sizes = if smoke { Sizes::smoke() } else { Sizes::full() };
+    if let Ok(reps) = std::env::var("REPS") {
+        sizes.reps = reps
+            .parse()
+            .unwrap_or_else(|_| panic!("REPS must be a positive integer, got {reps:?}"));
+        assert!(sizes.reps > 0, "REPS must be positive");
+    }
+    println!(
+        "perf_baseline: mode={} reps={} workers={WORKERS}",
+        sizes.mode, sizes.reps
+    );
+
+    let pool = WorkerPool::new(WORKERS);
+    let mut divergences = Vec::new();
+
+    let lu = bench_lu(&sizes, &pool, &mut divergences);
+    let gemm = bench_dgemm(&sizes, &pool, &mut divergences);
+    let stream = bench_stream(&sizes, &mut divergences);
+    let engine = bench_engine(&sizes, &mut divergences);
+
+    let config = obj(vec![
+        ("mode", JsonValue::String(sizes.mode.to_owned())),
+        ("reps", num(sizes.reps as f64)),
+        ("workers", num(WORKERS as f64)),
+    ]);
+    let kernels = obj(vec![
+        ("config", config.clone()),
+        ("lu", lu),
+        ("dgemm", gemm),
+        ("stream", stream),
+    ]);
+    let engine_doc = obj(vec![("config", config), ("engine", engine)]);
+    std::fs::write("BENCH_kernels.json", format!("{kernels}\n")).expect("write BENCH_kernels.json");
+    std::fs::write("BENCH_engine.json", format!("{engine_doc}\n"))
+        .expect("write BENCH_engine.json");
+    println!("wrote BENCH_kernels.json and BENCH_engine.json");
+
+    if !divergences.is_empty() {
+        eprintln!("FAIL: serial/threaded divergence detected:");
+        for d in &divergences {
+            eprintln!("  - {d}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -25,6 +25,8 @@ use cimone_soc::power::PowerModel;
 use cimone_soc::units::{Celsius, Energy, Power, SimDuration, SimTime};
 use cimone_soc::workload::Workload;
 
+use cimone_kernels::pool::{default_threads, WorkerPool};
+
 use crate::checkpoint::{CheckpointPosition, CheckpointStore, JobCheckpoint};
 use crate::dpm::{GovernorAction, ThermalGovernor};
 use crate::faults::{FaultEvent, FaultKind, FaultPlan};
@@ -91,6 +93,14 @@ pub struct EngineConfig {
     /// engine keeps its oracle semantics — a crash reaches the scheduler
     /// the same instant it happens.
     pub recovery: Option<RecoveryConfig>,
+    /// Worker threads for the per-node step phases (node advance,
+    /// telemetry sampling, broker fan-out). `1` (the default) runs fully
+    /// serial; `0` sizes a pool from the host (honouring
+    /// `CIMONE_THREADS`); any other value pins the pool size. Results
+    /// are bit-identical at every setting: per-node work is independent,
+    /// merges happen in node order, and the power-noise RNG is only ever
+    /// drawn serially.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +112,7 @@ impl Default for EngineConfig {
             monitoring: true,
             governor: None,
             recovery: None,
+            threads: 1,
         }
     }
 }
@@ -299,6 +310,9 @@ pub struct SimEngine {
     failures: usize,
     /// The recovery subsystem, when configured.
     recovery: Option<RecoveryState>,
+    /// Shared worker pool for the per-node step phases; `None` when
+    /// [`EngineConfig::threads`] is 1 (fully serial stepping).
+    pool: Option<std::sync::Arc<WorkerPool>>,
 }
 
 /// Everything the recovery subsystem tracks: the control plane, the
@@ -400,6 +414,14 @@ impl SimEngine {
             node_downtime: vec![SimDuration::ZERO; n],
             failures: 0,
             recovery,
+            pool: (config.threads != 1).then(|| {
+                let size = if config.threads == 0 {
+                    default_threads()
+                } else {
+                    config.threads
+                };
+                std::sync::Arc::new(WorkerPool::new(size))
+            }),
         }
     }
 
@@ -712,13 +734,36 @@ impl SimEngine {
         }
         self.refresh_conditions();
 
-        // 3. Advance node execution.
-        for node in &mut self.nodes {
-            node.advance(dt);
+        // 3. Advance node execution — independent per node, so the work
+        //    fans out over the pool when one is configured.
+        if let Some(pool) = &self.pool {
+            let tiles = pool.even_chunks(self.nodes.len());
+            pool.scope(|scope| {
+                let mut rest = self.nodes.as_mut_slice();
+                for (start, end) in tiles {
+                    let (chunk, tail) = rest.split_at_mut(end - start);
+                    rest = tail;
+                    scope.spawn(move || {
+                        for node in chunk {
+                            node.advance(dt);
+                        }
+                    });
+                }
+            });
+        } else {
+            for node in &mut self.nodes {
+                node.advance(dt);
+            }
         }
 
-        // 4. Power sampling, energy accounting, publication.
+        // 4. Power sampling, energy accounting, publication. The
+        //    power-noise RNG is drawn serially in node order (the stream
+        //    is identical at every thread count); messages are gathered
+        //    in that same order and either published one by one or handed
+        //    to the broker's batch fan-out, which preserves `publish`
+        //    semantics exactly.
         let mut node_power = Vec::with_capacity(self.nodes.len());
+        let mut power_messages: Vec<(Topic, Payload)> = Vec::new();
         for i in 0..self.nodes.len() {
             let workload = self.nodes[i].effective_power_workload();
             let temp = self.thermal.temperature(i);
@@ -737,11 +782,18 @@ impl SimEngine {
                         _ => total.as_watts(),
                     };
                     let topic = self.power_topic(i);
-                    self.broker.publish(&topic, Payload::new(watts, self.now));
+                    power_messages.push((topic, Payload::new(watts, self.now)));
                     if !stuck {
                         self.last_power[i] = Some(total.as_watts());
                     }
                 }
+            }
+        }
+        if let Some(pool) = &self.pool {
+            self.broker.publish_batch(power_messages, pool);
+        } else {
+            for (topic, payload) in power_messages {
+                self.broker.publish(&topic, payload);
             }
         }
         for job in self.running.values_mut() {
@@ -779,15 +831,66 @@ impl SimEngine {
             }
         }
 
-        // 6. Monitoring plugins and ingestion.
+        // 6. Monitoring plugins and ingestion. With a pool, the per-node
+        //    snapshot + sample work fans out and the resulting messages
+        //    are merged back in node order (PMU before stats, exactly as
+        //    the serial loop publishes them) before one batch fan-out.
         if self.config.monitoring {
-            for i in 0..self.nodes.len() {
-                if self.now < self.sensor_dropout_until[i] {
-                    continue; // the node's telemetry is silent
+            if let Some(pool) = &self.pool {
+                let now = self.now;
+                let eligible: Vec<bool> = (0..self.nodes.len())
+                    .map(|i| now >= self.sensor_dropout_until[i])
+                    .collect();
+                let mut gathered: Vec<Vec<(Topic, Payload)>> = Vec::new();
+                gathered.resize_with(self.nodes.len(), Vec::new);
+                let tiles = pool.even_chunks(self.nodes.len());
+                pool.scope(|scope| {
+                    let mut nodes = self.nodes.as_slice();
+                    let mut elig = eligible.as_slice();
+                    let mut pmu = self.pmu.as_mut_slice();
+                    let mut stats = self.stats.as_mut_slice();
+                    let mut out = gathered.as_mut_slice();
+                    for (start, end) in tiles {
+                        let len = end - start;
+                        let (node_c, node_r) = nodes.split_at(len);
+                        nodes = node_r;
+                        let (elig_c, elig_r) = elig.split_at(len);
+                        elig = elig_r;
+                        let (pmu_c, pmu_r) = pmu.split_at_mut(len);
+                        pmu = pmu_r;
+                        let (stats_c, stats_r) = stats.split_at_mut(len);
+                        stats = stats_r;
+                        let (out_c, out_r) = out.split_at_mut(len);
+                        out = out_r;
+                        scope.spawn(move || {
+                            for ((((node, &ok), pmu), stats), out) in
+                                node_c.iter().zip(elig_c).zip(pmu_c).zip(stats_c).zip(out_c)
+                            {
+                                if !ok {
+                                    continue; // the node's telemetry is silent
+                                }
+                                let snapshot = node.snapshot(now);
+                                if let Some(msgs) = pmu.due_messages(now, &snapshot) {
+                                    out.extend(msgs);
+                                }
+                                if let Some(msgs) = stats.due_messages(now, &snapshot) {
+                                    out.extend(msgs);
+                                }
+                            }
+                        });
+                    }
+                });
+                let batch: Vec<(Topic, Payload)> = gathered.into_iter().flatten().collect();
+                self.broker.publish_batch(batch, pool);
+            } else {
+                for i in 0..self.nodes.len() {
+                    if self.now < self.sensor_dropout_until[i] {
+                        continue; // the node's telemetry is silent
+                    }
+                    let snapshot = self.nodes[i].snapshot(self.now);
+                    self.pmu[i].maybe_sample(self.now, &snapshot, &self.broker);
+                    self.stats[i].maybe_sample(self.now, &snapshot, &self.broker);
                 }
-                let snapshot = self.nodes[i].snapshot(self.now);
-                self.pmu[i].maybe_sample(self.now, &snapshot, &self.broker);
-                self.stats[i].maybe_sample(self.now, &snapshot, &self.broker);
             }
             if let Some(collector) = &mut self.collector {
                 collector.pump(&mut self.store);
@@ -1498,6 +1601,49 @@ mod tests {
         engine.submit(synthetic(1, 5)).unwrap();
         engine.run_for(SimDuration::from_secs(8));
         assert!(engine.store().is_empty());
+    }
+
+    #[test]
+    fn threaded_stepping_is_bit_identical_to_serial() {
+        // The whole parallel contract in one test: a threaded engine must
+        // be indistinguishable from a serial one — same telemetry stream
+        // (every power/PMU/stats point, bitwise), same events, same clock.
+        let run = |threads: usize| {
+            let mut engine = SimEngine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            });
+            engine.submit(synthetic(8, 40)).unwrap();
+            engine.submit(synthetic(3, 15)).unwrap();
+            for _ in 0..120 {
+                engine.step();
+            }
+            engine
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let threaded = run(threads);
+            assert_eq!(serial.now(), threaded.now());
+            assert_eq!(serial.events(), threaded.events());
+            assert!(
+                serial.store() == threaded.store(),
+                "telemetry stores diverge at {threads} threads \
+                 ({} vs {} points)",
+                serial.store().point_count(),
+                threaded.store().point_count(),
+            );
+        }
+    }
+
+    #[test]
+    fn auto_thread_count_sizes_a_pool_and_still_runs() {
+        let mut engine = SimEngine::new(EngineConfig {
+            threads: 0, // auto: host-sized pool (CIMONE_THREADS honoured)
+            ..EngineConfig::default()
+        });
+        engine.submit(synthetic(2, 5)).unwrap();
+        assert!(engine.run_until_idle(SimDuration::from_secs(60)));
+        assert!(engine.store().point_count() > 0);
     }
 
     #[test]

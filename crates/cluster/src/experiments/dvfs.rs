@@ -66,6 +66,7 @@ pub fn run(seed: u64) -> DvfsResult {
         monitoring: false,
         governor: None,
         recovery: None,
+        ..EngineConfig::default()
     });
     baseline.submit(job()).expect("fits");
     let deadline = baseline.now() + SimDuration::from_secs(2500);
@@ -89,6 +90,7 @@ pub fn run(seed: u64) -> DvfsResult {
         monitoring: false,
         governor: Some(ThermalGovernor::fu740_default()),
         recovery: None,
+        ..EngineConfig::default()
     });
     governed.submit(job()).expect("fits");
     let mut governed_max_temp = 0.0f64;
@@ -126,6 +128,7 @@ pub fn run(seed: u64) -> DvfsResult {
         monitoring: false,
         governor: None,
         recovery: None,
+        ..EngineConfig::default()
     });
     healthy.submit(job()).expect("fits");
     healthy.run_until_idle(SimDuration::from_secs(12_000));

@@ -54,6 +54,7 @@ pub fn run(seed: u64) -> ThermalRunawayResult {
         monitoring: true,
         governor: None,
         recovery: None,
+        ..EngineConfig::default()
     });
     engine
         .submit(JobRequest {

@@ -11,6 +11,7 @@
 
 use crate::lu::{LuError, LuFactorization};
 use crate::matrix::Matrix;
+use crate::pool::WorkerPool;
 use crate::stream::{StreamConfig, StreamRun};
 
 /// A computation that can snapshot its progress and resume from the
@@ -147,6 +148,37 @@ impl SteppableLu {
             crate::lu::update_trailing(&mut self.a, k, kb);
         }
         self.next_col = k + kb;
+        if self.is_complete() {
+            crate::lu::apply_deferred_swaps(&mut self.a, &self.pivots, self.block);
+        }
+        Ok(!self.is_complete())
+    }
+
+    /// Like [`step`](SteppableLu::step), but runs the fused block-row
+    /// solve + trailing update on `pool`. Bit-identical to the serial
+    /// step at any worker count, and because the pool scope is a full
+    /// barrier, a [`checkpoint`](Checkpoint::checkpoint) taken between
+    /// steps observes fully quiesced state — the PR 2 restart law holds
+    /// unchanged on the threaded path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LuError::Singular`] when an exact zero pivot appears.
+    pub fn step_with_pool(&mut self, pool: &WorkerPool) -> Result<bool, LuError> {
+        let n = self.order();
+        if self.is_complete() {
+            return Ok(false);
+        }
+        let k = self.next_col;
+        let kb = self.block.min(n - k);
+        crate::lu::factor_panel(&mut self.a, k, kb, &mut self.pivots)?;
+        if k + kb < n {
+            crate::lu::update_trailing_parallel(&mut self.a, k, kb, pool);
+        }
+        self.next_col = k + kb;
+        if self.is_complete() {
+            crate::lu::apply_deferred_swaps(&mut self.a, &self.pivots, self.block);
+        }
         Ok(!self.is_complete())
     }
 
@@ -157,6 +189,19 @@ impl SteppableLu {
     /// Returns [`LuError::Singular`] when an exact zero pivot appears.
     pub fn run_to_completion(mut self) -> Result<LuFactorization, LuError> {
         while self.step()? {}
+        Ok(LuFactorization::from_parts(self.a, self.pivots, self.block))
+    }
+
+    /// [`run_to_completion`](SteppableLu::run_to_completion) on `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LuError::Singular`] when an exact zero pivot appears.
+    pub fn run_to_completion_with_pool(
+        mut self,
+        pool: &WorkerPool,
+    ) -> Result<LuFactorization, LuError> {
+        while self.step_with_pool(pool)? {}
         Ok(LuFactorization::from_parts(self.a, self.pivots, self.block))
     }
 }

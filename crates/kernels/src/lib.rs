@@ -32,10 +32,12 @@ pub mod eig;
 pub mod hpl;
 pub mod lu;
 pub mod matrix;
+pub mod pool;
 pub mod stream;
 
 pub use checkpoint::{Checkpoint, SteppableLu};
 pub use eig::EigenDecomposition;
 pub use lu::LuFactorization;
 pub use matrix::Matrix;
+pub use pool::WorkerPool;
 pub use stream::{StreamConfig, StreamKernel, StreamRun};

@@ -121,6 +121,30 @@ impl Matrix {
         &mut self.data[j * self.rows..(j + 1) * self.rows]
     }
 
+    /// Two distinct columns, the first immutably and the second mutably —
+    /// the borrow split the LU rank-1 panel update needs (`col b ← col b −
+    /// col a · mult`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn col_pair_mut(&mut self, a: usize, b: usize) -> (&[f64], &mut [f64]) {
+        assert!(a != b, "col_pair_mut needs distinct columns");
+        assert!(
+            a < self.cols && b < self.cols,
+            "column pair ({a}, {b}) out of range ({})",
+            self.cols
+        );
+        let rows = self.rows;
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b * rows);
+            (&lo[a * rows..a * rows + rows], &mut hi[..rows])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a * rows);
+            (&hi[..rows], &mut lo[b * rows..b * rows + rows])
+        }
+    }
+
     /// Matrix–vector product `A · x`.
     ///
     /// # Panics

@@ -8,7 +8,10 @@
 //! workaround the paper suggests exploring.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
+
+use crate::pool::WorkerPool;
 
 /// One of the four STREAM kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -131,17 +134,31 @@ pub struct StreamRun {
     c: Vec<f64>,
     /// Full STREAM iterations applied so far (for validation).
     iterations: usize,
+    /// Executes the per-chunk work; long-lived, so repeated kernels pay a
+    /// channel send per chunk instead of an OS thread spawn per chunk.
+    pool: Arc<WorkerPool>,
 }
 
 impl StreamRun {
-    /// Allocates and initialises the arrays (STREAM's 1.0/2.0/0.0 pattern).
+    /// Allocates and initialises the arrays (STREAM's 1.0/2.0/0.0 pattern)
+    /// with a private worker pool of `config.threads` workers.
     pub fn new(config: StreamConfig) -> Self {
+        let pool = Arc::new(WorkerPool::new(config.threads));
+        StreamRun::with_pool(config, pool)
+    }
+
+    /// [`new`](StreamRun::new), but sharing an existing pool (e.g. the
+    /// process-wide [`WorkerPool::global`]). Chunking still follows
+    /// `config.threads`, so results and accounting are independent of the
+    /// pool that happens to execute the chunks.
+    pub fn with_pool(config: StreamConfig, pool: Arc<WorkerPool>) -> Self {
         StreamRun {
             config,
             a: vec![1.0; config.elements],
             b: vec![2.0; config.elements],
             c: vec![0.0; config.elements],
             iterations: 0,
+            pool,
         }
     }
 
@@ -166,12 +183,14 @@ impl StreamRun {
         assert_eq!(a.len(), config.elements, "array a length matches config");
         assert_eq!(b.len(), config.elements, "array b length matches config");
         assert_eq!(c.len(), config.elements, "array c length matches config");
+        let pool = Arc::new(WorkerPool::new(config.threads));
         StreamRun {
             config,
             a,
             b,
             c,
             iterations,
+            pool,
         }
     }
 
@@ -180,27 +199,30 @@ impl StreamRun {
         let threads = self.config.threads;
         let scalar = self.config.scalar;
         let chunk = self.a.len().div_ceil(threads);
+        let pool = &self.pool;
         let start = Instant::now();
         match kernel {
             StreamKernel::Copy => {
-                par_map2(&mut self.c, &self.a, chunk, |c, a| c.copy_from_slice(a));
+                par_map2(pool, &mut self.c, &self.a, chunk, |c, a| {
+                    c.copy_from_slice(a)
+                });
             }
             StreamKernel::Scale => {
-                par_map2(&mut self.b, &self.c, chunk, |b, c| {
+                par_map2(pool, &mut self.b, &self.c, chunk, |b, c| {
                     for (bv, cv) in b.iter_mut().zip(c) {
                         *bv = scalar * cv;
                     }
                 });
             }
             StreamKernel::Add => {
-                par_map3(&mut self.c, &self.a, &self.b, chunk, |c, a, b| {
+                par_map3(pool, &mut self.c, &self.a, &self.b, chunk, |c, a, b| {
                     for ((cv, av), bv) in c.iter_mut().zip(a).zip(b) {
                         *cv = av + bv;
                     }
                 });
             }
             StreamKernel::Triad => {
-                par_map3(&mut self.a, &self.b, &self.c, chunk, |a, b, c| {
+                par_map3(pool, &mut self.a, &self.b, &self.c, chunk, |a, b, c| {
                     for ((av, bv), cv) in a.iter_mut().zip(b).zip(c) {
                         *av = bv + scalar * cv;
                     }
@@ -312,31 +334,40 @@ impl fmt::Display for StreamValidationError {
 impl std::error::Error for StreamValidationError {}
 
 /// Applies `f` to corresponding chunks of one mutable and one shared slice
-/// across scoped threads.
-fn par_map2(dst: &mut [f64], src: &[f64], chunk: usize, f: impl Fn(&mut [f64], &[f64]) + Sync) {
-    std::thread::scope(|scope| {
+/// across the pool's workers.
+fn par_map2(
+    pool: &WorkerPool,
+    dst: &mut [f64],
+    src: &[f64],
+    chunk: usize,
+    f: impl Fn(&mut [f64], &[f64]) + Send + Sync,
+) {
+    let f = &f;
+    pool.scope(|scope| {
         for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
-            scope.spawn(|| f(d, s));
+            scope.spawn(move || f(d, s));
         }
     });
 }
 
 /// Applies `f` to corresponding chunks of one mutable and two shared slices
-/// across scoped threads.
+/// across the pool's workers.
 fn par_map3(
+    pool: &WorkerPool,
     dst: &mut [f64],
     s1: &[f64],
     s2: &[f64],
     chunk: usize,
-    f: impl Fn(&mut [f64], &[f64], &[f64]) + Sync,
+    f: impl Fn(&mut [f64], &[f64], &[f64]) + Send + Sync,
 ) {
-    std::thread::scope(|scope| {
+    let f = &f;
+    pool.scope(|scope| {
         for ((d, a), b) in dst
             .chunks_mut(chunk)
             .zip(s1.chunks(chunk))
             .zip(s2.chunks(chunk))
         {
-            scope.spawn(|| f(d, a, b));
+            scope.spawn(move || f(d, a, b));
         }
     });
 }

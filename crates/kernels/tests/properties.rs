@@ -10,6 +10,7 @@ use cimone_kernels::dgemm;
 use cimone_kernels::eig::EigenDecomposition;
 use cimone_kernels::lu::{hpl_residual, LuFactorization, HPL_RESIDUAL_THRESHOLD};
 use cimone_kernels::matrix::Matrix;
+use cimone_kernels::pool::WorkerPool;
 use cimone_kernels::stream::{StreamConfig, StreamRun};
 
 proptest! {
@@ -146,6 +147,90 @@ proptest! {
             run.run_iteration();
         }
         prop_assert!(run.validate(iterations).is_ok());
+    }
+
+    #[test]
+    fn threaded_lu_is_bit_identical_to_serial(
+        n in 2usize..48,
+        nb in 1usize..24,
+        threads in 1usize..=8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(n, n, &mut rng);
+        let pool = WorkerPool::new(threads);
+        let serial = LuFactorization::factor(a.clone(), nb).expect("nonsingular");
+        let threaded = LuFactorization::factor_parallel(a, nb, &pool).expect("nonsingular");
+        // Bitwise, not approximately: the pool must not change a single ulp.
+        prop_assert_eq!(serial.packed().as_slice(), threaded.packed().as_slice());
+        prop_assert_eq!(serial.pivots(), threaded.pivots());
+    }
+
+    #[test]
+    fn threaded_dgemm_is_bit_identical_to_serial(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        block in 1usize..32,
+        threads in 1usize..=8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        let mut c1 = Matrix::random(m, n, &mut rng);
+        let mut c2 = c1.clone();
+        let pool = WorkerPool::new(threads);
+        dgemm::blocked(0.75, &a, &b, -0.25, &mut c1, block);
+        dgemm::blocked_parallel(0.75, &a, &b, -0.25, &mut c2, block, &pool);
+        prop_assert_eq!(c1.as_slice(), c2.as_slice());
+    }
+
+    #[test]
+    fn threaded_stream_is_bit_identical_to_serial(
+        elements in 1usize..2000,
+        threads in 2usize..=8,
+        iterations in 1usize..4,
+    ) {
+        let mut serial = StreamRun::new(StreamConfig::new(elements, 1));
+        let mut threaded = StreamRun::new(StreamConfig::new(elements, threads));
+        for _ in 0..iterations {
+            serial.run_iteration();
+            threaded.run_iteration();
+        }
+        let s = serial.checkpoint();
+        let t = threaded.checkpoint();
+        prop_assert_eq!(s.a_bits, t.a_bits);
+        prop_assert_eq!(s.b_bits, t.b_bits);
+        prop_assert_eq!(s.c_bits, t.c_bits);
+    }
+
+    #[test]
+    fn threaded_lu_checkpoint_round_trip_is_lossless(
+        n in 2usize..40,
+        nb in 1usize..16,
+        interrupt_after in 0usize..6,
+        threads in 2usize..=8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(n, n, &mut rng);
+        let pool = WorkerPool::new(threads);
+        let direct = LuFactorization::factor(a.clone(), nb).expect("nonsingular");
+        // Factor on the pool, interrupt mid-flight, checkpoint, restore,
+        // finish on the pool: the PR 2 restart law holds on the threaded
+        // path too, and the result still matches the serial factors.
+        let mut stepped = SteppableLu::new(a, nb).expect("square");
+        for _ in 0..interrupt_after {
+            if !stepped.step_with_pool(&pool).expect("nonsingular") {
+                break;
+            }
+        }
+        let resumed = SteppableLu::restore(stepped.checkpoint());
+        prop_assert_eq!(resumed.panels_done(), stepped.panels_done());
+        let from_snapshot = resumed.run_to_completion_with_pool(&pool).expect("nonsingular");
+        prop_assert_eq!(from_snapshot.packed().as_slice(), direct.packed().as_slice());
+        prop_assert_eq!(from_snapshot.pivots(), direct.pivots());
     }
 
     #[test]

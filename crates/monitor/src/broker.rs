@@ -262,6 +262,106 @@ impl Broker {
         reached
     }
 
+    /// Publishes a batch of messages with the subscriber fan-out spread
+    /// over `pool`, preserving [`publish`](Broker::publish) semantics
+    /// exactly: loss-injection RNG draws happen serially in message order
+    /// (the RNG stream is identical to publishing one by one), each
+    /// subscription is owned by exactly one task which walks the
+    /// surviving messages in order (per-subscription delivery order is
+    /// preserved), and dead subscriptions are pruned after the barrier.
+    /// Returns the total number of deliveries made.
+    pub fn publish_batch(
+        &self,
+        messages: Vec<(Topic, Payload)>,
+        pool: &cimone_kernels::pool::WorkerPool,
+    ) -> usize {
+        if messages.is_empty() {
+            return 0;
+        }
+        self.published
+            .fetch_add(messages.len() as u64, Ordering::Relaxed);
+        // Serial loss draws, in message order — one RNG consumption per
+        // message, exactly as a sequence of `publish` calls would make.
+        let survivors: Vec<(Topic, Payload)> = {
+            let mut loss = self.loss.lock();
+            match loss.as_mut() {
+                Some(inj) if inj.rate > 0.0 => {
+                    let rate = inj.rate;
+                    let mut kept = Vec::with_capacity(messages.len());
+                    let mut suppressed = 0u64;
+                    for msg in messages {
+                        if inj.rng.gen_bool(rate) {
+                            suppressed += 1;
+                        } else {
+                            kept.push(msg);
+                        }
+                    }
+                    self.suppressed.fetch_add(suppressed, Ordering::Relaxed);
+                    kept
+                }
+                _ => messages,
+            }
+        };
+        if survivors.is_empty() {
+            return 0;
+        }
+        let mut reached_total = 0usize;
+        let mut dropped_total = 0u64;
+        let mut dead = Vec::new();
+        {
+            let subs = self.subs.read();
+            let survivors = &survivors[..];
+            let tiles = pool.even_chunks(subs.len());
+            let mut results: Vec<(usize, u64, Vec<SubscriptionId>)> =
+                vec![Default::default(); tiles.len()];
+            pool.scope(|scope| {
+                for (&(s0, s1), result) in tiles.iter().zip(results.iter_mut()) {
+                    let subs = &subs[s0..s1];
+                    scope.spawn(move || {
+                        let (reached, dropped, dead) = result;
+                        for (topic, payload) in survivors {
+                            for sub in subs {
+                                if !sub.filter.matches(topic) {
+                                    continue;
+                                }
+                                if !reserve_slot(&sub.depth, sub.capacity) {
+                                    sub.dropped.fetch_add(1, Ordering::Relaxed);
+                                    *dropped += 1;
+                                    continue;
+                                }
+                                let msg = PublishedMessage {
+                                    topic: topic.clone(),
+                                    payload: *payload,
+                                };
+                                if sub.tx.send(msg).is_ok() {
+                                    *reached += 1;
+                                } else {
+                                    sub.depth.fetch_sub(1, Ordering::Relaxed);
+                                    *dropped += 1;
+                                    if !dead.contains(&sub.id) {
+                                        dead.push(sub.id);
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            for (reached, dropped, mut tile_dead) in results {
+                reached_total += reached;
+                dropped_total += dropped;
+                dead.append(&mut tile_dead);
+            }
+        }
+        if !dead.is_empty() {
+            self.subs.write().retain(|s| !dead.contains(&s.id));
+        }
+        self.delivered
+            .fetch_add(reached_total as u64, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped_total, Ordering::Relaxed);
+        reached_total
+    }
+
     /// Configures deterministic wire loss: each subsequent publish is
     /// suppressed with probability `rate`, driven by a RNG seeded with
     /// `seed` (identical seeds and traffic give identical loss patterns).
@@ -435,6 +535,67 @@ mod tests {
         assert_eq!(stats.dropped, 1); // quitter's missed second message
         assert_eq!(keeper.drain().len(), 3);
         assert_eq!(broker.subscription_count(), 1);
+    }
+
+    #[test]
+    fn publish_batch_matches_sequential_publishes_exactly() {
+        use cimone_kernels::pool::WorkerPool;
+        let pool = WorkerPool::new(4);
+        let messages: Vec<(Topic, Payload)> = (0..200)
+            .map(|i| {
+                (
+                    t(&format!("node/{}/temp", i % 7)),
+                    Payload::new(i as f64, SimTime::from_secs(i)),
+                )
+            })
+            .collect();
+        let run_seq = || {
+            let broker = Broker::new();
+            let all = broker.subscribe(f("#"));
+            let some = broker.subscribe(f("node/3/+"));
+            let bounded = broker.subscribe_bounded(f("#"), 10);
+            broker.set_loss(0.3, 99);
+            for (topic, payload) in &messages {
+                broker.publish(topic, *payload);
+            }
+            (all.drain(), some.drain(), bounded.drain(), broker.stats())
+        };
+        let run_batch = || {
+            let broker = Broker::new();
+            let all = broker.subscribe(f("#"));
+            let some = broker.subscribe(f("node/3/+"));
+            let bounded = broker.subscribe_bounded(f("#"), 10);
+            broker.set_loss(0.3, 99);
+            broker.publish_batch(messages.clone(), &pool);
+            (all.drain(), some.drain(), bounded.drain(), broker.stats())
+        };
+        let (sa, ss, sb, sst) = run_seq();
+        let (ba, bs, bb, bst) = run_batch();
+        assert_eq!(sa, ba, "wildcard subscriber sees identical stream");
+        assert_eq!(ss, bs, "filtered subscriber sees identical stream");
+        assert_eq!(sb, bb, "bounded subscriber drops identically");
+        assert_eq!(sst, bst, "stats balance identically");
+    }
+
+    #[test]
+    fn publish_batch_prunes_dead_subscribers() {
+        use cimone_kernels::pool::WorkerPool;
+        let pool = WorkerPool::new(2);
+        let broker = Broker::new();
+        let keeper = broker.subscribe(f("#"));
+        let quitter = broker.subscribe(f("#"));
+        drop(quitter);
+        let batch: Vec<(Topic, Payload)> = (0..5)
+            .map(|i| (t("x"), Payload::new(i as f64, SimTime::ZERO)))
+            .collect();
+        let reached = broker.publish_batch(batch, &pool);
+        assert_eq!(reached, 5);
+        assert_eq!(keeper.drain().len(), 5);
+        assert_eq!(broker.subscription_count(), 1);
+        let stats = broker.stats();
+        assert_eq!(stats.published, 5);
+        assert_eq!(stats.delivered, 5);
+        assert_eq!(stats.dropped, 5); // quitter's five missed messages
     }
 
     #[test]

@@ -279,6 +279,23 @@ impl<P: Plugin> PluginRunner<P> {
         &self.plugin
     }
 
+    /// Samples if the period has elapsed, returning the messages without
+    /// publishing them; `None` when not due. Splitting compute from
+    /// publish lets the engine gather every node's messages first and
+    /// push them through [`Broker::publish_batch`] in one parallel
+    /// fan-out.
+    pub fn due_messages(
+        &mut self,
+        now: SimTime,
+        snapshot: &NodeSnapshot,
+    ) -> Option<Vec<(Topic, Payload)>> {
+        if now < self.next_due {
+            return None;
+        }
+        self.next_due = now + self.plugin.period();
+        Some(self.plugin.sample(snapshot))
+    }
+
     /// Samples and publishes if the period has elapsed; returns the number
     /// of messages published (0 when not due).
     pub fn maybe_sample(
@@ -287,11 +304,9 @@ impl<P: Plugin> PluginRunner<P> {
         snapshot: &NodeSnapshot,
         broker: &Broker,
     ) -> usize {
-        if now < self.next_due {
+        let Some(messages) = self.due_messages(now, snapshot) else {
             return 0;
-        }
-        self.next_due = now + self.plugin.period();
-        let messages = self.plugin.sample(snapshot);
+        };
         let count = messages.len();
         for (topic, payload) in messages {
             broker.publish(&topic, payload);

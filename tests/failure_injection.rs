@@ -29,6 +29,7 @@ fn thermal_trip_requeues_and_machine_recovers() {
         monitoring: false, // keep the test fast; the alarm path is covered elsewhere
         governor: None,
         recovery: None,
+        ..EngineConfig::default()
     });
     let id = engine
         .submit(JobRequest {
