@@ -3,10 +3,13 @@
 //!
 //! Emits `BENCH_kernels.json` (blocked LU GFLOP/s, packed DGEMM GFLOP/s,
 //! STREAM triad GB/s, each with the threaded-over-serial speedup) and
-//! `BENCH_engine.json` (simulation steps/s at 1 and 4 engine threads).
-//! Every threaded run is checked bitwise against its serial twin — any
-//! divergence is a hard failure (non-zero exit), because the worker pool's
-//! whole contract is that thread count never changes a result.
+//! `BENCH_engine.json` (simulation steps/s at 1 and 4 engine threads,
+//! plus the event-driven clock's wall-clock ratio over fixed-dt on a
+//! sparse and a dense scenario). Every threaded run is checked bitwise
+//! against its serial twin, and every event-driven run against its
+//! fixed-dt twin — any divergence is a hard failure (non-zero exit),
+//! because the contract is that neither thread count nor clock mode ever
+//! changes a result.
 //!
 //! `--smoke` shrinks the problem sizes for CI; `REPS` overrides the
 //! repetition count. Timings report the median rep, the stable statistic
@@ -14,7 +17,8 @@
 
 use std::time::Instant;
 
-use cimone_cluster::engine::{ClusterWorkload, EngineConfig, JobRequest, SimEngine};
+use cimone_cluster::engine::{ClockMode, ClusterWorkload, EngineConfig, JobRequest, SimEngine};
+use cimone_cluster::faults::{FaultKind, FaultPlan};
 use cimone_kernels::checkpoint::Checkpoint;
 use cimone_kernels::dgemm;
 use cimone_kernels::lu::LuFactorization;
@@ -22,6 +26,7 @@ use cimone_kernels::matrix::Matrix;
 use cimone_kernels::pool::WorkerPool;
 use cimone_kernels::stream::{StreamConfig, StreamKernel, StreamRun};
 use cimone_monitor::json::JsonValue;
+use cimone_soc::units::{SimDuration, SimTime};
 use cimone_soc::workload::Workload;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,6 +43,8 @@ struct Sizes {
     gemm_block: usize,
     stream_elements: usize,
     engine_steps: usize,
+    event_sparse_secs: u64,
+    event_dense_secs: u64,
     reps: usize,
 }
 
@@ -51,6 +58,8 @@ impl Sizes {
             gemm_block: 64,
             stream_elements: 2_000_000,
             engine_steps: 240,
+            event_sparse_secs: 4 * 3600,
+            event_dense_secs: 600,
             reps: 5,
         }
     }
@@ -64,6 +73,8 @@ impl Sizes {
             gemm_block: 64,
             stream_elements: 200_000,
             engine_steps: 60,
+            event_sparse_secs: 3600,
+            event_dense_secs: 240,
             reps: 3,
         }
     }
@@ -216,9 +227,10 @@ fn bench_stream(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
     ])
 }
 
-fn engine_with_threads(threads: usize, steps: usize) -> (f64, SimEngine) {
+fn engine_with_threads(threads: usize, parallel_grain: usize, steps: usize) -> (f64, SimEngine) {
     let mut engine = SimEngine::new(EngineConfig {
         threads,
+        parallel_grain,
         ..EngineConfig::default()
     });
     engine
@@ -244,9 +256,12 @@ fn bench_engine(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
     let mut serial_times = Vec::with_capacity(sizes.reps);
     let mut threaded_times = Vec::with_capacity(sizes.reps);
     let mut identical = true;
+    // Force the pool (grain 1) for the threaded measurement: the stock
+    // 8-node machine is below the default min-work threshold, so a
+    // default-grain engine would silently measure the serial path twice.
     for _ in 0..sizes.reps {
-        let (st, serial) = engine_with_threads(1, steps);
-        let (tt, threaded) = engine_with_threads(WORKERS, steps);
+        let (st, serial) = engine_with_threads(1, 1, steps);
+        let (tt, threaded) = engine_with_threads(WORKERS, 1, steps);
         serial_times.push(st);
         threaded_times.push(tt);
         identical &= serial.store() == threaded.store() && serial.events() == threaded.events();
@@ -254,11 +269,18 @@ fn bench_engine(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
     if !identical {
         divergences.push(format!("engine {steps} steps: threaded != serial"));
     }
+    // Whether a default-grain engine at WORKERS threads falls back to
+    // serial stepping (it should, on the stock 8-node machine).
+    let auto_fallback = !SimEngine::new(EngineConfig {
+        threads: WORKERS,
+        ..EngineConfig::default()
+    })
+    .parallel_engaged();
     let serial_s = median(serial_times);
     let threaded_s = median(threaded_times);
     let speedup = serial_s / threaded_s;
     println!(
-        "ENGINE  steps={steps:<7} serial {:>8.0} steps/s  threaded {:>8.0} steps/s  speedup {speedup:.2}x",
+        "ENGINE  steps={steps:<7} serial {:>8.0} steps/s  threaded {:>8.0} steps/s  speedup {speedup:.2}x  auto_fallback={auto_fallback}",
         steps as f64 / serial_s,
         steps as f64 / threaded_s,
     );
@@ -267,8 +289,107 @@ fn bench_engine(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
         ("serial_steps_per_s", num(steps as f64 / serial_s)),
         ("threaded_steps_per_s", num(steps as f64 / threaded_s)),
         ("speedup", num(speedup)),
+        (
+            "auto_fallback_default_grain",
+            JsonValue::Bool(auto_fallback),
+        ),
         ("bit_identical", JsonValue::Bool(identical)),
     ])
+}
+
+/// One availability-style run for the event-clock bench: a short job,
+/// optionally a crash/repair pair, then a long tail of the horizon spent
+/// idle (sparse) or fully monitored (dense).
+fn event_run(clock: ClockMode, monitoring: bool, horizon_secs: u64) -> (f64, SimEngine) {
+    let mut engine = SimEngine::new(EngineConfig {
+        monitoring,
+        dt: SimDuration::from_secs(2),
+        clock,
+        ..EngineConfig::default()
+    })
+    .with_fault_plan(
+        FaultPlan::new()
+            .with(
+                SimTime::from_secs(horizon_secs / 8),
+                FaultKind::NodeCrash { node: 3 },
+            )
+            .with(
+                SimTime::from_secs(horizon_secs / 6),
+                FaultKind::NodeRecover { node: 3 },
+            ),
+    );
+    engine
+        .submit(JobRequest {
+            name: "event-bench".into(),
+            user: "bench".into(),
+            nodes: 8,
+            workload: ClusterWorkload::Synthetic {
+                workload: Workload::Hpl,
+                secs: 60,
+            },
+        })
+        .expect("job fits the machine");
+    let start = Instant::now();
+    engine.run_for(SimDuration::from_secs(horizon_secs));
+    (start.elapsed().as_secs_f64(), engine)
+}
+
+/// Compares the two clock modes on a sparse (idle-dominated, telemetry
+/// off) and a dense (every tick monitored) scenario. Any divergence in
+/// the observable outputs is a hard failure; the sparse wall-clock ratio
+/// is the headline the event clock exists for.
+fn bench_engine_event(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
+    let mut section = Vec::new();
+    for (label, monitoring, horizon) in [
+        ("sparse", false, sizes.event_sparse_secs),
+        ("dense", true, sizes.event_dense_secs),
+    ] {
+        let mut fixed_times = Vec::with_capacity(sizes.reps);
+        let mut event_times = Vec::with_capacity(sizes.reps);
+        let mut identical = true;
+        let mut stepped = (0u64, 0u64);
+        let mut skipped = 0u64;
+        for _ in 0..sizes.reps {
+            let (ft, fixed) = event_run(ClockMode::FixedDt, monitoring, horizon);
+            let (et, event) = event_run(ClockMode::EventDriven, monitoring, horizon);
+            fixed_times.push(ft);
+            event_times.push(et);
+            identical &= fixed.now() == event.now()
+                && fixed.events() == event.events()
+                && fixed.store() == event.store()
+                && fixed.accounting() == event.accounting();
+            stepped = (fixed.ticks_stepped(), event.ticks_stepped());
+            skipped = event.ticks_skipped();
+        }
+        if !identical {
+            divergences.push(format!("engine event clock ({label}): event != fixed"));
+        }
+        let fixed_s = median(fixed_times);
+        let event_s = median(event_times);
+        let wall_speedup = fixed_s / event_s;
+        // Deterministic counterpart to the (noisy) wall-clock ratio: how
+        // many full ticks each mode actually walked.
+        let tick_ratio = stepped.0 as f64 / stepped.1.max(1) as f64;
+        println!(
+            "EVENT   {label:<6} horizon={horizon:<6}s fixed {:>8.4} s  event {:>8.4} s  wall {wall_speedup:.2}x  ticks {}/{} ({tick_ratio:.1}x, {skipped} skipped)",
+            fixed_s, event_s, stepped.0, stepped.1,
+        );
+        section.push((
+            label,
+            obj(vec![
+                ("horizon_s", num(horizon as f64)),
+                ("fixed_wall_s", num(fixed_s)),
+                ("event_wall_s", num(event_s)),
+                ("wall_speedup", num(wall_speedup)),
+                ("fixed_ticks", num(stepped.0 as f64)),
+                ("event_ticks_stepped", num(stepped.1 as f64)),
+                ("event_ticks_skipped", num(skipped as f64)),
+                ("tick_ratio", num(tick_ratio)),
+                ("bit_identical", JsonValue::Bool(identical)),
+            ]),
+        ));
+    }
+    obj(section)
 }
 
 fn main() {
@@ -292,6 +413,7 @@ fn main() {
     let gemm = bench_dgemm(&sizes, &pool, &mut divergences);
     let stream = bench_stream(&sizes, &mut divergences);
     let engine = bench_engine(&sizes, &mut divergences);
+    let engine_event = bench_engine_event(&sizes, &mut divergences);
 
     let config = obj(vec![
         ("mode", JsonValue::String(sizes.mode.to_owned())),
@@ -304,7 +426,11 @@ fn main() {
         ("dgemm", gemm),
         ("stream", stream),
     ]);
-    let engine_doc = obj(vec![("config", config), ("engine", engine)]);
+    let engine_doc = obj(vec![
+        ("config", config),
+        ("engine", engine),
+        ("engine_event", engine_event),
+    ]);
     std::fs::write("BENCH_kernels.json", format!("{kernels}\n")).expect("write BENCH_kernels.json");
     std::fs::write("BENCH_engine.json", format!("{engine_doc}\n"))
         .expect("write BENCH_engine.json");

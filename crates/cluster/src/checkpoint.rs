@@ -250,6 +250,88 @@ impl Default for CheckpointCostModel {
     }
 }
 
+/// One running job's checkpoint state machine: when the next write
+/// begins, when an in-flight write drains, and which progress fractions
+/// are pending vs durably committed.
+///
+/// The engine used to keep these four fields loose on its running-job
+/// record; folding them into one type gives the due-time clock a single
+/// [`CheckpointSchedule::next_due`] to aggregate and keeps the
+/// begin/commit transitions in one place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointSchedule {
+    /// When the next checkpoint write begins, if checkpointing is on.
+    next_begin: Option<SimTime>,
+    /// While `Some`, a write is draining to NFS and completes then.
+    draining_until: Option<SimTime>,
+    /// Progress captured by the in-flight (not yet durable) write.
+    pending: f64,
+    /// Progress preserved by the last *committed* checkpoint.
+    committed: f64,
+}
+
+impl CheckpointSchedule {
+    /// A fresh schedule: the first write begins at `first_begin` (`None`
+    /// disables checkpointing), and `committed` carries the restart point
+    /// a requeued job resumed from (zero for a cold start).
+    pub fn new(first_begin: Option<SimTime>, committed: f64) -> Self {
+        CheckpointSchedule {
+            next_begin: first_begin,
+            draining_until: None,
+            pending: 0.0,
+            committed,
+        }
+    }
+
+    /// The next instant this schedule needs the engine's attention: the
+    /// in-flight drain if one is running, otherwise the next begin time.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.draining_until.or(self.next_begin)
+    }
+
+    /// Whether a write is in flight (the job is quiesced for it).
+    pub fn is_draining(&self) -> bool {
+        self.draining_until.is_some()
+    }
+
+    /// Whether a new write should begin at `now` (due, and nothing in
+    /// flight).
+    pub fn should_begin(&self, now: SimTime) -> bool {
+        self.draining_until.is_none() && self.next_begin.is_some_and(|t| now >= t)
+    }
+
+    /// Whether the in-flight write has fully drained by `now`.
+    pub fn drained_by(&self, now: SimTime) -> bool {
+        self.draining_until.is_some_and(|t| now >= t)
+    }
+
+    /// Starts a write capturing `progress`, draining until `drained_at`.
+    pub fn begin(&mut self, progress: f64, drained_at: SimTime) {
+        self.pending = progress;
+        self.draining_until = Some(drained_at);
+    }
+
+    /// Commits the drained write: the pending fraction becomes durable,
+    /// the next write is scheduled at `next_begin`, and the committed
+    /// fraction is returned for the store record.
+    pub fn commit(&mut self, next_begin: SimTime) -> f64 {
+        self.committed = self.pending;
+        self.draining_until = None;
+        self.next_begin = Some(next_begin);
+        self.committed
+    }
+
+    /// Progress the job falls back to if its nodes die right now.
+    pub fn committed(&self) -> f64 {
+        self.committed
+    }
+
+    /// Progress captured by the in-flight write, if any.
+    pub fn pending(&self) -> f64 {
+        self.pending
+    }
+}
+
 /// The cluster's checkpoint directory: one record per job on a dedicated
 /// NFS export, plus a decoded cache for the scheduler's restart path.
 ///
@@ -368,6 +450,33 @@ impl Default for CheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn schedule_walks_begin_drain_commit() {
+        let t = SimTime::from_secs;
+        let mut sched = CheckpointSchedule::new(Some(t(60)), 0.25);
+        assert_eq!(sched.next_due(), Some(t(60)));
+        assert!(!sched.should_begin(t(59)));
+        assert!(sched.should_begin(t(60)));
+        assert_eq!(sched.committed(), 0.25, "restart point carried in");
+
+        sched.begin(0.5, t(63));
+        assert!(sched.is_draining());
+        assert!(!sched.should_begin(t(61)), "no overlapping writes");
+        assert_eq!(sched.next_due(), Some(t(63)), "the drain masks the cadence");
+        assert!(!sched.drained_by(t(62)));
+        assert!(sched.drained_by(t(63)));
+        assert_eq!(sched.committed(), 0.25, "pending work is not yet durable");
+
+        assert_eq!(sched.commit(t(123)), 0.5);
+        assert_eq!(sched.committed(), 0.5);
+        assert!(!sched.is_draining());
+        assert_eq!(sched.next_due(), Some(t(123)));
+
+        let off = CheckpointSchedule::new(None, 0.0);
+        assert_eq!(off.next_due(), None);
+        assert!(!off.should_begin(SimTime::from_secs(1_000_000)));
+    }
 
     fn sample() -> JobCheckpoint {
         JobCheckpoint::new(

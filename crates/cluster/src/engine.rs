@@ -27,9 +27,9 @@ use cimone_soc::workload::Workload;
 
 use cimone_kernels::pool::{default_threads, WorkerPool};
 
-use crate::checkpoint::{CheckpointPosition, CheckpointStore, JobCheckpoint};
+use crate::checkpoint::{CheckpointPosition, CheckpointSchedule, CheckpointStore, JobCheckpoint};
 use crate::dpm::{GovernorAction, ThermalGovernor};
-use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+use crate::faults::{FaultKind, FaultPlan, FaultQueue};
 use crate::healing::{ControlAction, ControlPlane, RecoveryConfig};
 use crate::node::{ComputeNode, NodeConditions};
 use crate::perf::{HplModel, HplProblem, LaxModel};
@@ -74,6 +74,22 @@ pub struct JobRequest {
     pub workload: ClusterWorkload,
 }
 
+/// How the engine's clock advances between interesting instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Walk every tick through the full step pipeline (the original
+    /// behaviour, and the reference the event-driven mode is held to).
+    #[default]
+    FixedDt,
+    /// Due-time scheduling: provably inert ticks are fast-forwarded with
+    /// only the thermal integrator advanced, and the engine wakes at the
+    /// next due event (fault, heartbeat, phi crossing, backoff release,
+    /// span expiry). Observable outputs — telemetry, events, TSDB
+    /// contents, final clock — are bit-identical to [`ClockMode::FixedDt`]
+    /// at the same `dt`.
+    EventDriven,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
@@ -99,8 +115,18 @@ pub struct EngineConfig {
     /// `CIMONE_THREADS`); any other value pins the pool size. Results
     /// are bit-identical at every setting: per-node work is independent,
     /// merges happen in node order, and the power-noise RNG is only ever
-    /// drawn serially.
+    /// drawn serially. Whether a pool actually engages is further gated
+    /// by [`EngineConfig::parallel_grain`].
     pub threads: usize,
+    /// Minimum nodes *per worker* before the thread pool engages. Below
+    /// it the per-tick work is too small to amortise the fan-out/join
+    /// overhead and a threaded engine runs *slower* than a serial one, so
+    /// the engine silently falls back to the (bit-identical) serial path.
+    /// The default of 8 means the stock 8-node machine always steps
+    /// serially; set 1 to force the pool on for any `threads` setting.
+    pub parallel_grain: usize,
+    /// Clock advancement strategy; see [`ClockMode`].
+    pub clock: ClockMode,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +139,8 @@ impl Default for EngineConfig {
             governor: None,
             recovery: None,
             threads: 1,
+            parallel_grain: 8,
+            clock: ClockMode::FixedDt,
         }
     }
 }
@@ -238,16 +266,21 @@ struct RunningJob {
     panel_cycle: SimDuration,
     mem_per_node: f64,
     energy: Energy,
-    // Checkpoint/restart state (idle unless the engine runs with a
-    // checkpointing RecoveryConfig).
-    /// When the next checkpoint write begins.
-    next_ckpt_at: Option<SimTime>,
-    /// While `Some`, a write is draining and the job is quiesced.
-    ckpt_until: Option<SimTime>,
-    /// Progress captured when the in-flight write began.
-    ckpt_pending: f64,
-    /// Progress preserved by the last *committed* checkpoint.
-    last_ckpt_progress: f64,
+    /// Checkpoint/restart state machine (idle unless the engine runs with
+    /// a checkpointing RecoveryConfig).
+    ckpt: CheckpointSchedule,
+}
+
+/// Outcome of one fast-forward microstep.
+enum Microstep {
+    /// Temperatures moved; keep microstepping.
+    Advanced,
+    /// The integrator is at its f64 fixed point: the remaining skippable
+    /// span can be jumped without further arithmetic.
+    Equilibrium,
+    /// Something beyond the integrator changed (trip, governor action,
+    /// watchdog threshold): resume full stepping.
+    Resume,
 }
 
 /// The Monte Cimone simulation engine.
@@ -291,8 +324,7 @@ pub struct SimEngine {
     now: SimTime,
     rng: StdRng,
     // Fault-injection state: the plan queue plus every active span effect.
-    fault_queue: Vec<FaultEvent>,
-    next_fault: usize,
+    faults: FaultQueue,
     sensor_dropout_until: Vec<SimTime>,
     sensor_stuck_until: Vec<SimTime>,
     /// Last published power per node, for stuck-at sensor faults.
@@ -311,8 +343,17 @@ pub struct SimEngine {
     /// The recovery subsystem, when configured.
     recovery: Option<RecoveryState>,
     /// Shared worker pool for the per-node step phases; `None` when
-    /// [`EngineConfig::threads`] is 1 (fully serial stepping).
+    /// [`EngineConfig::threads`] is 1 or the machine is too small for
+    /// [`EngineConfig::parallel_grain`] (fully serial stepping).
     pool: Option<std::sync::Arc<WorkerPool>>,
+    /// Per-node message buffers reused across ticks by the plugin
+    /// sampling phase (avoids two Vec allocations per node per tick).
+    plugin_scratch: Vec<Vec<(Topic, Payload)>>,
+    /// Ticks executed through the full step pipeline.
+    ticks_stepped: u64,
+    /// Ticks fast-forwarded by the event-driven clock (thermal-only
+    /// microsteps and equilibrium jumps).
+    ticks_skipped: u64,
 }
 
 /// Everything the recovery subsystem tracks: the control plane, the
@@ -398,8 +439,7 @@ impl SimEngine {
             events: Vec::new(),
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(config.seed),
-            fault_queue: Vec::new(),
-            next_fault: 0,
+            faults: FaultQueue::default(),
             sensor_dropout_until: vec![SimTime::ZERO; n],
             sensor_stuck_until: vec![SimTime::ZERO; n],
             last_power: vec![None; n],
@@ -414,14 +454,22 @@ impl SimEngine {
             node_downtime: vec![SimDuration::ZERO; n],
             failures: 0,
             recovery,
-            pool: (config.threads != 1).then(|| {
+            pool: {
                 let size = if config.threads == 0 {
                     default_threads()
                 } else {
                     config.threads
                 };
-                std::sync::Arc::new(WorkerPool::new(size))
-            }),
+                // Min-work threshold: a pool that gets fewer than
+                // `parallel_grain` nodes per worker loses more to
+                // fan-out/join overhead than it gains, so fall back to
+                // the bit-identical serial path.
+                (size > 1 && n >= size * config.parallel_grain.max(1))
+                    .then(|| std::sync::Arc::new(WorkerPool::new(size)))
+            },
+            plugin_scratch: (0..n).map(|_| Vec::new()).collect(),
+            ticks_stepped: 0,
+            ticks_skipped: 0,
         }
     }
 
@@ -436,8 +484,7 @@ impl SimEngine {
 
     /// In-place form of [`SimEngine::with_fault_plan`].
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault_queue = plan.into_events();
-        self.next_fault = 0;
+        self.faults = FaultQueue::from_plan(plan);
     }
 
     /// Replaces the scheduling policy (must be called before any
@@ -584,6 +631,25 @@ impl SimEngine {
         self.failures
     }
 
+    /// Ticks executed through the full step pipeline so far.
+    pub fn ticks_stepped(&self) -> u64 {
+        self.ticks_stepped
+    }
+
+    /// Ticks the event-driven clock fast-forwarded (thermal-only
+    /// microsteps plus equilibrium jumps). Zero under
+    /// [`ClockMode::FixedDt`].
+    pub fn ticks_skipped(&self) -> u64 {
+        self.ticks_skipped
+    }
+
+    /// Whether the worker pool actually engaged, i.e. `threads != 1` and
+    /// the machine cleared [`EngineConfig::parallel_grain`]. `false`
+    /// means per-node phases run on the (bit-identical) serial path.
+    pub fn parallel_engaged(&self) -> bool {
+        self.pool.is_some()
+    }
+
     /// Submits a job.
     ///
     /// # Errors
@@ -664,10 +730,7 @@ impl SimEngine {
             Some(t) if self.now < t => self.degrade_factor,
             _ => 1.0,
         };
-        let partitioned = match self.partition_until {
-            Some(t) if self.now < t => self.partitioned,
-            _ => None,
-        };
+        let partitioned = self.active_partition();
         let alive = self.recovery.as_ref().map(|r| r.node_alive.clone());
         for job in self.running.values_mut() {
             let mut speed = job
@@ -686,7 +749,7 @@ impl SimEngine {
                     speed = 0.0;
                 }
             }
-            if job.ckpt_until.is_some() {
+            if job.ckpt.is_draining() {
                 // Quiesced for a checkpoint write.
                 speed = 0.0;
             }
@@ -734,57 +797,35 @@ impl SimEngine {
         }
         self.refresh_conditions();
 
-        // 3. Advance node execution — independent per node, so the work
-        //    fans out over the pool when one is configured.
-        if let Some(pool) = &self.pool {
-            let tiles = pool.even_chunks(self.nodes.len());
-            pool.scope(|scope| {
-                let mut rest = self.nodes.as_mut_slice();
-                for (start, end) in tiles {
-                    let (chunk, tail) = rest.split_at_mut(end - start);
-                    rest = tail;
-                    scope.spawn(move || {
-                        for node in chunk {
-                            node.advance(dt);
-                        }
-                    });
-                }
-            });
-        } else {
-            for node in &mut self.nodes {
-                node.advance(dt);
-            }
-        }
-
-        // 4. Power sampling, energy accounting, publication. The
-        //    power-noise RNG is drawn serially in node order (the stream
-        //    is identical at every thread count); messages are gathered
-        //    in that same order and either published one by one or handed
-        //    to the broker's batch fan-out, which preserves `publish`
-        //    semantics exactly.
+        // 4. Power and energy. The thermal and energy integrators consume
+        //    the noise-free *mean* power (sensor noise is a measurement
+        //    artefact, not physics); the noisy sample is drawn only when a
+        //    reading is actually published, serially in node order, so the
+        //    RNG stream is identical at every thread count.
         let mut node_power = Vec::with_capacity(self.nodes.len());
-        let mut power_messages: Vec<(Topic, Payload)> = Vec::new();
+        let mut power_messages: Vec<(Topic, Payload)> = Vec::with_capacity(self.nodes.len());
         for i in 0..self.nodes.len() {
             let workload = self.nodes[i].effective_power_workload();
             let temp = self.thermal.temperature(i);
             let scale = self.nodes[i].cpufreq().scale();
-            let sample = self
-                .power
-                .sample_all_dvfs(workload, temp, scale, &mut self.rng);
-            let total = sample.total();
-            node_power.push(total);
+            node_power.push(self.power.mean_all_dvfs(workload, temp, scale).total());
             if self.config.monitoring {
                 let dropped_out = self.now < self.sensor_dropout_until[i];
                 let stuck = self.now < self.sensor_stuck_until[i];
                 if !dropped_out {
+                    let measured = self
+                        .power
+                        .sample_all_dvfs(workload, temp, scale, &mut self.rng)
+                        .total()
+                        .as_watts();
                     let watts = match (stuck, self.last_power[i]) {
                         (true, Some(frozen)) => frozen,
-                        _ => total.as_watts(),
+                        _ => measured,
                     };
                     let topic = self.power_topic(i);
                     power_messages.push((topic, Payload::new(watts, self.now)));
                     if !stuck {
-                        self.last_power[i] = Some(total.as_watts());
+                        self.last_power[i] = Some(measured);
                     }
                 }
             }
@@ -817,108 +858,401 @@ impl SimEngine {
 
         // 5b. The thermal governor, when enabled, throttles hot nodes and
         //     recovers cool ones.
-        if let Some(governor) = self.config.governor {
-            for i in 0..self.nodes.len() {
-                match governor.decide(self.thermal.temperature(i)) {
-                    GovernorAction::StepDown => {
-                        self.nodes[i].cpufreq_mut().step_down();
-                    }
-                    GovernorAction::StepUp => {
-                        self.nodes[i].cpufreq_mut().step_up();
-                    }
-                    GovernorAction::Hold => {}
+        self.govern();
+
+        // 6. Node execution + monitoring plugins, merged into ONE fan-out:
+        //    each node advances its counters, snapshots, and samples its
+        //    due plugins in a single pass (node.advance reads only the
+        //    conditions and DVFS state fixed in earlier phases, so running
+        //    it after power/thermal is equivalent). With a pool the
+        //    per-node work fans out once and messages are merged back in
+        //    node order (PMU before stats, exactly as the serial loop
+        //    publishes them) before one batch fan-out. Per-node buffers
+        //    are reused across ticks.
+        let monitoring = self.config.monitoring;
+        if let Some(pool) = &self.pool {
+            let now = self.now;
+            let eligible: Vec<bool> = (0..self.nodes.len())
+                .map(|i| monitoring && now >= self.sensor_dropout_until[i])
+                .collect();
+            let tiles = pool.even_chunks(self.nodes.len());
+            pool.scope(|scope| {
+                let mut nodes = self.nodes.as_mut_slice();
+                let mut elig = eligible.as_slice();
+                let mut pmu = self.pmu.as_mut_slice();
+                let mut stats = self.stats.as_mut_slice();
+                let mut out = self.plugin_scratch.as_mut_slice();
+                for (start, end) in tiles {
+                    let len = end - start;
+                    let (node_c, node_r) = nodes.split_at_mut(len);
+                    nodes = node_r;
+                    let (elig_c, elig_r) = elig.split_at(len);
+                    elig = elig_r;
+                    let (pmu_c, pmu_r) = pmu.split_at_mut(len);
+                    pmu = pmu_r;
+                    let (stats_c, stats_r) = stats.split_at_mut(len);
+                    stats = stats_r;
+                    let (out_c, out_r) = out.split_at_mut(len);
+                    out = out_r;
+                    scope.spawn(move || {
+                        for ((((node, &ok), pmu), stats), out) in node_c
+                            .iter_mut()
+                            .zip(elig_c)
+                            .zip(pmu_c)
+                            .zip(stats_c)
+                            .zip(out_c)
+                        {
+                            node.advance(dt);
+                            out.clear();
+                            if !ok {
+                                continue; // silent or monitoring off
+                            }
+                            let snapshot = node.snapshot(now);
+                            pmu.due_messages_into(now, &snapshot, out);
+                            stats.due_messages_into(now, &snapshot, out);
+                        }
+                    });
                 }
+            });
+            if monitoring {
+                let batch: Vec<(Topic, Payload)> = self
+                    .plugin_scratch
+                    .iter_mut()
+                    .flat_map(|out| out.drain(..))
+                    .collect();
+                self.broker.publish_batch(batch, pool);
+            }
+        } else {
+            for i in 0..self.nodes.len() {
+                self.nodes[i].advance(dt);
+                if !monitoring || self.now < self.sensor_dropout_until[i] {
+                    continue; // silent or monitoring off
+                }
+                let mut out = std::mem::take(&mut self.plugin_scratch[i]);
+                out.clear();
+                let snapshot = self.nodes[i].snapshot(self.now);
+                self.pmu[i].due_messages_into(self.now, &snapshot, &mut out);
+                self.stats[i].due_messages_into(self.now, &snapshot, &mut out);
+                for (topic, payload) in out.drain(..) {
+                    self.broker.publish(&topic, payload);
+                }
+                self.plugin_scratch[i] = out;
             }
         }
-
-        // 6. Monitoring plugins and ingestion. With a pool, the per-node
-        //    snapshot + sample work fans out and the resulting messages
-        //    are merged back in node order (PMU before stats, exactly as
-        //    the serial loop publishes them) before one batch fan-out.
-        if self.config.monitoring {
-            if let Some(pool) = &self.pool {
-                let now = self.now;
-                let eligible: Vec<bool> = (0..self.nodes.len())
-                    .map(|i| now >= self.sensor_dropout_until[i])
-                    .collect();
-                let mut gathered: Vec<Vec<(Topic, Payload)>> = Vec::new();
-                gathered.resize_with(self.nodes.len(), Vec::new);
-                let tiles = pool.even_chunks(self.nodes.len());
-                pool.scope(|scope| {
-                    let mut nodes = self.nodes.as_slice();
-                    let mut elig = eligible.as_slice();
-                    let mut pmu = self.pmu.as_mut_slice();
-                    let mut stats = self.stats.as_mut_slice();
-                    let mut out = gathered.as_mut_slice();
-                    for (start, end) in tiles {
-                        let len = end - start;
-                        let (node_c, node_r) = nodes.split_at(len);
-                        nodes = node_r;
-                        let (elig_c, elig_r) = elig.split_at(len);
-                        elig = elig_r;
-                        let (pmu_c, pmu_r) = pmu.split_at_mut(len);
-                        pmu = pmu_r;
-                        let (stats_c, stats_r) = stats.split_at_mut(len);
-                        stats = stats_r;
-                        let (out_c, out_r) = out.split_at_mut(len);
-                        out = out_r;
-                        scope.spawn(move || {
-                            for ((((node, &ok), pmu), stats), out) in
-                                node_c.iter().zip(elig_c).zip(pmu_c).zip(stats_c).zip(out_c)
-                            {
-                                if !ok {
-                                    continue; // the node's telemetry is silent
-                                }
-                                let snapshot = node.snapshot(now);
-                                if let Some(msgs) = pmu.due_messages(now, &snapshot) {
-                                    out.extend(msgs);
-                                }
-                                if let Some(msgs) = stats.due_messages(now, &snapshot) {
-                                    out.extend(msgs);
-                                }
-                            }
-                        });
-                    }
-                });
-                let batch: Vec<(Topic, Payload)> = gathered.into_iter().flatten().collect();
-                self.broker.publish_batch(batch, pool);
-            } else {
-                for i in 0..self.nodes.len() {
-                    if self.now < self.sensor_dropout_until[i] {
-                        continue; // the node's telemetry is silent
-                    }
-                    let snapshot = self.nodes[i].snapshot(self.now);
-                    self.pmu[i].maybe_sample(self.now, &snapshot, &self.broker);
-                    self.stats[i].maybe_sample(self.now, &snapshot, &self.broker);
-                }
-            }
+        if monitoring {
             if let Some(collector) = &mut self.collector {
                 collector.pump(&mut self.store);
             }
         }
 
+        self.ticks_stepped += 1;
         self.now += dt;
     }
 
-    /// Runs for a span of simulated time.
+    /// Phase 5b: the thermal governor's per-node decision, shared by the
+    /// full step and the fast-forward microstep (which must replicate it
+    /// exactly at the tick a threshold is crossed).
+    fn govern(&mut self) -> bool {
+        let Some(governor) = self.config.governor else {
+            return false;
+        };
+        let mut changed = false;
+        for i in 0..self.nodes.len() {
+            match governor.decide(self.thermal.temperature(i)) {
+                GovernorAction::StepDown => {
+                    changed |= self.nodes[i].cpufreq_mut().step_down();
+                }
+                GovernorAction::StepUp => {
+                    changed |= self.nodes[i].cpufreq_mut().step_up();
+                }
+                GovernorAction::Hold => {}
+            }
+        }
+        changed
+    }
+
+    /// Runs for a span of simulated time. Under [`ClockMode::EventDriven`]
+    /// provably inert spans are fast-forwarded; the final clock is the
+    /// same grid tick a fixed-dt run lands on.
     pub fn run_for(&mut self, span: SimDuration) {
         let end = self.now + span;
         while self.now < end {
+            if self.config.clock == ClockMode::EventDriven {
+                let cap = self.grid_align_up(end);
+                if self.fast_forward_to(cap) {
+                    continue;
+                }
+            }
             self.step();
         }
     }
 
     /// Runs until no job is pending or running, up to `max`. Returns
-    /// whether the machine drained.
+    /// whether the machine drained. Both clock modes exit at the
+    /// identical tick: the idle check runs before each step.
     pub fn run_until_idle(&mut self, max: SimDuration) -> bool {
         let end = self.now + max;
         while self.now < end {
             if self.running.is_empty() && self.scheduler.pending().is_empty() {
                 return true;
             }
+            if self.config.clock == ClockMode::EventDriven {
+                let cap = self.grid_align_up(end);
+                if self.fast_forward_to(cap) {
+                    continue;
+                }
+            }
             self.step();
         }
         self.running.is_empty() && self.scheduler.pending().is_empty()
+    }
+
+    /// The first clock-grid tick at or after `t` (the engine's clock only
+    /// ever rests on multiples of `dt` from its starting point).
+    fn grid_align_up(&self, t: SimTime) -> SimTime {
+        let dt = self.config.dt.as_micros().max(1);
+        let now = self.now.as_micros();
+        let target = t.as_micros().max(now);
+        SimTime::from_micros(now + (target - now).div_ceil(dt) * dt)
+    }
+
+    /// Whether executing `step()` at the current tick would mutate
+    /// nothing but the thermal integrator (and its trip latch). `false`
+    /// is conservative: the tick is stepped in full.
+    ///
+    /// Monitoring must be off — with the ExaMon pipeline live every tick
+    /// publishes samples, so there is nothing to skip.
+    fn tick_is_quiescent(&self) -> bool {
+        if self.config.monitoring {
+            return false;
+        }
+        if !self.running.is_empty() {
+            return false;
+        }
+        // `would_start_any == false` is a proof schedule() is a no-op.
+        if self.scheduler.would_start_any(self.now) {
+            return false;
+        }
+        if self.faults.next_due().is_some_and(|t| t <= self.now) {
+            return false;
+        }
+        // Span side-effects that expire *at* this tick mutate state
+        // (broker loss reset, collector reattach).
+        if self.broker_loss_until.is_some_and(|t| self.now >= t) {
+            return false;
+        }
+        if self.collector_offline_until.is_some_and(|t| self.now >= t) {
+            return false;
+        }
+        // Under a governor the skip is only provable when every node is
+        // at nominal (StepUp is a no-op there) and none is hot enough to
+        // be stepped down.
+        if let Some(governor) = self.config.governor {
+            for i in 0..self.nodes.len() {
+                if !self.nodes[i].cpufreq().is_nominal() {
+                    return false;
+                }
+                if matches!(
+                    governor.decide(self.thermal.temperature(i)),
+                    GovernorAction::StepDown
+                ) {
+                    return false;
+                }
+            }
+        }
+        if let Some(rec) = &self.recovery {
+            let temps: Vec<Celsius> = (0..self.nodes.len())
+                .map(|i| self.thermal.temperature(i))
+                .collect();
+            // No fenced nodes, no watchdog state in flight, temps clear
+            // of the watchdog thresholds.
+            if !rec.control.is_quiescent(&temps) {
+                return false;
+            }
+            let partition = self.active_partition();
+            let dt = self.config.dt;
+            for i in 0..self.nodes.len() {
+                let cut = partition.is_some_and(|(a, b)| a == i || b == i);
+                // A heartbeat due now is an action.
+                if rec.node_alive[i] && !cut && self.now >= rec.next_heartbeat[i] {
+                    return false;
+                }
+                // A phi threshold crossing now fences a node.
+                if rec
+                    .control
+                    .next_suspicion_due(i, self.now, self.now, dt)
+                    .is_some()
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Earliest instant strictly after `now` (and no later than
+    /// `horizon`) at which any subsystem needs a full step: the next
+    /// fault, span expiry, heartbeat, phi threshold crossing, scheduler
+    /// release or estimated completion, checkpoint transition, or plugin
+    /// sample. `None` means nothing is due inside the horizon.
+    pub fn next_due(&self, horizon: SimTime) -> Option<SimTime> {
+        let now = self.now;
+        let add = |due: &mut Option<SimTime>, t: SimTime| {
+            if t > now && t <= horizon && due.is_none_or(|d| t < d) {
+                *due = Some(t);
+            }
+        };
+        let mut due: Option<SimTime> = None;
+        if let Some(t) = self.faults.next_due() {
+            add(&mut due, t);
+        }
+        for t in [
+            self.broker_loss_until,
+            self.collector_offline_until,
+            self.partition_until,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            add(&mut due, t);
+        }
+        if let Some(t) = self.scheduler.next_due(self.now) {
+            add(&mut due, t);
+        }
+        for run in self.running.values() {
+            if let Some(t) = run.ckpt.next_due() {
+                add(&mut due, t);
+            }
+            if let Ok(job) = self.scheduler.job(run.id) {
+                add(&mut due, run.started + job.spec().time_limit);
+            }
+        }
+        if self.config.monitoring {
+            for runner in &self.pmu {
+                add(&mut due, runner.next_due());
+            }
+            for runner in &self.stats {
+                add(&mut due, runner.next_due());
+            }
+        }
+        if let Some(rec) = &self.recovery {
+            let partition = self.active_partition();
+            for i in 0..self.nodes.len() {
+                let cut = partition.is_some_and(|(a, b)| a == i || b == i);
+                if rec.node_alive[i] && !cut {
+                    add(&mut due, rec.next_heartbeat[i]);
+                }
+            }
+            // Phi crossings are searched on the clock grid up to the
+            // earliest due found so far (a crossing past it cannot win),
+            // which keeps the binary search's span tight.
+            let dt = self.config.dt;
+            let span_end = due.unwrap_or(horizon);
+            for i in 0..self.nodes.len() {
+                if let Some(t) = rec
+                    .control
+                    .next_suspicion_due(i, self.now + dt, span_end, dt)
+                {
+                    add(&mut due, t);
+                }
+            }
+        }
+        due
+    }
+
+    /// Fast-forwards from the current (quiescent) tick towards `cap` (a
+    /// grid tick): each skipped tick advances only the thermal integrator
+    /// with the exact arithmetic of a full step, and once the integrator
+    /// reaches its f64 fixed point the remaining span is jumped in O(1).
+    /// Stops early at the next due event, a thermal trip, a governor or
+    /// watchdog threshold crossing. Returns whether the clock advanced at
+    /// all (`false` ⇒ the caller must run a full step).
+    fn fast_forward_to(&mut self, cap: SimTime) -> bool {
+        if cap <= self.now || !self.tick_is_quiescent() {
+            return false;
+        }
+        let dt = self.config.dt;
+        let wake = match self.next_due(cap) {
+            Some(due) => cap.min(self.grid_align_up(due)),
+            None => cap,
+        };
+        let start = self.now;
+        while self.now < wake {
+            match self.thermal_microstep() {
+                Microstep::Advanced => {}
+                Microstep::Equilibrium => {
+                    // Thermally settled: every remaining tick is bitwise
+                    // the same no-op, so jump the clock.
+                    self.ticks_skipped +=
+                        (wake.as_micros() - self.now.as_micros()) / dt.as_micros().max(1);
+                    self.now = wake;
+                    break;
+                }
+                Microstep::Resume => break,
+            }
+        }
+        self.now > start
+    }
+
+    /// Executes the only physically active slice of a quiescent tick —
+    /// mean power, thermal integration, trip latch, governor — with the
+    /// exact arithmetic and ordering of the full step, then advances the
+    /// clock one `dt`.
+    fn thermal_microstep(&mut self) -> Microstep {
+        let dt = self.config.dt;
+        let n = self.nodes.len();
+        let mut node_power = Vec::with_capacity(n);
+        let mut prev_temps = Vec::with_capacity(n);
+        for i in 0..n {
+            let workload = self.nodes[i].effective_power_workload();
+            let temp = self.thermal.temperature(i);
+            let scale = self.nodes[i].cpufreq().scale();
+            prev_temps.push(temp);
+            node_power.push(self.power.mean_all_dvfs(workload, temp, scale).total());
+        }
+        let tripped = self.thermal.step(&node_power, dt);
+        let any_trip = !tripped.is_empty();
+        for node_index in tripped {
+            self.handle_trip(node_index);
+        }
+        for i in 0..n {
+            let (cpu, mb, nvme) = (
+                self.thermal.temperature(i),
+                self.thermal.mb_temperature(i),
+                self.thermal.nvme_temperature(i),
+            );
+            self.nodes[i].set_temperatures(cpu, mb, nvme);
+        }
+        // The governor fires at this tick exactly as phase 5b would.
+        let governed = self.govern();
+        self.ticks_skipped += 1;
+        self.now += dt;
+        if any_trip || governed {
+            // State beyond the integrator changed: resume full stepping.
+            return Microstep::Resume;
+        }
+        // The *next* tick's control plane reads the temperatures just
+        // set; crossing a watchdog line ends the skippable span.
+        if let Some(rec) = &self.recovery {
+            let temps: Vec<Celsius> = (0..n).map(|i| self.thermal.temperature(i)).collect();
+            if !rec.control.is_quiescent(&temps) {
+                return Microstep::Resume;
+            }
+        }
+        let settled = (0..n).all(|i| self.thermal.temperature(i) == prev_temps[i]);
+        if settled {
+            Microstep::Equilibrium
+        } else {
+            Microstep::Advanced
+        }
+    }
+
+    /// The partition cutting the management network right now, if any.
+    fn active_partition(&self) -> Option<(usize, usize)> {
+        match self.partition_until {
+            Some(t) if self.now < t => self.partitioned,
+            _ => None,
+        }
     }
 
     fn power_topic(&self, node_index: usize) -> Topic {
@@ -1023,10 +1357,7 @@ impl SimEngine {
                 },
                 mem_per_node,
                 energy: Energy::ZERO,
-                next_ckpt_at,
-                ckpt_until: None,
-                ckpt_pending: 0.0,
-                last_ckpt_progress: resumed.unwrap_or(0.0),
+                ckpt: CheckpointSchedule::new(next_ckpt_at, resumed.unwrap_or(0.0)),
             },
         );
     }
@@ -1100,12 +1431,8 @@ impl SimEngine {
     /// Fires every planned fault the clock has reached and winds down
     /// span effects whose window has closed.
     fn apply_due_faults(&mut self) {
-        while self.next_fault < self.fault_queue.len()
-            && self.fault_queue[self.next_fault].at <= self.now
-        {
-            let kind = self.fault_queue[self.next_fault].kind.clone();
-            self.next_fault += 1;
-            self.apply_fault(kind);
+        while let Some(event) = self.faults.pop_due(self.now) {
+            self.apply_fault(event.kind);
         }
         if self.broker_loss_until.is_some_and(|t| self.now >= t) {
             self.broker.set_loss(0.0, 0);
@@ -1199,7 +1526,7 @@ impl SimEngine {
             let run = self.running.remove(&id);
             if let (Some(rec), Some(run)) = (self.recovery.as_mut(), run.as_ref()) {
                 // Work past the last committed checkpoint is gone.
-                let saved = run.last_ckpt_progress;
+                let saved = run.ckpt.committed();
                 let wasted = (run.progress - saved).max(0.0);
                 rec.wasted_node_secs +=
                     wasted * run.duration.as_secs_f64() * run.node_indices.len() as f64;
@@ -1311,10 +1638,7 @@ impl SimEngine {
     /// so their heartbeats are suppressed (a source of false suspicion);
     /// seeded broker loss drops beats inside the broker itself.
     fn publish_heartbeats(&mut self) {
-        let partitioned = match self.partition_until {
-            Some(t) if self.now < t => self.partitioned,
-            _ => None,
-        };
+        let partitioned = self.active_partition();
         let rec = self.recovery.as_mut().expect("recovery mode");
         for i in 0..self.nodes.len() {
             if !rec.node_alive[i] {
@@ -1388,33 +1712,28 @@ impl SimEngine {
         };
         let events = &mut self.events;
         for job in self.running.values_mut() {
-            if let Some(until) = job.ckpt_until {
-                if now >= until {
-                    let ckpt = JobCheckpoint::new(
-                        job.id.0,
-                        job.ckpt_pending,
-                        checkpoint_position(&job.workload, job.ckpt_pending),
-                        now,
-                    );
-                    rec.store.save(ckpt).expect("checkpoint export healthy");
-                    rec.checkpoints_written += 1;
-                    job.last_ckpt_progress = job.ckpt_pending;
-                    job.ckpt_until = None;
-                    job.next_ckpt_at = Some(now + cfg.interval);
-                    events.push(EngineEvent::CheckpointWritten {
-                        id: job.id,
-                        at: now,
-                        progress: job.ckpt_pending,
-                    });
-                }
-            } else if job.next_ckpt_at.is_some_and(|t| now >= t)
+            if job.ckpt.drained_by(now) {
+                let progress = job.ckpt.commit(now + cfg.interval);
+                let ckpt = JobCheckpoint::new(
+                    job.id.0,
+                    progress,
+                    checkpoint_position(&job.workload, progress),
+                    now,
+                );
+                rec.store.save(ckpt).expect("checkpoint export healthy");
+                rec.checkpoints_written += 1;
+                events.push(EngineEvent::CheckpointWritten {
+                    id: job.id,
+                    at: now,
+                    progress,
+                });
+            } else if job.ckpt.should_begin(now)
                 && job.progress < 1.0
                 && job.node_indices.iter().all(|&i| rec.node_alive[i])
             {
                 let bytes = job.mem_per_node * job.node_indices.len() as f64;
                 let start = nfs_stalled_until.unwrap_or(now);
-                job.ckpt_until = Some(start + cfg.cost.cost(bytes));
-                job.ckpt_pending = job.progress;
+                job.ckpt.begin(job.progress, start + cfg.cost.cost(bytes));
             }
         }
     }
@@ -1611,8 +1930,10 @@ mod tests {
         let run = |threads: usize| {
             let mut engine = SimEngine::new(EngineConfig {
                 threads,
+                parallel_grain: 1, // force the pool despite only 8 nodes
                 ..EngineConfig::default()
             });
+            assert_eq!(engine.parallel_engaged(), threads != 1);
             engine.submit(synthetic(8, 40)).unwrap();
             engine.submit(synthetic(3, 15)).unwrap();
             for _ in 0..120 {
@@ -1639,11 +1960,31 @@ mod tests {
     fn auto_thread_count_sizes_a_pool_and_still_runs() {
         let mut engine = SimEngine::new(EngineConfig {
             threads: 0, // auto: host-sized pool (CIMONE_THREADS honoured)
+            parallel_grain: 1,
             ..EngineConfig::default()
         });
         engine.submit(synthetic(2, 5)).unwrap();
         assert!(engine.run_until_idle(SimDuration::from_secs(60)));
         assert!(engine.store().point_count() > 0);
+    }
+
+    #[test]
+    fn small_machines_fall_back_to_serial_stepping() {
+        // 8 nodes / 4 workers = 2 nodes per worker, below the default
+        // grain of 8: the pool must not engage.
+        let auto = SimEngine::new(EngineConfig {
+            threads: 4,
+            ..EngineConfig::default()
+        });
+        assert!(!auto.parallel_engaged(), "grain must gate the pool");
+        let forced = SimEngine::new(EngineConfig {
+            threads: 4,
+            parallel_grain: 1,
+            ..EngineConfig::default()
+        });
+        assert!(forced.parallel_engaged());
+        let serial = SimEngine::new(EngineConfig::default());
+        assert!(!serial.parallel_engaged());
     }
 
     #[test]

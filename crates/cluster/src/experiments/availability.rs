@@ -14,7 +14,7 @@ use cimone_sched::accounting::JobEventKind;
 use cimone_sched::job::JobState;
 use cimone_soc::units::SimDuration;
 
-use crate::engine::{ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine};
+use crate::engine::{ClockMode, ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine};
 use crate::faults::FaultPlan;
 use crate::perf::{HplModel, HplProblem};
 use crate::report::{render_table, Stats};
@@ -118,6 +118,9 @@ pub fn run(
             dt: SimDuration::from_secs(2),
             seed,
             monitoring: false,
+            // Telemetry is off and repairs leave hours of idle tail: the
+            // event clock fast-forwards those spans bit-identically.
+            clock: ClockMode::EventDriven,
             ..EngineConfig::default()
         })
         .with_fault_plan(plan);

@@ -21,7 +21,7 @@ use cimone_sched::accounting::JobEventKind;
 use cimone_sched::job::JobState;
 use cimone_soc::units::SimDuration;
 
-use crate::engine::{ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine};
+use crate::engine::{ClockMode, ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::healing::RecoveryConfig;
 use crate::perf::{HplModel, HplProblem};
@@ -156,6 +156,9 @@ pub fn run(
                 seed,
                 monitoring: false,
                 recovery: Some(recovery),
+                // Idle spans between crash campaigns fast-forward; the
+                // event clock is bit-identical to fixed-dt.
+                clock: ClockMode::EventDriven,
                 ..EngineConfig::default()
             })
             .with_fault_plan(plan);

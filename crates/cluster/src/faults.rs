@@ -206,9 +206,97 @@ impl FaultPlan {
     }
 }
 
+/// A consuming cursor over a [`FaultPlan`]'s events, exposing the next
+/// due time so a due-time clock can sleep until the next injection
+/// instead of polling the schedule every tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultQueue {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+}
+
+impl FaultQueue {
+    /// Consumes `plan` into a queue positioned at its first event.
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        FaultQueue {
+            events: plan.into_events(),
+            cursor: 0,
+        }
+    }
+
+    /// When the next unapplied fault fires, if any remain.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// The next unapplied fault, without consuming it.
+    pub fn peek(&self) -> Option<&FaultEvent> {
+        self.events.get(self.cursor)
+    }
+
+    /// Consumes and returns the next fault if it is due at `now`
+    /// (`at <= now`). Call in a loop to drain every fault due this tick,
+    /// in schedule order.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<FaultEvent> {
+        let event = self.events.get(self.cursor)?;
+        if event.at > now {
+            return None;
+        }
+        self.cursor += 1;
+        Some(event.clone())
+    }
+
+    /// Events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Whether every event has been consumed.
+    pub fn is_drained(&self) -> bool {
+        self.cursor == self.events.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_queue_drains_in_schedule_order() {
+        let plan = FaultPlan::new()
+            .with(SimTime::from_secs(10), FaultKind::NodeCrash { node: 2 })
+            .with(SimTime::from_secs(10), FaultKind::NodeCrash { node: 5 })
+            .with(
+                SimTime::from_secs(40),
+                FaultKind::NfsStall {
+                    span: SimDuration::from_secs(5),
+                },
+            );
+        let mut q = FaultQueue::from_plan(plan);
+        assert_eq!(q.next_due(), Some(SimTime::from_secs(10)));
+        assert_eq!(q.pop_due(SimTime::from_secs(5)), None, "nothing due yet");
+        // Both t=10 events drain at the same tick, insertion order kept.
+        assert!(matches!(
+            q.pop_due(SimTime::from_secs(10)),
+            Some(FaultEvent {
+                kind: FaultKind::NodeCrash { node: 2 },
+                ..
+            })
+        ));
+        assert!(matches!(
+            q.pop_due(SimTime::from_secs(10)),
+            Some(FaultEvent {
+                kind: FaultKind::NodeCrash { node: 5 },
+                ..
+            })
+        ));
+        assert_eq!(q.pop_due(SimTime::from_secs(10)), None);
+        assert_eq!(q.next_due(), Some(SimTime::from_secs(40)));
+        assert_eq!(q.remaining(), 1);
+        assert!(q.pop_due(SimTime::from_secs(100)).is_some(), "late is fine");
+        assert!(q.is_drained());
+        assert_eq!(q.next_due(), None);
+    }
 
     #[test]
     fn plans_stay_time_sorted() {

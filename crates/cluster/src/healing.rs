@@ -217,6 +217,56 @@ impl ControlPlane {
         self.fenced[node] = fenced;
     }
 
+    /// Whether any node is currently fenced. A fenced node's unfence
+    /// condition decays with wall time (`resumed` compares `now` against
+    /// the last arrival), so a due-time clock must evaluate every tick
+    /// while a fence is outstanding.
+    pub fn any_fenced(&self) -> bool {
+        self.fenced.iter().any(|&f| f)
+    }
+
+    /// Whether [`ControlPlane::tick`] is provably a pure observation for
+    /// ticks where no heartbeat arrives and no phi threshold is crossed:
+    /// no node fenced, no armed watchdog sustain clock, no outstanding
+    /// watchdog throttle to relax, and (when a watchdog is configured)
+    /// every temperature strictly below its throttle and fence lines.
+    /// Under these conditions the only state `tick` could mutate is
+    /// driven by arrivals or crossings, both of which a due-time clock
+    /// schedules explicitly — so skipping the call is exact.
+    pub fn is_quiescent(&self, temperatures: &[Celsius]) -> bool {
+        if self.any_fenced() {
+            return false;
+        }
+        match self.config.thermal_watchdog {
+            None => true,
+            Some(w) => {
+                self.hot_since.iter().all(Option::is_none)
+                    && self.throttle_depth.iter().all(|&d| d == 0)
+                    && temperatures
+                        .iter()
+                        .all(|&t| t < w.throttle_above && t < w.fence_above)
+            }
+        }
+    }
+
+    /// The first grid tick in `[from, to]` (stepping by `step`) at which
+    /// node `i` would cross the suspicion threshold with no further
+    /// heartbeats — `None` when suspicion cannot fence (disabled, already
+    /// fenced, or the crossing lies beyond `to`).
+    pub fn next_suspicion_due(
+        &self,
+        node: usize,
+        from: SimTime,
+        to: SimTime,
+        step: SimDuration,
+    ) -> Option<SimTime> {
+        if !self.config.fence_on_suspicion || self.fenced[node] {
+            return None;
+        }
+        self.monitor
+            .next_suspicion_due(&self.hostnames[node], from, to, step)
+    }
+
     /// One decision tick: ingest heartbeats, evaluate suspicion for every
     /// node, and run the thermal watchdog over `temperatures`. Returns the
     /// actions for the engine to apply, in node order.
@@ -412,6 +462,63 @@ mod tests {
             [ControlAction::FenceHot { node: 0, .. }]
         ));
         assert!(cp.is_fenced(0));
+    }
+
+    #[test]
+    fn suspicion_due_time_matches_the_tick_by_tick_fence() {
+        let broker = Broker::new();
+        let mut cp = ControlPlane::new(&broker, RecoveryConfig::detection_only(), hosts());
+        let topic = heartbeat_topic("mc-node-01");
+        for s in (0..60).step_by(5) {
+            broker.publish(&topic, Payload::new(1.0, SimTime::from_secs(s)));
+        }
+        assert!(cp.tick(SimTime::from_secs(60), &cool()).is_empty());
+        assert!(cp.is_quiescent(&cool()));
+        // Predict the fence tick, then replay tick-by-tick and compare.
+        let step = SimDuration::from_secs(1);
+        let from = SimTime::from_secs(61);
+        let due = cp
+            .next_suspicion_due(0, from, SimTime::from_secs(400), step)
+            .expect("silence must cross the threshold");
+        let mut t = from;
+        let fenced_at = loop {
+            let actions = cp.tick(t, &cool());
+            if actions
+                .iter()
+                .any(|a| matches!(a, ControlAction::FenceSuspect { node: 0, .. }))
+            {
+                break t;
+            }
+            t += step;
+            assert!(t <= SimTime::from_secs(400), "never fenced");
+        };
+        assert_eq!(due, fenced_at);
+        // A fence is a standing obligation: no longer quiescent, and the
+        // fenced node no longer has a suspicion due-time.
+        assert!(!cp.is_quiescent(&cool()));
+        assert_eq!(
+            cp.next_suspicion_due(0, t, SimTime::from_secs(800), step),
+            None
+        );
+    }
+
+    #[test]
+    fn watchdog_state_blocks_quiescence() {
+        let broker = Broker::new();
+        let config = RecoveryConfig {
+            thermal_watchdog: Some(ThermalWatchdog::fu740_default()),
+            ..RecoveryConfig::detection_only()
+        };
+        let mut cp = ControlPlane::new(&broker, config, hosts());
+        assert!(cp.is_quiescent(&cool()));
+        // Hot air alone breaks quiescence before any action is taken.
+        let hot = vec![Celsius::new(96.0), Celsius::new(50.0)];
+        assert!(!cp.is_quiescent(&hot));
+        // An outstanding throttle keeps the plane busy even once cool.
+        cp.tick(SimTime::from_secs(10), &hot);
+        assert!(!cp.is_quiescent(&cool()));
+        cp.tick(SimTime::from_secs(20), &cool()); // RelaxCool drains it
+        assert!(cp.is_quiescent(&cool()));
     }
 
     #[test]

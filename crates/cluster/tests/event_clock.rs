@@ -1,0 +1,311 @@
+//! The event-driven clock's bit-identity contract (DESIGN.md §13): an
+//! [`ClockMode::EventDriven`] run must be byte-equal to the fixed-dt run
+//! at the same `dt` — telemetry store, event log, accounting, final
+//! clock, thermal state — serially and threaded, with and without
+//! faults, recovery and checkpointing.
+
+use proptest::prelude::*;
+
+use cimone_cluster::engine::{
+    ClockMode, ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine,
+};
+use cimone_cluster::faults::{FaultKind, FaultPlan};
+use cimone_cluster::healing::RecoveryConfig;
+use cimone_cluster::thermal::AirflowConfig;
+use cimone_soc::units::{SimDuration, SimTime};
+use cimone_soc::workload::Workload;
+
+fn synthetic(nodes: usize, secs: u64) -> JobRequest {
+    JobRequest {
+        name: "event-clock".into(),
+        user: "ci".into(),
+        nodes,
+        workload: ClusterWorkload::Synthetic {
+            workload: Workload::Hpl,
+            secs,
+        },
+    }
+}
+
+/// Asserts every observable output of the two engines is identical.
+fn assert_bit_identical(fixed: &SimEngine, event: &SimEngine, label: &str) {
+    assert_eq!(fixed.now(), event.now(), "{label}: final clock diverged");
+    assert_eq!(
+        fixed.events(),
+        event.events(),
+        "{label}: event log diverged"
+    );
+    assert!(
+        fixed.store() == event.store(),
+        "{label}: telemetry stores diverged ({} vs {} points)",
+        fixed.store().point_count(),
+        event.store().point_count(),
+    );
+    assert_eq!(
+        fixed.accounting(),
+        event.accounting(),
+        "{label}: accounting diverged"
+    );
+    assert!(
+        fixed.thermal() == event.thermal(),
+        "{label}: thermal state diverged"
+    );
+    assert_eq!(
+        fixed.total_downtime(),
+        event.total_downtime(),
+        "{label}: downtime diverged"
+    );
+    assert_eq!(
+        fixed.checkpoints_written(),
+        event.checkpoints_written(),
+        "{label}: checkpoint count diverged"
+    );
+    assert_eq!(
+        fixed.checkpoint_store(),
+        event.checkpoint_store(),
+        "{label}: checkpoint store diverged"
+    );
+    for i in 0..8 {
+        assert_eq!(
+            fixed.node_cpufreq(i).current_index(),
+            event.node_cpufreq(i).current_index(),
+            "{label}: node {i} DVFS state diverged"
+        );
+    }
+}
+
+/// A sparse availability-style run: one short job, a crash/recover pair,
+/// then hours of idle. The event clock must skip the idle span without
+/// changing a single observable byte.
+#[test]
+fn sparse_idle_sweep_is_bit_identical_and_actually_skips() {
+    let run = |clock: ClockMode| {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(2),
+            clock,
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(
+            FaultPlan::new()
+                .with(SimTime::from_secs(1800), FaultKind::NodeCrash { node: 3 })
+                .with(SimTime::from_secs(2400), FaultKind::NodeRecover { node: 3 }),
+        );
+        engine.submit(synthetic(8, 60)).unwrap();
+        engine.run_for(SimDuration::from_secs(4 * 3600));
+        engine
+    };
+    let fixed = run(ClockMode::FixedDt);
+    let event = run(ClockMode::EventDriven);
+    assert_bit_identical(&fixed, &event, "sparse sweep");
+    assert_eq!(fixed.ticks_skipped(), 0);
+    assert!(
+        event.ticks_skipped() > 1000,
+        "the idle span must fast-forward, skipped only {}",
+        event.ticks_skipped()
+    );
+    assert!(
+        event.ticks_stepped() < fixed.ticks_stepped() / 10,
+        "event mode stepped {} of fixed's {}",
+        event.ticks_stepped(),
+        fixed.ticks_stepped()
+    );
+}
+
+/// With monitoring on every tick publishes telemetry, so the event clock
+/// must not skip anything — and must still match exactly.
+#[test]
+fn dense_monitored_run_never_skips_and_matches() {
+    let run = |clock: ClockMode| {
+        let mut engine = SimEngine::new(EngineConfig {
+            clock,
+            ..EngineConfig::default()
+        });
+        engine.submit(synthetic(4, 30)).unwrap();
+        engine.run_for(SimDuration::from_secs(120));
+        engine
+    };
+    let fixed = run(ClockMode::FixedDt);
+    let event = run(ClockMode::EventDriven);
+    assert_bit_identical(&fixed, &event, "dense run");
+    assert_eq!(
+        event.ticks_skipped(),
+        0,
+        "monitored ticks are not skippable"
+    );
+    assert_eq!(event.ticks_stepped(), fixed.ticks_stepped());
+}
+
+/// `run_until_idle` must exit at the identical tick in both modes, with
+/// backoff releases woken exactly.
+#[test]
+fn run_until_idle_exits_at_the_same_tick() {
+    let run = |clock: ClockMode| {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            clock,
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(
+            FaultPlan::new()
+                .with(SimTime::from_secs(10), FaultKind::NodeCrash { node: 0 })
+                .with(SimTime::from_secs(90), FaultKind::NodeRecover { node: 0 }),
+        );
+        engine.submit(synthetic(8, 40)).unwrap();
+        let drained = engine.run_until_idle(SimDuration::from_secs(3600));
+        (drained, engine)
+    };
+    let (drained_fixed, fixed) = run(ClockMode::FixedDt);
+    let (drained_event, event) = run(ClockMode::EventDriven);
+    assert_eq!(drained_fixed, drained_event);
+    assert!(drained_fixed, "the requeued job must finish");
+    assert_bit_identical(&fixed, &event, "until-idle");
+}
+
+/// The full recovery stack — heartbeats, phi detection, fencing,
+/// checkpoint/restart — under a crash, in both clock modes. This is the
+/// PR 2 resilience law carried over to the event clock: the checkpoint
+/// round-trip must preserve committed progress exactly.
+#[test]
+fn recovery_with_checkpoints_is_bit_identical() {
+    let run = |clock: ClockMode| {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            recovery: Some(RecoveryConfig::with_checkpoints(SimDuration::from_secs(30))),
+            clock,
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(
+            FaultPlan::new()
+                .with(SimTime::from_secs(75), FaultKind::NodeCrash { node: 1 })
+                .with(SimTime::from_secs(200), FaultKind::NodeRecover { node: 1 }),
+        );
+        engine.submit(synthetic(2, 300)).unwrap();
+        let drained = engine.run_until_idle(SimDuration::from_secs(4 * 3600));
+        (drained, engine)
+    };
+    let (drained_fixed, fixed) = run(ClockMode::FixedDt);
+    let (drained_event, event) = run(ClockMode::EventDriven);
+    assert_eq!(drained_fixed, drained_event);
+    assert_bit_identical(&fixed, &event, "recovery + checkpoints");
+    assert!(
+        fixed.checkpoints_written() > 0,
+        "the scenario must exercise checkpointing"
+    );
+    assert!(
+        fixed
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::JobResumed { .. })),
+        "the crash must force a checkpoint resume"
+    );
+    assert_eq!(
+        fixed.wasted_node_seconds(),
+        event.wasted_node_seconds(),
+        "wasted-work accounting diverged"
+    );
+    assert_eq!(fixed.suspicion_count(), event.suspicion_count());
+    assert_eq!(fixed.fence_count(), event.fence_count());
+}
+
+/// Worst-case airflow plus the DVFS governor: the fast-forward microstep
+/// must replicate governor step-downs at the exact tick a threshold is
+/// crossed, even while idle (lid-on node 7 idles hot).
+#[test]
+fn governor_thresholds_fire_at_identical_ticks_under_fast_forward() {
+    let run = |clock: ClockMode| {
+        let mut engine = SimEngine::new(EngineConfig {
+            airflow: AirflowConfig::LidOnTightStack,
+            monitoring: false,
+            dt: SimDuration::from_secs(2),
+            governor: Some(cimone_cluster::dpm::ThermalGovernor::fu740_default()),
+            clock,
+            ..EngineConfig::default()
+        });
+        engine.submit(synthetic(8, 600)).unwrap();
+        engine.run_for(SimDuration::from_secs(3600));
+        engine
+    };
+    let fixed = run(ClockMode::FixedDt);
+    let event = run(ClockMode::EventDriven);
+    assert_bit_identical(&fixed, &event, "governor under fast-forward");
+}
+
+/// Threaded event-driven runs match the serial fixed-dt reference: the
+/// clock mode and the worker pool compose without breaking determinism.
+#[test]
+fn threaded_event_runs_match_serial_fixed_runs() {
+    let run = |clock: ClockMode, threads: usize| {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            threads,
+            parallel_grain: 1, // force the pool despite only 8 nodes
+            clock,
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(
+            FaultPlan::new().with(SimTime::from_secs(40), FaultKind::NodeCrash { node: 2 }),
+        );
+        engine.submit(synthetic(4, 50)).unwrap();
+        engine.run_for(SimDuration::from_secs(1800));
+        engine
+    };
+    let reference = run(ClockMode::FixedDt, 1);
+    for threads in 1..=4 {
+        let event = run(ClockMode::EventDriven, threads);
+        assert_bit_identical(
+            &reference,
+            &event,
+            &format!("event clock at {threads} threads"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random seeds, random crash plans, random dt: the two clock modes
+    /// never diverge in any observable output.
+    #[test]
+    fn event_and_fixed_clocks_agree_for_any_seed(
+        seed in prop::sample::select(vec![7u64, 99, 2022, 31337]),
+        fault_seed in 0u64..64,
+        dt_secs in prop::sample::select(vec![1u64, 2]),
+        recovery in any::<bool>(),
+    ) {
+        let plan = FaultPlan::random_crashes(
+            fault_seed,
+            8,
+            SimDuration::from_secs(1800),
+            4.0,
+            SimDuration::from_secs(90),
+        );
+        let run = |clock: ClockMode| {
+            let mut engine = SimEngine::new(EngineConfig {
+                monitoring: false,
+                dt: SimDuration::from_secs(dt_secs),
+                seed,
+                recovery: recovery
+                    .then(|| RecoveryConfig::with_checkpoints(SimDuration::from_secs(60))),
+                clock,
+                ..EngineConfig::default()
+            })
+            .with_fault_plan(plan.clone());
+            engine.submit(synthetic(4, 120)).unwrap();
+            engine.submit(synthetic(2, 90)).unwrap();
+            engine.run_for(SimDuration::from_secs(3600));
+            engine
+        };
+        let fixed = run(ClockMode::FixedDt);
+        let event = run(ClockMode::EventDriven);
+        prop_assert_eq!(fixed.now(), event.now());
+        prop_assert_eq!(fixed.events(), event.events());
+        prop_assert!(fixed.store() == event.store());
+        prop_assert_eq!(fixed.accounting(), event.accounting());
+        prop_assert!(fixed.thermal() == event.thermal());
+        prop_assert_eq!(fixed.total_downtime(), event.total_downtime());
+    }
+}

@@ -195,10 +195,20 @@ impl StreamRun {
     }
 
     /// Executes one kernel once across all threads; returns elapsed seconds.
+    ///
+    /// Min-work threshold: when the arrays are too small to amortise the
+    /// fan-out/join overhead ([`PARALLEL_GRAIN_ELEMENTS`] per worker) the
+    /// kernel runs inline on the caller's thread — the elementwise maths
+    /// is identical either way, only the wall clock changes.
     pub fn run_kernel(&mut self, kernel: StreamKernel) -> f64 {
         let threads = self.config.threads;
         let scalar = self.config.scalar;
-        let chunk = self.a.len().div_ceil(threads);
+        let len = self.a.len();
+        let chunk = if len < threads * PARALLEL_GRAIN_ELEMENTS {
+            len // one chunk ⇒ par_map runs it inline, skipping the pool
+        } else {
+            len.div_ceil(threads)
+        };
         let pool = &self.pool;
         let start = Instant::now();
         match kernel {
@@ -333,8 +343,18 @@ impl fmt::Display for StreamValidationError {
 
 impl std::error::Error for StreamValidationError {}
 
+/// Minimum elements each worker must receive before a kernel fans out to
+/// the pool. Below this the fan-out/join handshake costs more than the
+/// memory traffic it parallelises (a 64 Ki-element chunk is ~512 KiB —
+/// roughly one worker's share of L2 — and streams in well under the
+/// ~10 µs a scope round-trip costs), so smaller runs stay on the caller's
+/// thread. The arithmetic is elementwise either way, so results are
+/// bit-identical.
+const PARALLEL_GRAIN_ELEMENTS: usize = 64 * 1024;
+
 /// Applies `f` to corresponding chunks of one mutable and one shared slice
-/// across the pool's workers.
+/// across the pool's workers. A single chunk (`dst.len() <= chunk`) runs
+/// inline on the caller's thread, skipping the pool entirely.
 fn par_map2(
     pool: &WorkerPool,
     dst: &mut [f64],
@@ -342,6 +362,10 @@ fn par_map2(
     chunk: usize,
     f: impl Fn(&mut [f64], &[f64]) + Send + Sync,
 ) {
+    if dst.len() <= chunk {
+        f(dst, src);
+        return;
+    }
     let f = &f;
     pool.scope(|scope| {
         for (d, s) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
@@ -351,7 +375,8 @@ fn par_map2(
 }
 
 /// Applies `f` to corresponding chunks of one mutable and two shared slices
-/// across the pool's workers.
+/// across the pool's workers. A single chunk (`dst.len() <= chunk`) runs
+/// inline on the caller's thread, skipping the pool entirely.
 fn par_map3(
     pool: &WorkerPool,
     dst: &mut [f64],
@@ -360,6 +385,10 @@ fn par_map3(
     chunk: usize,
     f: impl Fn(&mut [f64], &[f64], &[f64]) + Send + Sync,
 ) {
+    if dst.len() <= chunk {
+        f(dst, s1, s2);
+        return;
+    }
     let f = &f;
     pool.scope(|scope| {
         for ((d, a), b) in dst
@@ -417,10 +446,42 @@ mod tests {
 
     #[test]
     fn uneven_chunking_covers_all_elements() {
-        // 1001 elements over 4 threads exercises the remainder chunk.
-        let mut run = StreamRun::new(StreamConfig::new(1001, 4));
-        run.run_kernel(StreamKernel::Copy);
-        assert!(run.c.iter().all(|&v| v == 1.0));
+        // 1001 elements with a chunk of 250 exercises the pool path and
+        // the remainder chunk (run_kernel itself would run this size
+        // inline under the min-work threshold).
+        let pool = WorkerPool::new(4);
+        let src = vec![2.0; 1001];
+        let mut dst = vec![0.0; 1001];
+        par_map2(&pool, &mut dst, &src, 250, |d, s| {
+            for (x, y) in d.iter_mut().zip(s) {
+                *x = *y;
+            }
+        });
+        assert!(dst.iter().all(|&v| v == 2.0));
+        let mut tri = vec![0.0; 1001];
+        par_map3(&pool, &mut tri, &src, &dst, 250, |d, a, b| {
+            for ((x, y), z) in d.iter_mut().zip(a).zip(b) {
+                *x = y + 3.0 * z;
+            }
+        });
+        assert!(tri.iter().all(|&v| v == 8.0));
+    }
+
+    #[test]
+    fn small_runs_stay_inline_and_match_pooled_results() {
+        // Below threads * PARALLEL_GRAIN_ELEMENTS the kernels run on the
+        // caller's thread; the values must match the pooled path exactly.
+        let elements = 1001;
+        assert!(elements < 4 * PARALLEL_GRAIN_ELEMENTS);
+        let mut small = StreamRun::new(StreamConfig::new(elements, 4));
+        let mut serial = StreamRun::new(StreamConfig::new(elements, 1));
+        for k in StreamKernel::ALL {
+            small.run_kernel(k);
+            serial.run_kernel(k);
+        }
+        assert_eq!(small.a, serial.a);
+        assert_eq!(small.b, serial.b);
+        assert_eq!(small.c, serial.c);
     }
 
     #[test]

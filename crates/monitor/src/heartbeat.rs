@@ -20,7 +20,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use cimone_soc::units::SimTime;
+use cimone_soc::units::{SimDuration, SimTime};
 
 use crate::broker::{Broker, Subscription};
 use crate::topic::TopicFilter;
@@ -173,6 +173,47 @@ impl PhiAccrualDetector {
         }
         (-p_later.log10()).clamp(0.0, PHI_CEILING)
     }
+
+    /// The first grid tick at which phi reaches `threshold`, assuming no
+    /// further arrivals: scans the ticks `from + k·step` for `k ≥ 0` up to
+    /// and including the last one ≤ `to`, and returns the smallest whose
+    /// phi is ≥ `threshold` (`None` if none crosses within the horizon).
+    ///
+    /// With the detector state frozen, `phi` is monotone non-decreasing in
+    /// `now` (longer silence is never less suspicious), so a binary search
+    /// over the grid finds the exact tick a fixed-dt loop would flag —
+    /// this is what lets a due-time clock treat suspicion as an event
+    /// instead of re-evaluating phi every tick.
+    pub fn first_crossing(
+        &self,
+        threshold: f64,
+        from: SimTime,
+        to: SimTime,
+        step: SimDuration,
+    ) -> Option<SimTime> {
+        if step.is_zero() || to < from {
+            return None;
+        }
+        if self.phi(from) >= threshold {
+            return Some(from);
+        }
+        let span = to.saturating_since(from).as_micros();
+        let k_max = span / step.as_micros();
+        if k_max == 0 || self.phi(from + step * k_max) < threshold {
+            return None;
+        }
+        // Invariant: phi(from + step·lo) < threshold ≤ phi(from + step·hi).
+        let (mut lo, mut hi) = (0u64, k_max);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.phi(from + step * mid) >= threshold {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(from + step * hi)
+    }
 }
 
 impl Default for PhiAccrualDetector {
@@ -289,6 +330,22 @@ impl HeartbeatMonitor {
     pub fn detector(&self, node: &str) -> Option<&PhiAccrualDetector> {
         self.detectors.get(node)
     }
+
+    /// The first grid tick in `[from, to]` (stepping by `step`) at which
+    /// `node` would cross the suspicion threshold, assuming no further
+    /// heartbeats arrive; `None` for unknown nodes or when the crossing
+    /// lies beyond `to`. See [`PhiAccrualDetector::first_crossing`].
+    pub fn next_suspicion_due(
+        &self,
+        node: &str,
+        from: SimTime,
+        to: SimTime,
+        step: SimDuration,
+    ) -> Option<SimTime> {
+        self.detectors
+            .get(node)
+            .and_then(|d| d.first_crossing(self.threshold, from, to, step))
+    }
 }
 
 /// Extracts the node name from an ExaMon topic: the segment after `node`,
@@ -359,6 +416,41 @@ mod tests {
             prev = phi;
         }
         assert!(prev <= PHI_CEILING);
+    }
+
+    #[test]
+    fn first_crossing_matches_the_tick_by_tick_scan() {
+        let step = cimone_soc::units::SimDuration::from_millis(500);
+        for period in [3u64, 5, 8] {
+            let mut det = PhiAccrualDetector::default();
+            steady(&mut det, 12, period);
+            let from = SimTime::from_secs(11 * period);
+            let to = from + cimone_soc::units::SimDuration::from_secs(20 * period);
+            // Reference: walk every grid tick like the fixed-dt loop does.
+            let mut expected = None;
+            let mut t = from;
+            while t <= to {
+                if det.phi(t) >= DEFAULT_PHI_THRESHOLD {
+                    expected = Some(t);
+                    break;
+                }
+                t += step;
+            }
+            assert_eq!(
+                det.first_crossing(DEFAULT_PHI_THRESHOLD, from, to, step),
+                expected,
+                "period {period}s"
+            );
+        }
+        // A horizon that ends before the crossing reports none.
+        let mut det = PhiAccrualDetector::default();
+        steady(&mut det, 12, 5);
+        let from = SimTime::from_secs(55);
+        let near = from + cimone_soc::units::SimDuration::from_secs(2);
+        assert_eq!(
+            det.first_crossing(DEFAULT_PHI_THRESHOLD, from, near, step),
+            None
+        );
     }
 
     #[test]

@@ -110,7 +110,17 @@ pub trait Plugin {
     fn period(&self) -> SimDuration;
 
     /// Produces the messages for one sample.
-    fn sample(&mut self, snapshot: &NodeSnapshot) -> Vec<(Topic, Payload)>;
+    fn sample(&mut self, snapshot: &NodeSnapshot) -> Vec<(Topic, Payload)> {
+        let mut out = Vec::new();
+        self.sample_into(snapshot, &mut out);
+        out
+    }
+
+    /// Appends the messages for one sample to `out` without allocating a
+    /// fresh vector — the hot-loop entry point. `out` keeps its capacity
+    /// across ticks, so after warm-up a sample costs zero allocations
+    /// (topic strings aside).
+    fn sample_into(&mut self, snapshot: &NodeSnapshot, out: &mut Vec<(Topic, Payload)>);
 }
 
 /// The `pmu_pub` plugin: per-core CYCLE/INSTRET (and any programmed HPM
@@ -136,8 +146,7 @@ impl Plugin for PmuPlugin {
         SimDuration::from_millis(500) // 2 Hz
     }
 
-    fn sample(&mut self, snapshot: &NodeSnapshot) -> Vec<(Topic, Payload)> {
-        let mut out = Vec::new();
+    fn sample_into(&mut self, snapshot: &NodeSnapshot, out: &mut Vec<(Topic, Payload)>) {
         for (core_id, counters) in snapshot.cores.iter().enumerate() {
             let mut push = |metric: &str, value: f64| {
                 out.push((
@@ -151,7 +160,6 @@ impl Plugin for PmuPlugin {
                 push(event, *value as f64);
             }
         }
-        out
     }
 }
 
@@ -244,16 +252,14 @@ impl Plugin for StatsPlugin {
         SimDuration::from_secs(5) // 0.2 Hz
     }
 
-    fn sample(&mut self, snapshot: &NodeSnapshot) -> Vec<(Topic, Payload)> {
-        STATS_METRICS
-            .iter()
-            .map(|metric| {
-                (
-                    self.schema.stats_topic(&snapshot.hostname, metric),
-                    Payload::new(Self::metric_value(snapshot, metric), snapshot.time),
-                )
-            })
-            .collect()
+    fn sample_into(&mut self, snapshot: &NodeSnapshot, out: &mut Vec<(Topic, Payload)>) {
+        out.reserve(STATS_METRICS.len());
+        for metric in STATS_METRICS {
+            out.push((
+                self.schema.stats_topic(&snapshot.hostname, metric),
+                Payload::new(Self::metric_value(snapshot, metric), snapshot.time),
+            ));
+        }
     }
 }
 
@@ -279,6 +285,12 @@ impl<P: Plugin> PluginRunner<P> {
         &self.plugin
     }
 
+    /// The next time this runner will produce messages. Due-time clocks
+    /// use this instead of polling `due_messages` every tick.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
     /// Samples if the period has elapsed, returning the messages without
     /// publishing them; `None` when not due. Splitting compute from
     /// publish lets the engine gather every node's messages first and
@@ -289,11 +301,26 @@ impl<P: Plugin> PluginRunner<P> {
         now: SimTime,
         snapshot: &NodeSnapshot,
     ) -> Option<Vec<(Topic, Payload)>> {
+        let mut out = Vec::new();
+        self.due_messages_into(now, snapshot, &mut out)
+            .then_some(out)
+    }
+
+    /// Allocation-free variant of [`PluginRunner::due_messages`]: appends
+    /// this tick's messages to `out` (a scratch buffer the caller reuses
+    /// across ticks) and returns whether the plugin was due.
+    pub fn due_messages_into(
+        &mut self,
+        now: SimTime,
+        snapshot: &NodeSnapshot,
+        out: &mut Vec<(Topic, Payload)>,
+    ) -> bool {
         if now < self.next_due {
-            return None;
+            return false;
         }
         self.next_due = now + self.plugin.period();
-        Some(self.plugin.sample(snapshot))
+        self.plugin.sample_into(snapshot, out);
+        true
     }
 
     /// Samples and publishes if the period has elapsed; returns the number

@@ -154,6 +154,46 @@ impl Scheduler {
         &self.running
     }
 
+    /// Whether a [`Scheduler::schedule`] call at `now` *might* start a
+    /// job. `false` is a proof, not a heuristic: every pending job is
+    /// either held in backoff or larger than the idle pool, so the FIFO
+    /// phase starts nothing, and with no runnable candidate the backfill
+    /// pass cannot either (with nothing running the head's shadow start
+    /// *is* `now`, so `ends_before_shadow` never holds and `extra_nodes`
+    /// only admits jobs that already fit the idle pool). `true` may still
+    /// start nothing — e.g. an eligible narrow job queued behind a
+    /// blocked head that consumed the extra-node budget. A due-time clock
+    /// therefore skips `schedule` only on ticks where this is `false`.
+    pub fn would_start_any(&self, now: SimTime) -> bool {
+        self.queue.iter().any(|id| {
+            let job = &self.jobs[id];
+            job.is_eligible(now) && job.spec().nodes <= self.partition.idle_count()
+        })
+    }
+
+    /// The earliest future instant at which the scheduler's decisions can
+    /// change of their own accord: the next backoff release among pending
+    /// jobs and the next estimated completion among running jobs. External
+    /// inputs (job submission, node failure/repair, fencing) reset it.
+    pub fn next_due(&self, now: SimTime) -> Option<SimTime> {
+        let backoff = self
+            .queue
+            .iter()
+            .filter_map(|id| self.jobs[id].eligible_at())
+            .filter(|&t| t > now)
+            .min();
+        let completion = self
+            .running
+            .iter()
+            .filter_map(|id| self.jobs[id].estimated_end())
+            .filter(|&t| t > now)
+            .min();
+        match (backoff, completion) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Submits a job.
     ///
     /// # Errors
@@ -493,6 +533,46 @@ mod tests {
 
     fn spec(nodes: usize, secs: u64) -> JobSpec {
         JobSpec::new("job", "user", nodes, SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn would_start_any_false_really_means_schedule_is_a_noop() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        // One node down: an 8-node job can never fit the 7 idle nodes.
+        s.fail_node("mc-node-01", SimTime::ZERO);
+        let a = s.submit(spec(8, 100), SimTime::ZERO).unwrap();
+        assert!(!s.would_start_any(SimTime::from_secs(10)));
+        assert!(s.schedule(SimTime::from_secs(10)).is_empty());
+        // Repair flips the answer, and next_due stays quiet (no backoff).
+        s.resume_node("mc-node-01");
+        assert_eq!(s.next_due(SimTime::from_secs(10)), None);
+        assert!(s.would_start_any(SimTime::from_secs(10)));
+        assert_eq!(s.schedule(SimTime::from_secs(10)), vec![a]);
+        // A running job surfaces its estimated completion as a due time.
+        let end = s.job(a).unwrap().estimated_end().unwrap();
+        assert_eq!(s.next_due(SimTime::from_secs(10)), Some(end));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn backoff_release_is_the_next_due_time() {
+        let mut s = Scheduler::new(Partition::monte_cimone());
+        let a = s.submit(spec(4, 100), SimTime::ZERO).unwrap();
+        let started = s.schedule(SimTime::ZERO);
+        assert_eq!(started, vec![a]);
+        // Crash the job's first node: it requeues with a backoff.
+        let node = s.job(a).unwrap().allocated_nodes()[0].clone();
+        s.fail_node(&node, SimTime::from_secs(5));
+        let release = s
+            .job(a)
+            .unwrap()
+            .eligible_at()
+            .expect("requeued jobs back off");
+        assert!(release > SimTime::from_secs(5));
+        assert_eq!(s.next_due(SimTime::from_secs(5)), Some(release));
+        // Held in backoff: schedule provably starts nothing until release.
+        assert!(!s.would_start_any(release - SimDuration::from_secs(1)));
+        assert!(s.would_start_any(release));
     }
 
     #[test]

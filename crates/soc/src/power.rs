@@ -249,10 +249,47 @@ impl PowerModel {
         rng: &mut R,
     ) -> Power {
         let m = self.rail(rail);
-        let mean = self.leakage_at(rail, t) * scale.leakage
-            + m.dynamic_full * (m.activity(workload) * scale.dynamic);
+        let mean = self.mean_scaled(rail, workload, t, scale);
         let mut noise = GaussianNoise::new(m.noise_sigma_mw);
         (mean + Power::from_milliwatts(noise.sample(rng))).clamp_non_negative()
+    }
+
+    /// Noise-free mean power of `rail` at temperature `t` with DVFS
+    /// scaling — the deterministic physical power that `sample_scaled`
+    /// dresses with sensor noise. The simulation engine feeds this into
+    /// the thermal and energy integrators so that sensor noise stays a
+    /// measurement artefact (noise on an ammeter does not heat a chip),
+    /// and so that idle spans consume no RNG draws and can be
+    /// fast-forwarded bit-identically.
+    pub fn mean_scaled(
+        &self,
+        rail: Rail,
+        workload: Workload,
+        t: Celsius,
+        scale: crate::cpufreq::DvfsScale,
+    ) -> Power {
+        let m = self.rail(rail);
+        self.leakage_at(rail, t) * scale.leakage
+            + m.dynamic_full * (m.activity(workload) * scale.dynamic)
+    }
+
+    /// Noise-free full-board mean at temperature `t` with DVFS scaling on
+    /// the core rail — the deterministic counterpart of
+    /// [`PowerModel::sample_all_dvfs`].
+    pub fn mean_all_dvfs(
+        &self,
+        workload: Workload,
+        t: Celsius,
+        core_scale: crate::cpufreq::DvfsScale,
+    ) -> RailPowers {
+        RailPowers::from_fn(|rail| {
+            let scale = if rail == Rail::Core {
+                core_scale
+            } else {
+                crate::cpufreq::DvfsScale::default()
+            };
+            self.mean_scaled(rail, workload, t, scale)
+        })
     }
 
     /// Draws one noisy full-board sample.
@@ -435,6 +472,59 @@ mod tests {
             // The paper's printed Total row disagrees with the sum of its
             // own rounded rows by up to 1 mW (HPL, STREAM columns).
             assert!((total - exp).abs() <= 1.0, "{w}: total {total} vs {exp}");
+        }
+    }
+
+    #[test]
+    fn mean_scaled_is_the_noise_free_centre_of_sample_scaled() {
+        // At the leakage calibration temperature and nominal DVFS, the
+        // mean collapses to the Table VI figure; and averaging many noisy
+        // samples converges on the mean at any temperature.
+        let model = PowerModel::u740();
+        let scale = crate::cpufreq::DvfsScale::default();
+        for rail in Rail::ALL {
+            for workload in Workload::ALL {
+                let at_ref = model
+                    .mean_scaled(rail, workload, Celsius::new(36.5), scale)
+                    .as_milliwatts();
+                let table = model.mean_power(rail, workload).as_milliwatts();
+                assert!((at_ref - table).abs() < 1e-9, "{rail}/{workload}");
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Celsius::new(58.0);
+        let mean = model.mean_scaled(Rail::Core, Workload::Hpl, t, scale);
+        let avg: f64 = (0..20_000)
+            .map(|_| {
+                model
+                    .sample_scaled(Rail::Core, Workload::Hpl, t, scale, &mut rng)
+                    .as_milliwatts()
+            })
+            .sum::<f64>()
+            / 20_000.0;
+        assert!(
+            (avg - mean.as_milliwatts()).abs() < 1.0,
+            "avg {avg} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn mean_all_dvfs_scales_only_the_core_rail() {
+        let model = PowerModel::u740();
+        let half = crate::cpufreq::DvfsScale {
+            dynamic: 0.5,
+            leakage: 0.8,
+        };
+        let t = Celsius::new(40.0);
+        let scaled = model.mean_all_dvfs(Workload::Hpl, t, half);
+        let nominal = model.mean_all_dvfs(Workload::Hpl, t, crate::cpufreq::DvfsScale::default());
+        assert!(scaled[Rail::Core] < nominal[Rail::Core]);
+        for rail in Rail::ALL.into_iter().filter(|&r| r != Rail::Core) {
+            assert_eq!(
+                scaled[rail].as_milliwatts(),
+                nominal[rail].as_milliwatts(),
+                "{rail} is outside the core DVFS domain"
+            );
         }
     }
 
