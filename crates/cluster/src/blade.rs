@@ -29,6 +29,15 @@ impl BladeDimensions {
     }
 }
 
+/// The provisioned compute budget of one blade's power rail, watts.
+///
+/// Two boards at the paper's 5.935 W HPL wall power, rounded up to the
+/// rail's provisioning margin. A [`crate::faults::FaultKind::RailBrownout`]
+/// budget is expressed as a fraction of this figure; the 250 W PSUs are
+/// vastly over-provisioned for the boards, so the *rail* budget — what a
+/// browned-out feed can actually deliver — is the binding constraint.
+pub const RAIL_RATED_WATTS: f64 = 12.0;
+
 /// One dual-node blade.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Blade {
@@ -109,6 +118,13 @@ impl MachineLayout {
     pub fn is_centre_node(&self, node_index: usize) -> bool {
         self.blade_of(node_index).is_centre_of(self.blades.len())
     }
+
+    /// The blade sitting in `blade`'s airflow shadow — directly above it
+    /// in the stack, where the dead fan's un-moved hot air pools (hot air
+    /// rises). `None` for the top blade.
+    pub fn airflow_shadow_of(&self, blade: usize) -> Option<usize> {
+        (blade + 1 < self.blades.len()).then_some(blade + 1)
+    }
 }
 
 impl Default for MachineLayout {
@@ -148,6 +164,21 @@ mod tests {
         assert!((d.height_mm - 44.4).abs() < 1e-9);
         assert!((d.width_mm - 425.0).abs() < 1e-9);
         assert!((d.depth_mm - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn airflow_shadow_is_the_blade_above() {
+        let layout = MachineLayout::monte_cimone();
+        assert_eq!(layout.airflow_shadow_of(0), Some(1));
+        assert_eq!(layout.airflow_shadow_of(2), Some(3));
+        assert_eq!(layout.airflow_shadow_of(3), None, "top blade has none");
+    }
+
+    #[test]
+    fn rail_rating_covers_two_boards_at_hpl() {
+        // Two boards at the paper's 5.935 W HPL wall power must fit under
+        // an un-degraded rail.
+        assert!(RAIL_RATED_WATTS >= 2.0 * core::hint::black_box(5.935));
     }
 
     #[test]

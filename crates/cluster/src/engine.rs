@@ -27,13 +27,16 @@ use cimone_soc::workload::Workload;
 
 use cimone_kernels::pool::{default_threads, WorkerPool};
 
+use crate::blade::MachineLayout;
 use crate::checkpoint::{CheckpointPosition, CheckpointSchedule, CheckpointStore, JobCheckpoint};
 use crate::dpm::{GovernorAction, ThermalGovernor};
-use crate::faults::{FaultKind, FaultPlan, FaultQueue};
-use crate::healing::{ControlAction, ControlPlane, RecoveryConfig};
+use crate::faults::{FaultKind, FaultPlan, FaultPlanError, FaultQueue};
+use crate::healing::{
+    CapAction, ControlAction, ControlPlane, PowerCapConfig, PowerCapGovernor, RecoveryConfig,
+};
 use crate::node::{ComputeNode, NodeConditions};
 use crate::perf::{HplModel, HplProblem, LaxModel};
-use crate::thermal::{AirflowConfig, ThermalModel};
+use crate::thermal::{AirflowConfig, AirflowDegradation, ThermalModel};
 
 /// What a job runs on its allocated nodes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,6 +130,12 @@ pub struct EngineConfig {
     pub parallel_grain: usize,
     /// Clock advancement strategy; see [`ClockMode`].
     pub clock: ClockMode,
+    /// Blade power-rail cap governor. `Some` (the default) arms graceful
+    /// degradation: a [`FaultKind::RailBrownout`] is met by capping the
+    /// blade's DVFS operating points under the reduced budget instead of
+    /// letting its boards crash. `None` reproduces the crash-only
+    /// machine — a brownout takes both boards down for its span.
+    pub power_cap: Option<PowerCapConfig>,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +150,7 @@ impl Default for EngineConfig {
             threads: 1,
             parallel_grain: 8,
             clock: ClockMode::FixedDt,
+            power_cap: Some(PowerCapConfig::rv007_default()),
         }
     }
 }
@@ -249,6 +259,41 @@ pub enum EngineEvent {
         /// When.
         at: SimTime,
     },
+    /// The power-cap governor set (or moved) a blade's DVFS ceiling to fit
+    /// a browned-out rail's budget.
+    BladeCapped {
+        /// Blade index.
+        blade: usize,
+        /// When.
+        at: SimTime,
+        /// Highest admissible OPP index.
+        ceiling: usize,
+    },
+    /// Ramp-back complete: the blade's cap is fully lifted.
+    BladeReleased {
+        /// Blade index.
+        blade: usize,
+        /// When.
+        at: SimTime,
+    },
+    /// A rail budget below even the floor OPP: the blade sheds its load
+    /// (checkpoint-assisted requeue) and drains rather than overdraw.
+    PowerEmergency {
+        /// Blade index.
+        blade: usize,
+        /// When.
+        at: SimTime,
+        /// The budget that could not be met, watts.
+        budget_watts: f64,
+    },
+    /// A browned-out rail returned to its rated budget after an emergency;
+    /// the blade's boards return to service.
+    RailRecovered {
+        /// Blade index.
+        blade: usize,
+        /// When.
+        at: SimTime,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -336,6 +381,22 @@ pub struct SimEngine {
     partitioned: Option<(usize, usize)>,
     partition_until: Option<SimTime>,
     nfs_stall_until: Option<SimTime>,
+    /// Physical blade layout: power rails and the airflow stack.
+    layout: MachineLayout,
+    /// The blade power-cap governor, when configured.
+    power_cap: Option<PowerCapGovernor>,
+    /// Per-blade fan-failure expiry; airflow degradation winds down here.
+    fan_fault_until: Vec<Option<SimTime>>,
+    /// Per-blade brownout expiry in crash-only mode (no cap governor):
+    /// both boards return to service when the rail recovers.
+    brownout_until: Vec<Option<SimTime>>,
+    /// Mean (noise-free) per-blade power of the last executed tick, watts.
+    last_blade_power: Vec<f64>,
+    /// Peak blade power observed while the blade was under an active
+    /// brownout budget (governed or crash-only), watts. The degraded-mode
+    /// acceptance invariant — capped power never exceeds the reduced
+    /// budget — is checked against this.
+    brownout_peak_power: Vec<f64>,
     // Outage bookkeeping for MTTF/MTTR.
     node_down_since: Vec<Option<SimTime>>,
     node_downtime: Vec<SimDuration>,
@@ -402,6 +463,11 @@ impl SimEngine {
             .map(|_| PluginRunner::new(StatsPlugin::new(schema.clone())))
             .collect();
         let n = nodes.len();
+        let layout = MachineLayout::monte_cimone();
+        let blade_count = layout.blades().len();
+        let opp_count = nodes[0].cpufreq().opps().len();
+        let mut scheduler = Scheduler::new(Partition::monte_cimone());
+        scheduler.set_topology(cimone_sched::placement::BladeTopology::monte_cimone());
         let recovery = config.recovery.map(|rc| RecoveryState {
             config: rc,
             control: ControlPlane::new(
@@ -426,7 +492,7 @@ impl SimEngine {
             nodes,
             thermal,
             power,
-            scheduler: Scheduler::new(Partition::monte_cimone()),
+            scheduler,
             running: HashMap::new(),
             workloads: HashMap::new(),
             accounting: AccountingLog::new(),
@@ -450,6 +516,14 @@ impl SimEngine {
             partitioned: None,
             partition_until: None,
             nfs_stall_until: None,
+            layout,
+            power_cap: config
+                .power_cap
+                .map(|pc| PowerCapGovernor::new(pc, blade_count, opp_count)),
+            fan_fault_until: vec![None; blade_count],
+            brownout_until: vec![None; blade_count],
+            last_blade_power: vec![0.0; blade_count],
+            brownout_peak_power: vec![0.0; blade_count],
             node_down_since: vec![None; n],
             node_downtime: vec![SimDuration::ZERO; n],
             failures: 0,
@@ -483,8 +557,27 @@ impl SimEngine {
     }
 
     /// In-place form of [`SimEngine::with_fault_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] against this
+    /// machine — an out-of-range node or blade index, a brownout budget
+    /// fraction outside `(0, 1]`, or overlapping brownouts on one rail.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if let Err(e) = self.try_set_fault_plan(plan) {
+            panic!("invalid fault plan: {e}");
+        }
+    }
+
+    /// Fallible form of [`SimEngine::set_fault_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] in the plan's time order.
+    pub fn try_set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), FaultPlanError> {
+        plan.validate(self.nodes.len(), self.layout.blades().len())?;
         self.faults = FaultQueue::from_plan(plan);
+        Ok(())
     }
 
     /// Replaces the scheduling policy (must be called before any
@@ -499,6 +592,8 @@ impl SimEngine {
             "set the policy before submitting jobs"
         );
         self.scheduler = Scheduler::with_policy(Partition::monte_cimone(), policy);
+        self.scheduler
+            .set_topology(cimone_sched::placement::BladeTopology::monte_cimone());
         self
     }
 
@@ -551,6 +646,53 @@ impl SimEngine {
     /// The DVFS state of one node's core complex.
     pub fn node_cpufreq(&self, node_index: usize) -> &cimone_soc::cpufreq::CpuFreq {
         self.nodes[node_index].cpufreq()
+    }
+
+    /// The physical blade layout the engine simulates.
+    pub fn layout(&self) -> &MachineLayout {
+        &self.layout
+    }
+
+    /// The blade power-cap governor, when configured.
+    pub fn power_cap(&self) -> Option<&PowerCapGovernor> {
+        self.power_cap.as_ref()
+    }
+
+    /// Mean (noise-free) power one blade drew at the last executed tick,
+    /// watts — exactly the quantity the power-cap governor bounds under a
+    /// browned-out rail.
+    pub fn blade_power(&self, blade: usize) -> f64 {
+        self.last_blade_power[blade]
+    }
+
+    /// Peak mean blade power observed at any tick while `blade` was under
+    /// an active brownout budget (0.0 if it never was). With the governor
+    /// on, this never exceeds `budget_frac ×` [`crate::RAIL_RATED_WATTS`].
+    pub fn brownout_peak_power(&self, blade: usize) -> f64 {
+        self.brownout_peak_power[blade]
+    }
+
+    /// Records this tick's per-blade power and, while a blade is under an
+    /// active brownout budget (governed or crash-only), tracks the peak.
+    /// Called with the same mean powers phase 4 and the thermal microstep
+    /// integrate, so the peak is the exact governed quantity.
+    fn record_blade_power(&mut self, node_power: &[Power]) {
+        for blade in 0..self.last_blade_power.len() {
+            let watts: f64 = self.layout.blades()[blade]
+                .node_indices
+                .iter()
+                .map(|&i| node_power[i].as_watts())
+                .sum();
+            self.last_blade_power[blade] = watts;
+            let budgeted = self
+                .power_cap
+                .as_ref()
+                .is_some_and(|gov| gov.active_budget_watts(blade).is_some())
+                || self.brownout_until[blade].is_some();
+            if budgeted && watts > self.brownout_peak_power[blade] {
+                self.brownout_peak_power[blade] = watts;
+            }
+        }
     }
 
     /// Operator-style failure injection: takes a node out of service as a
@@ -797,6 +939,14 @@ impl SimEngine {
         }
         self.refresh_conditions();
 
+        // 3b. Blade power-cap governor: decides each blade's OPP ceiling
+        //     against any browned-out rail *before* the power phase, using
+        //     the same workloads and temperatures phase 4 consumes — so
+        //     the power a capped blade then draws is exactly the power the
+        //     governor predicted, and the ≤-budget invariant holds at
+        //     every tick rather than only in steady state.
+        self.evaluate_power_cap();
+
         // 4. Power and energy. The thermal and energy integrators consume
         //    the noise-free *mean* power (sensor noise is a measurement
         //    artefact, not physics); the noisy sample is drawn only when a
@@ -830,6 +980,7 @@ impl SimEngine {
                 }
             }
         }
+        self.record_blade_power(&node_power);
         if let Some(pool) = &self.pool {
             self.broker.publish_batch(power_messages, pool);
         } else {
@@ -971,6 +1122,94 @@ impl SimEngine {
         changed
     }
 
+    /// Phase 3b: the blade power-cap governor's decision, plus the
+    /// enforcement of whatever ceilings it holds (the thermal watchdog or
+    /// DVFS governor may have stepped a board back up since last tick).
+    fn evaluate_power_cap(&mut self) {
+        let Some(mut gov) = self.power_cap.take() else {
+            return;
+        };
+        let actions = {
+            let nodes = &self.nodes;
+            let thermal = &self.thermal;
+            let power = &self.power;
+            let layout = &self.layout;
+            gov.evaluate(self.now, |blade, opp| {
+                layout.blades()[blade]
+                    .node_indices
+                    .iter()
+                    .map(|&i| {
+                        let workload = nodes[i].effective_power_workload();
+                        let temp = thermal.temperature(i);
+                        let scale = nodes[i].cpufreq().scale_at(opp);
+                        power
+                            .mean_all_dvfs(workload, temp, scale)
+                            .total()
+                            .as_watts()
+                    })
+                    .sum()
+            })
+        };
+        for action in actions {
+            match action {
+                CapAction::SetCeiling { blade, ceiling } => {
+                    // Steer new placements away from the degraded blade
+                    // while it is capped (or still ramping back).
+                    self.scheduler.set_blade_degraded(blade, true);
+                    self.events.push(EngineEvent::BladeCapped {
+                        blade,
+                        at: self.now,
+                        ceiling,
+                    });
+                }
+                CapAction::Emergency {
+                    blade,
+                    budget_watts,
+                } => {
+                    self.scheduler.set_blade_degraded(blade, true);
+                    self.events.push(EngineEvent::PowerEmergency {
+                        blade,
+                        at: self.now,
+                        budget_watts,
+                    });
+                    // Controlled load-shed: evict this blade's jobs through
+                    // the checkpoint-aware requeue path and drain the
+                    // boards. Unlike a crash this is a *decision* — the
+                    // failure detector plays no part, so heartbeats keep
+                    // flowing and nothing is falsely suspected.
+                    for node in self.layout.blades()[blade].node_indices {
+                        self.node_failed(node);
+                    }
+                }
+                CapAction::RailRecovered { blade } => {
+                    self.events.push(EngineEvent::RailRecovered {
+                        blade,
+                        at: self.now,
+                    });
+                    for node in self.layout.blades()[blade].node_indices {
+                        self.node_recovered(node);
+                    }
+                }
+                CapAction::Release { blade } => {
+                    self.scheduler.set_blade_degraded(blade, false);
+                    self.events.push(EngineEvent::BladeReleased {
+                        blade,
+                        at: self.now,
+                    });
+                }
+            }
+        }
+        for (blade, b) in self.layout.blades().iter().enumerate() {
+            let ceiling = gov.ceiling(blade);
+            for &i in &b.node_indices {
+                if self.nodes[i].cpufreq().current_index() > ceiling {
+                    self.nodes[i].cpufreq_mut().set_index(ceiling);
+                }
+            }
+        }
+        self.power_cap = Some(gov);
+    }
+
     /// Runs for a span of simulated time. Under [`ClockMode::EventDriven`]
     /// provably inert spans are fast-forwarded; the final clock is the
     /// same grid tick a fixed-dt run lands on.
@@ -1044,6 +1283,25 @@ impl SimEngine {
         if self.collector_offline_until.is_some_and(|t| self.now >= t) {
             return false;
         }
+        // A non-quiescent power-cap governor (active budget, pending ramp,
+        // emergency, or any ceiling below nominal) decides every tick.
+        if self
+            .power_cap
+            .as_ref()
+            .is_some_and(|gov| !gov.is_quiescent())
+        {
+            return false;
+        }
+        // Fan-failure or crash-only-brownout spans expiring at this tick
+        // mutate state (airflow restoration, board power-on).
+        if self
+            .fan_fault_until
+            .iter()
+            .chain(&self.brownout_until)
+            .any(|u| u.is_some_and(|t| self.now >= t))
+        {
+            return false;
+        }
         // Under a governor the skip is only provable when every node is
         // at nominal (StepUp is a no-op there) and none is hot enough to
         // be stepped down.
@@ -1114,6 +1372,18 @@ impl SimEngine {
         .into_iter()
         .flatten()
         {
+            add(&mut due, t);
+        }
+        for t in self
+            .fan_fault_until
+            .iter()
+            .chain(&self.brownout_until)
+            .copied()
+            .flatten()
+        {
+            add(&mut due, t);
+        }
+        if let Some(t) = self.power_cap.as_ref().and_then(|gov| gov.next_due()) {
             add(&mut due, t);
         }
         if let Some(t) = self.scheduler.next_due(self.now) {
@@ -1210,6 +1480,7 @@ impl SimEngine {
             prev_temps.push(temp);
             node_power.push(self.power.mean_all_dvfs(workload, temp, scale).total());
         }
+        self.record_blade_power(&node_power);
         let tripped = self.thermal.step(&node_power, dt);
         let any_trip = !tripped.is_empty();
         for node_index in tripped {
@@ -1284,10 +1555,23 @@ impl SimEngine {
             .collect();
         let nodes = node_indices.len();
 
+        // Blades the allocation actually spans: scattering beyond the
+        // minimal packing costs extra communication time (phase 3b of a
+        // degraded machine can force this).
+        let blades_spanned = {
+            let mut blades: Vec<usize> = node_indices
+                .iter()
+                .map(|&i| self.layout.blade_of(i).position)
+                .collect();
+            blades.sort_unstable();
+            blades.dedup();
+            blades.len()
+        };
+
         let (duration, comm_fraction, panel_cycle, mem_per_node) = match workload {
             ClusterWorkload::Hpl(problem) => {
                 let model = HplModel::monte_cimone(problem);
-                let sample = model.simulate_run(nodes, &mut self.rng);
+                let sample = model.simulate_run_spanning(nodes, blades_spanned, &mut self.rng);
                 let duration = SimDuration::from_secs_f64(sample.seconds);
                 let cycle = duration / problem.panels().max(1) as u64;
                 let mem = (problem.n * problem.n * 8) as f64 / nodes as f64;
@@ -1446,6 +1730,26 @@ impl SimEngine {
             ));
             self.collector_offline_until = None;
         }
+        for blade in 0..self.layout.blades().len() {
+            if self.fan_fault_until[blade].is_some_and(|t| self.now >= t) {
+                // The fan is repaired: the blade and its shadow regain
+                // their airflow (unless another failure still covers them).
+                self.fan_fault_until[blade] = None;
+                self.refresh_airflow_degradation();
+            }
+            if self.brownout_until[blade].is_some_and(|t| self.now >= t) {
+                // Crash-only brownout over: both boards return.
+                self.brownout_until[blade] = None;
+                let nodes = self.layout.blades()[blade].node_indices;
+                for node in nodes {
+                    if self.recovery.is_some() {
+                        self.physical_up(node);
+                    } else {
+                        self.node_recovered(node);
+                    }
+                }
+            }
+        }
     }
 
     /// Applies one fault right now. Returns the victim jobs for node
@@ -1501,8 +1805,88 @@ impl SimEngine {
                 self.nfs_stall_until = Some(self.now + span);
             }
             FaultKind::SpuriousThermalTrip { node } => self.handle_trip(node),
+            FaultKind::PsuFailure { blade } => {
+                // One supply feeds both boards: a correlated dual crash.
+                let nodes = self.layout.blades()[blade].node_indices;
+                if self.recovery.is_some() {
+                    for node in nodes {
+                        self.physical_down(node);
+                    }
+                } else {
+                    let mut victims = Vec::new();
+                    for node in nodes {
+                        victims.extend(self.node_failed(node));
+                    }
+                    return victims;
+                }
+            }
+            FaultKind::RailBrownout {
+                blade,
+                budget_frac,
+                span,
+            } => {
+                if let Some(gov) = self.power_cap.as_mut() {
+                    // Graceful degradation: the governor caps the blade's
+                    // DVFS under the reduced budget at the next phase 3b.
+                    gov.begin_brownout(blade, budget_frac, self.now, span);
+                } else {
+                    // Crash-only machine: the rail cannot carry the boards
+                    // at any operating point it is willing to risk.
+                    self.brownout_until[blade] = Some(self.now + span);
+                    let nodes = self.layout.blades()[blade].node_indices;
+                    if self.recovery.is_some() {
+                        for node in nodes {
+                            self.physical_down(node);
+                        }
+                    } else {
+                        let mut victims = Vec::new();
+                        for node in nodes {
+                            victims.extend(self.node_failed(node));
+                        }
+                        return victims;
+                    }
+                }
+            }
+            FaultKind::FanFailure { blade, span } => {
+                let until = self.now + span;
+                // Overlapping failures keep the longer window.
+                if self.fan_fault_until[blade].is_none_or(|t| t < until) {
+                    self.fan_fault_until[blade] = Some(until);
+                }
+                self.refresh_airflow_degradation();
+            }
         }
         Vec::new()
+    }
+
+    /// Re-derives every node's airflow state from the set of active fan
+    /// failures: a dead fan starves its own blade directly and pools
+    /// un-moved hot air under the blade above it (its airflow shadow).
+    fn refresh_airflow_degradation(&mut self) {
+        let blade_count = self.layout.blades().len();
+        let active = |blade: usize| self.fan_fault_until[blade].is_some_and(|t| self.now < t);
+        let mut states = vec![AirflowDegradation::None; blade_count];
+        for (blade, state) in states.iter_mut().enumerate() {
+            if active(blade) {
+                *state = AirflowDegradation::Direct;
+            }
+        }
+        // Shadows second: a blade whose own fan died is already Direct and
+        // must not be downgraded by a neighbour's shadow.
+        for blade in 0..blade_count {
+            if active(blade) {
+                if let Some(shadow) = self.layout.airflow_shadow_of(blade) {
+                    if states[shadow] == AirflowDegradation::None {
+                        states[shadow] = AirflowDegradation::Shadow;
+                    }
+                }
+            }
+        }
+        for (blade, &state) in states.iter().enumerate() {
+            for &node in &self.layout.blades()[blade].node_indices {
+                self.thermal.set_airflow_degradation(node, state);
+            }
+        }
     }
 
     /// The uniform oracle node-outage path: scheduler bookkeeping,
@@ -1641,6 +2025,13 @@ impl SimEngine {
         let partitioned = self.active_partition();
         let rec = self.recovery.as_mut().expect("recovery mode");
         for i in 0..self.nodes.len() {
+            // A DVFS-capped or throttled board runs its management daemon
+            // slower too: its heartbeat cadence stretches by the inverse
+            // performance scale. The failure detector is told the scale so
+            // slowness is not mistaken for death (gated by
+            // [`RecoveryConfig::cap_aware_suspicion`]).
+            let perf = self.nodes[i].cpufreq().performance_scale();
+            rec.control.set_expected_interval_scale(i, 1.0 / perf);
             if !rec.node_alive[i] {
                 continue;
             }
@@ -1650,7 +2041,10 @@ impl SimEngine {
             if self.now >= rec.next_heartbeat[i] {
                 let topic = heartbeat_topic(self.nodes[i].hostname());
                 self.broker.publish(&topic, Payload::new(1.0, self.now));
-                rec.next_heartbeat[i] = self.now + rec.config.heartbeat_interval;
+                rec.next_heartbeat[i] = self.now
+                    + SimDuration::from_secs_f64(
+                        rec.config.heartbeat_interval.as_secs_f64() / perf,
+                    );
             }
         }
     }
@@ -2258,5 +2652,200 @@ mod tests {
         assert!(!events_a.is_empty());
         assert_eq!(events_a, events_b);
         assert_eq!(down_a, down_b);
+    }
+
+    #[test]
+    fn psu_failure_downs_both_blade_nodes_and_requeues_their_job() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(
+            FaultPlan::new().with(SimTime::from_secs(10), FaultKind::PsuFailure { blade: 0 }),
+        );
+        // Blade-aware placement packs the 2-node job onto blade 0.
+        let id = engine.submit(synthetic(2, 60)).unwrap();
+        assert!(engine.run_until_idle(SimDuration::from_secs(600)));
+        assert!(engine.node_downtime(0) > SimDuration::ZERO);
+        assert!(engine.node_downtime(1) > SimDuration::ZERO);
+        assert_eq!(engine.failure_count(), 2, "one fault, two nodes lost");
+        assert!(engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::JobRequeued { id: v, .. } if *v == id)));
+        // The requeue lands on a healthy blade and finishes.
+        let record = &engine.accounting().records()[0];
+        assert_eq!(record.state, JobState::Completed);
+    }
+
+    #[test]
+    fn fan_failure_degrades_its_blade_and_shadows_the_one_above() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(FaultPlan::new().with(
+            SimTime::from_secs(5),
+            FaultKind::FanFailure {
+                blade: 1,
+                span: SimDuration::from_secs(60),
+            },
+        ));
+        engine.run_for(SimDuration::from_secs(10));
+        use crate::thermal::AirflowDegradation as A;
+        let states: Vec<A> = (0..8)
+            .map(|i| engine.thermal().airflow_degradation(i))
+            .collect();
+        assert_eq!(
+            states,
+            vec![
+                A::None,
+                A::None,
+                A::Direct,
+                A::Direct,
+                A::Shadow,
+                A::Shadow,
+                A::None,
+                A::None
+            ],
+            "blade 1's nodes starve, blade 2 sits in its exhaust shadow"
+        );
+        // The fan comes back: the enclosure returns to clean airflow.
+        engine.run_for(SimDuration::from_secs(60));
+        assert!((0..8).all(|i| engine.thermal().airflow_degradation(i) == A::None));
+    }
+
+    #[test]
+    fn governed_brownout_caps_drains_nothing_and_releases() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(FaultPlan::new().with(
+            SimTime::from_secs(10),
+            FaultKind::RailBrownout {
+                blade: 0,
+                budget_frac: 0.75,
+                span: SimDuration::from_secs(120),
+            },
+        ));
+        let id = engine.submit(synthetic(2, 300)).unwrap();
+        assert!(engine.run_until_idle(SimDuration::from_secs(3600)));
+        let budget = 0.75 * crate::blade::RAIL_RATED_WATTS;
+        assert!(engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::BladeCapped { blade: 0, .. })));
+        assert!(engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::BladeReleased { blade: 0, .. })));
+        let peak = engine.brownout_peak_power(0);
+        assert!(
+            peak > 0.0 && peak <= budget,
+            "peak {peak} W within the {budget} W budget"
+        );
+        // The capped job was slowed, never evicted.
+        assert!(!engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::JobRequeued { .. })));
+        assert_eq!(
+            engine.scheduler().job(id).unwrap().state(),
+            JobState::Completed
+        );
+        // Once released, the blade takes work again.
+        assert!(engine.scheduler().degraded_blades().is_empty());
+    }
+
+    #[test]
+    fn crash_only_brownout_downs_the_blade_until_the_rail_recovers() {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            power_cap: None,
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(FaultPlan::new().with(
+            SimTime::from_secs(10),
+            FaultKind::RailBrownout {
+                blade: 0,
+                budget_frac: 0.75,
+                span: SimDuration::from_secs(60),
+            },
+        ));
+        let id = engine.submit(synthetic(2, 30)).unwrap();
+        assert!(engine.run_until_idle(SimDuration::from_secs(600)));
+        // Run past the rail recovery so the outage closes.
+        engine.run_for(SimDuration::from_secs(120));
+        assert!(engine
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::JobRequeued { id: v, .. } if *v == id)));
+        assert_eq!(engine.failure_count(), 2, "both boards undervolt and crash");
+        // Downtime is bounded by the brownout span: recovery is automatic.
+        for node in 0..2 {
+            let down = engine.node_downtime(node).as_secs_f64();
+            assert!(
+                (59.0..=62.0).contains(&down),
+                "node {node} down {down} s for a 60 s brownout"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_fault_plans_are_rejected_up_front() {
+        let mut engine = SimEngine::new(EngineConfig::default());
+        engine.set_fault_plan(
+            FaultPlan::new().with(SimTime::from_secs(1), FaultKind::PsuFailure { blade: 9 }),
+        );
+    }
+
+    #[test]
+    fn capped_nodes_heartbeat_slower_without_tripping_a_cap_aware_detector() {
+        // A deep brownout clamps blade 0 to the floor OPP: its health
+        // daemons run at a third of nominal speed and heartbeat late. The
+        // cap-aware detector is told the expected slowdown and stays
+        // quiet; the legacy detector reads the silence as death and
+        // fences healthy nodes (the false-suspicion regression).
+        let run = |cap_aware: bool| {
+            let mut recovery = RecoveryConfig::detection_only();
+            recovery.cap_aware_suspicion = cap_aware;
+            let mut engine = SimEngine::new(EngineConfig {
+                monitoring: false,
+                dt: SimDuration::from_secs(1),
+                recovery: Some(recovery),
+                ..EngineConfig::default()
+            })
+            .with_fault_plan(FaultPlan::new().with(
+                SimTime::from_secs(30),
+                FaultKind::RailBrownout {
+                    blade: 0,
+                    budget_frac: 0.58,
+                    span: SimDuration::from_secs(300),
+                },
+            ));
+            engine.submit(synthetic(8, 500)).unwrap();
+            engine.run_for(SimDuration::from_secs(400));
+            engine
+        };
+        let aware = run(true);
+        assert!(
+            aware.events().iter().any(
+                |e| matches!(e, EngineEvent::BladeCapped { blade: 0, ceiling, .. } if *ceiling == 0)
+            ),
+            "the 58% budget must clamp blade 0 to the floor OPP"
+        );
+        assert_eq!(aware.suspicion_count(), 0, "capped is not dead");
+        assert_eq!(aware.fence_count(), 0);
+        let legacy = run(false);
+        assert!(
+            legacy.suspicion_count() > 0,
+            "without cap awareness the slow heartbeats read as death"
+        );
     }
 }

@@ -20,9 +20,11 @@
 //! | [`energy`] | extension: energy-to-solution across the OPP ladder |
 //! | [`availability`] | extension: HPL campaign under a node-crash fault sweep |
 //! | [`recovery`] | extension: checkpoint/restart + heartbeat detection under crashes |
+//! | [`degradation`] | extension: blade fault domains — brownout capping, blade placement, fan loss |
 
 pub mod availability;
 pub mod boot_trace;
+pub mod degradation;
 pub mod dvfs;
 pub mod energy;
 pub mod hpl_scaling;

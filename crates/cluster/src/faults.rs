@@ -91,7 +91,124 @@ pub enum FaultKind {
         /// 0-based node index.
         node: usize,
     },
+    /// A blade's power-supply unit dies: both hosted nodes lose power at
+    /// once — the correlated crash along the paper's §III fault domain.
+    /// Nodes stay down until explicit [`FaultKind::NodeRecover`] events.
+    PsuFailure {
+        /// 0-based blade index.
+        blade: usize,
+    },
+    /// The blade's shared power rail browns out to `budget_frac` of its
+    /// rated capacity for `span`. With a power-cap governor configured the
+    /// blade degrades gracefully via DVFS opp-point capping; without one
+    /// both nodes undervolt and crash until the rail recovers.
+    RailBrownout {
+        /// 0-based blade index.
+        blade: usize,
+        /// Fraction of the rated rail budget still available, in `(0, 1]`.
+        budget_frac: f64,
+        /// How long the brownout lasts.
+        span: SimDuration,
+    },
+    /// The blade's fan fails for `span`: its own nodes lose most of their
+    /// airflow, and the blade sitting in its exhaust shadow (directly
+    /// above — hot air rises through the stack) runs warmer too.
+    FanFailure {
+        /// 0-based blade index.
+        blade: usize,
+        /// How long the fan stays dead.
+        span: SimDuration,
+    },
 }
+
+/// A structural defect in a [`FaultPlan`], caught by
+/// [`FaultPlan::validate`] before the engine would otherwise panic (or
+/// silently misbehave) mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// An event targets a node index the machine does not have.
+    NodeOutOfRange {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The out-of-range node index.
+        node: usize,
+        /// How many nodes the machine has.
+        node_count: usize,
+    },
+    /// An event targets a blade index the machine does not have.
+    BladeOutOfRange {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The out-of-range blade index.
+        blade: usize,
+        /// How many blades the machine has.
+        blade_count: usize,
+    },
+    /// A brownout's `budget_frac` lies outside `(0, 1]`.
+    BudgetOutOfRange {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The targeted blade.
+        blade: usize,
+        /// The rejected fraction.
+        budget_frac: f64,
+    },
+    /// Two brownouts on the same rail overlap in time; a rail has one
+    /// budget at a time, so the plan is ambiguous.
+    OverlappingBrownouts {
+        /// The shared blade (rail) index.
+        blade: usize,
+        /// Start of the earlier brownout.
+        first_at: SimTime,
+        /// Start of the later, overlapping brownout.
+        second_at: SimTime,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::NodeOutOfRange {
+                at,
+                node,
+                node_count,
+            } => write!(
+                f,
+                "fault at t={at} targets node {node}, but the machine has \
+                 {node_count} nodes (indices 0..{node_count})"
+            ),
+            FaultPlanError::BladeOutOfRange {
+                at,
+                blade,
+                blade_count,
+            } => write!(
+                f,
+                "fault at t={at} targets blade {blade}, but the machine has \
+                 {blade_count} blades (indices 0..{blade_count})"
+            ),
+            FaultPlanError::BudgetOutOfRange {
+                at,
+                blade,
+                budget_frac,
+            } => write!(
+                f,
+                "brownout at t={at} on blade {blade} has budget_frac \
+                 {budget_frac}, outside the valid range (0, 1]"
+            ),
+            FaultPlanError::OverlappingBrownouts {
+                blade,
+                first_at,
+                second_at,
+            } => write!(
+                f,
+                "brownouts at t={first_at} and t={second_at} overlap on \
+                 blade {blade}'s rail; a rail carries one budget at a time"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// A fault scheduled at a simulation time.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,6 +274,89 @@ impl FaultPlan {
 
     pub(crate) fn into_events(self) -> Vec<FaultEvent> {
         self.events
+    }
+
+    /// Checks the plan against a machine of `node_count` nodes in
+    /// `blade_count` blades: every node and blade index must be in range,
+    /// every brownout `budget_frac` in `(0, 1]`, and no two brownouts may
+    /// overlap on the same rail. Returns the first defect in schedule
+    /// order, as a descriptive [`FaultPlanError`], instead of letting the
+    /// engine panic later.
+    pub fn validate(&self, node_count: usize, blade_count: usize) -> Result<(), FaultPlanError> {
+        // End time of the last seen brownout per blade; the plan is
+        // time-sorted, so one pass catches every overlap.
+        let mut rail_busy: Vec<Option<(SimTime, SimTime)>> = vec![None; blade_count];
+        for e in &self.events {
+            let node = match e.kind {
+                FaultKind::NodeCrash { node }
+                | FaultKind::NodeRecover { node }
+                | FaultKind::SensorDropout { node, .. }
+                | FaultKind::SensorStuck { node, .. }
+                | FaultKind::SpuriousThermalTrip { node } => Some(node),
+                FaultKind::Partition { a, b, .. } => {
+                    for n in [a, b] {
+                        if n >= node_count {
+                            return Err(FaultPlanError::NodeOutOfRange {
+                                at: e.at,
+                                node: n,
+                                node_count,
+                            });
+                        }
+                    }
+                    None
+                }
+                _ => None,
+            };
+            if let Some(n) = node {
+                if n >= node_count {
+                    return Err(FaultPlanError::NodeOutOfRange {
+                        at: e.at,
+                        node: n,
+                        node_count,
+                    });
+                }
+            }
+            let blade = match e.kind {
+                FaultKind::PsuFailure { blade }
+                | FaultKind::RailBrownout { blade, .. }
+                | FaultKind::FanFailure { blade, .. } => Some(blade),
+                _ => None,
+            };
+            if let Some(b) = blade {
+                if b >= blade_count {
+                    return Err(FaultPlanError::BladeOutOfRange {
+                        at: e.at,
+                        blade: b,
+                        blade_count,
+                    });
+                }
+            }
+            if let FaultKind::RailBrownout {
+                blade,
+                budget_frac,
+                span,
+            } = e.kind
+            {
+                if !budget_frac.is_finite() || budget_frac <= 0.0 || budget_frac > 1.0 {
+                    return Err(FaultPlanError::BudgetOutOfRange {
+                        at: e.at,
+                        blade,
+                        budget_frac,
+                    });
+                }
+                if let Some((first_at, busy_until)) = rail_busy[blade] {
+                    if e.at < busy_until {
+                        return Err(FaultPlanError::OverlappingBrownouts {
+                            blade,
+                            first_at,
+                            second_at: e.at,
+                        });
+                    }
+                }
+                rail_busy[blade] = Some((e.at, e.at + span));
+            }
+        }
+        Ok(())
     }
 
     /// Draws a random crash/repair plan from a seeded Poisson process:
@@ -351,6 +551,133 @@ mod tests {
             .filter(|e| matches!(e.kind, FaultKind::NodeRecover { .. }))
             .count();
         assert_eq!(crashes, recoveries);
+    }
+
+    #[test]
+    fn validate_accepts_a_well_formed_blade_plan() {
+        let plan = FaultPlan::new()
+            .with(
+                SimTime::from_secs(10),
+                FaultKind::RailBrownout {
+                    blade: 1,
+                    budget_frac: 0.7,
+                    span: SimDuration::from_secs(60),
+                },
+            )
+            .with(
+                SimTime::from_secs(70),
+                FaultKind::RailBrownout {
+                    blade: 1,
+                    budget_frac: 0.9,
+                    span: SimDuration::from_secs(30),
+                },
+            )
+            .with(SimTime::from_secs(20), FaultKind::PsuFailure { blade: 3 })
+            .with(
+                SimTime::from_secs(30),
+                FaultKind::FanFailure {
+                    blade: 0,
+                    span: SimDuration::from_secs(100),
+                },
+            );
+        assert_eq!(plan.validate(8, 4), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_indices() {
+        let plan = FaultPlan::new().with(SimTime::from_secs(1), FaultKind::PsuFailure { blade: 4 });
+        let err = plan.validate(8, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::BladeOutOfRange { blade: 4, .. }
+        ));
+        assert!(err.to_string().contains("blade 4"), "{err}");
+
+        let plan = FaultPlan::new().with(SimTime::from_secs(2), FaultKind::NodeCrash { node: 9 });
+        let err = plan.validate(8, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::NodeOutOfRange { node: 9, .. }
+        ));
+        assert!(err.to_string().contains("node 9"), "{err}");
+
+        let plan = FaultPlan::new().with(
+            SimTime::from_secs(3),
+            FaultKind::Partition {
+                a: 0,
+                b: 8,
+                span: SimDuration::from_secs(5),
+            },
+        );
+        assert!(matches!(
+            plan.validate(8, 4).unwrap_err(),
+            FaultPlanError::NodeOutOfRange { node: 8, .. }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_budget_fractions() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let plan = FaultPlan::new().with(
+                SimTime::from_secs(1),
+                FaultKind::RailBrownout {
+                    blade: 0,
+                    budget_frac: bad,
+                    span: SimDuration::from_secs(10),
+                },
+            );
+            let err = plan.validate(8, 4).unwrap_err();
+            assert!(
+                matches!(err, FaultPlanError::BudgetOutOfRange { .. }),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_brownouts_on_one_rail_only() {
+        let overlapping = FaultPlan::new()
+            .with(
+                SimTime::from_secs(10),
+                FaultKind::RailBrownout {
+                    blade: 2,
+                    budget_frac: 0.8,
+                    span: SimDuration::from_secs(60),
+                },
+            )
+            .with(
+                SimTime::from_secs(40),
+                FaultKind::RailBrownout {
+                    blade: 2,
+                    budget_frac: 0.6,
+                    span: SimDuration::from_secs(10),
+                },
+            );
+        let err = overlapping.validate(8, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::OverlappingBrownouts { blade: 2, .. }
+        ));
+        assert!(err.to_string().contains("overlap"), "{err}");
+        // The same two spans on different rails are fine.
+        let disjoint_rails = FaultPlan::new()
+            .with(
+                SimTime::from_secs(10),
+                FaultKind::RailBrownout {
+                    blade: 2,
+                    budget_frac: 0.8,
+                    span: SimDuration::from_secs(60),
+                },
+            )
+            .with(
+                SimTime::from_secs(40),
+                FaultKind::RailBrownout {
+                    blade: 3,
+                    budget_frac: 0.6,
+                    span: SimDuration::from_secs(10),
+                },
+            );
+        assert_eq!(disjoint_rails.validate(8, 4), Ok(()));
     }
 
     #[test]

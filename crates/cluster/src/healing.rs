@@ -95,6 +95,14 @@ pub struct RecoveryConfig {
     pub auto_unfence: bool,
     /// Optional closed-loop thermal watchdog.
     pub thermal_watchdog: Option<ThermalWatchdog>,
+    /// Whether the failure detector is told about DVFS slowdowns. A capped
+    /// (or throttled) node runs its health daemon slower and heartbeats
+    /// late; with this on, the engine feeds the expected slowdown into the
+    /// [`HeartbeatMonitor`] so phi is computed against the scaled cadence
+    /// and graceful degradation never trips suspicion fencing. Disabling
+    /// it reproduces the false-positive failure mode (for regression
+    /// tests).
+    pub cap_aware_suspicion: bool,
 }
 
 impl RecoveryConfig {
@@ -108,6 +116,7 @@ impl RecoveryConfig {
             fence_on_suspicion: true,
             auto_unfence: true,
             thermal_watchdog: None,
+            cap_aware_suspicion: true,
         }
     }
 
@@ -215,6 +224,17 @@ impl ControlPlane {
     /// action so operator-driven fences stay in sync too).
     pub fn set_fenced(&mut self, node: usize, fenced: bool) {
         self.fenced[node] = fenced;
+    }
+
+    /// Tells the failure detector that `node` is expected to heartbeat
+    /// `scale`× slower than nominal (a DVFS-capped node's health daemon
+    /// runs at the capped clock). A no-op unless
+    /// [`RecoveryConfig::cap_aware_suspicion`] is set.
+    pub fn set_expected_interval_scale(&mut self, node: usize, scale: f64) {
+        if self.config.cap_aware_suspicion {
+            self.monitor
+                .set_expected_scale(&self.hostnames[node], scale);
+        }
     }
 
     /// Whether any node is currently fenced. A fenced node's unfence
@@ -348,6 +368,341 @@ impl std::fmt::Debug for ControlPlane {
             .field("config", &self.config)
             .field("fenced", &self.fenced)
             .finish_non_exhaustive()
+    }
+}
+
+/// Power-cap governor policy (engine-level).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCapConfig {
+    /// Rated power budget of one blade's rail, watts; a brownout's
+    /// `budget_frac` scales this.
+    pub rail_rated_watts: f64,
+    /// Hysteresis between single-OPP ramp-back steps — both once a rail
+    /// recovers and while capped under an active budget — so a flapping
+    /// rail or a wiggling temperature cannot make the blade's frequency
+    /// oscillate.
+    pub ramp_interval: SimDuration,
+    /// Up-step margin: while a budget is active, the ceiling only rises
+    /// to an OPP whose predicted power fits under `budget × (1 − margin)`.
+    /// Down-steps ignore the margin (safety is immediate).
+    pub up_margin_frac: f64,
+}
+
+impl PowerCapConfig {
+    /// Defaults for the RV007 blade: the rated rail budget from
+    /// [`crate::blade::RAIL_RATED_WATTS`], ramping one OPP per 10 s, with
+    /// a 3% up-step margin.
+    pub fn rv007_default() -> Self {
+        PowerCapConfig {
+            rail_rated_watts: crate::blade::RAIL_RATED_WATTS,
+            ramp_interval: SimDuration::from_secs(10),
+            up_margin_frac: 0.03,
+        }
+    }
+}
+
+impl Default for PowerCapConfig {
+    fn default() -> Self {
+        PowerCapConfig::rv007_default()
+    }
+}
+
+/// An action the power-cap governor asks the engine to apply. Like
+/// [`ControlAction`], the governor never touches nodes or the scheduler
+/// itself — the engine stays the single writer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapAction {
+    /// Clamp the blade's nodes to OPP indices `<= ceiling`.
+    SetCeiling {
+        /// Blade index.
+        blade: usize,
+        /// Highest admissible OPP index.
+        ceiling: usize,
+    },
+    /// Even the floor OPP exceeds the rail budget: power emergency. The
+    /// engine must drain the blade (checkpoint-assisted requeue) and power
+    /// its boards off rather than overdraw the rail.
+    Emergency {
+        /// Blade index.
+        blade: usize,
+        /// The budget that could not be met, watts.
+        budget_watts: f64,
+    },
+    /// The rail recovered after an emergency: the engine may power the
+    /// boards back on and return them to service (the ramp-back then
+    /// raises the ceiling step by step).
+    RailRecovered {
+        /// Blade index.
+        blade: usize,
+    },
+    /// Ramp-back complete: the blade is uncapped again.
+    Release {
+        /// Blade index.
+        blade: usize,
+    },
+}
+
+/// Per-blade cap state.
+#[derive(Debug, Clone, PartialEq)]
+struct BladeCap {
+    /// Active brownout budget, watts (None = rail healthy).
+    budget_watts: Option<f64>,
+    /// When the active brownout ends.
+    until: SimTime,
+    /// Highest admissible OPP index (opp_count − 1 = uncapped).
+    ceiling: usize,
+    /// Next ramp-back step, when recovering.
+    next_ramp: Option<SimTime>,
+    /// Since when the next OPP up has fit under the margined budget
+    /// continuously; an up-step needs a full ramp interval of dwell, so a
+    /// one-tick power dip (an HPL communication phase) cannot flap the cap.
+    up_fit_since: Option<SimTime>,
+    /// Whether the budget proved infeasible even at the floor OPP.
+    emergency: bool,
+}
+
+/// The brownout graceful-degradation governor: on a rail brownout it caps
+/// the blade's DVFS operating points so the blade's *mean* power never
+/// exceeds the reduced budget, instead of letting the boards crash; when
+/// the rail recovers it ramps the cap back one OPP per
+/// [`PowerCapConfig::ramp_interval`] (hysteresis against rail flap).
+///
+/// Everything is an exact function of grid-tick inputs, and the governor
+/// exposes [`PowerCapGovernor::next_due`] and
+/// [`PowerCapGovernor::is_quiescent`] so the event-driven clock can
+/// aggregate its obligations — the whole path stays bit-identical across
+/// clock modes and thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerCapGovernor {
+    config: PowerCapConfig,
+    opp_count: usize,
+    blades: Vec<BladeCap>,
+}
+
+impl PowerCapGovernor {
+    /// A governor over `blade_count` blades whose nodes expose `opp_count`
+    /// operating points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opp_count` is zero.
+    pub fn new(config: PowerCapConfig, blade_count: usize, opp_count: usize) -> Self {
+        assert!(opp_count > 0, "need at least one operating point");
+        PowerCapGovernor {
+            config,
+            opp_count,
+            blades: vec![
+                BladeCap {
+                    budget_watts: None,
+                    until: SimTime::ZERO,
+                    ceiling: opp_count - 1,
+                    next_ramp: None,
+                    up_fit_since: None,
+                    emergency: false,
+                };
+                blade_count
+            ],
+        }
+    }
+
+    /// The governor's policy.
+    pub fn config(&self) -> &PowerCapConfig {
+        &self.config
+    }
+
+    /// Registers a brownout on `blade`'s rail: `budget_frac` of the rated
+    /// budget remains available until `now + span`. The next
+    /// [`PowerCapGovernor::evaluate`] picks the cap.
+    pub fn begin_brownout(
+        &mut self,
+        blade: usize,
+        budget_frac: f64,
+        now: SimTime,
+        span: SimDuration,
+    ) {
+        let cap = &mut self.blades[blade];
+        cap.budget_watts = Some(budget_frac * self.config.rail_rated_watts);
+        cap.until = now + span;
+        cap.next_ramp = None;
+        cap.up_fit_since = None;
+    }
+
+    /// One decision tick. `blade_power_at(blade, opp)` must return the
+    /// blade's predicted mean power (watts) if every hosted node were
+    /// clamped to OPP `opp` under its *current* workload and temperature —
+    /// the engine computes this from the calibrated power model, so the
+    /// chosen ceiling is exact, not heuristic. Returns actions in blade
+    /// order.
+    pub fn evaluate(
+        &mut self,
+        now: SimTime,
+        blade_power_at: impl Fn(usize, usize) -> f64,
+    ) -> Vec<CapAction> {
+        let mut actions = Vec::new();
+        for blade in 0..self.blades.len() {
+            let (recovered, was_emergency) = {
+                let cap = &mut self.blades[blade];
+                if cap.budget_watts.is_some() && now >= cap.until {
+                    let was = cap.emergency;
+                    cap.budget_watts = None;
+                    cap.emergency = false;
+                    (true, was)
+                } else {
+                    (false, false)
+                }
+            };
+            if recovered {
+                if was_emergency {
+                    actions.push(CapAction::RailRecovered { blade });
+                }
+                let cap = &mut self.blades[blade];
+                if cap.ceiling == self.opp_count - 1 {
+                    actions.push(CapAction::Release { blade });
+                } else {
+                    cap.next_ramp = Some(now + self.config.ramp_interval);
+                }
+                continue;
+            }
+            let budget = self.blades[blade].budget_watts;
+            if let Some(budget) = budget {
+                if self.blades[blade].emergency {
+                    // Emergency holds until the rail recovers; the boards
+                    // are powered off, so there is nothing to re-evaluate.
+                    continue;
+                }
+                // Largest admissible ceiling: predicted blade power at the
+                // uniform clamp must fit under the budget.
+                let admissible = (0..self.opp_count)
+                    .rev()
+                    .find(|&opp| blade_power_at(blade, opp) <= budget);
+                let up_budget = budget * (1.0 - self.config.up_margin_frac);
+                let cap = &mut self.blades[blade];
+                match admissible {
+                    // Over budget at the current ceiling: clamp down to the
+                    // admissible point immediately, then hold upward moves
+                    // for a ramp interval.
+                    Some(ceiling) if ceiling < cap.ceiling => {
+                        cap.ceiling = ceiling;
+                        cap.next_ramp = Some(now + self.config.ramp_interval);
+                        cap.up_fit_since = None;
+                        actions.push(CapAction::SetCeiling { blade, ceiling });
+                    }
+                    // Headroom opened up (the blade cooled or its load
+                    // dropped): ramp back one OPP per interval, and only
+                    // once the next point has fit under the margined
+                    // budget for a full interval of dwell — a one-tick
+                    // power dip (an HPL communication phase) or a
+                    // wiggling temperature at the boundary must not flap
+                    // the cap.
+                    Some(ceiling) if ceiling > cap.ceiling => {
+                        let next = cap.ceiling + 1;
+                        if blade_power_at(blade, next) <= up_budget {
+                            let since = *cap.up_fit_since.get_or_insert(now);
+                            if now >= since + self.config.ramp_interval
+                                && cap.next_ramp.is_none_or(|t| now >= t)
+                            {
+                                cap.ceiling = next;
+                                cap.next_ramp = Some(now + self.config.ramp_interval);
+                                // Each level earns its own dwell.
+                                cap.up_fit_since = None;
+                                actions.push(CapAction::SetCeiling {
+                                    blade,
+                                    ceiling: next,
+                                });
+                            }
+                        } else {
+                            cap.up_fit_since = None;
+                        }
+                    }
+                    Some(_) => {
+                        cap.up_fit_since = None;
+                    }
+                    None => {
+                        cap.emergency = true;
+                        cap.ceiling = 0;
+                        cap.up_fit_since = None;
+                        actions.push(CapAction::Emergency {
+                            blade,
+                            budget_watts: budget,
+                        });
+                    }
+                }
+                continue;
+            }
+            let cap = &mut self.blades[blade];
+            if let Some(ramp_at) = cap.next_ramp {
+                if now >= ramp_at {
+                    cap.ceiling += 1;
+                    actions.push(CapAction::SetCeiling {
+                        blade,
+                        ceiling: cap.ceiling,
+                    });
+                    if cap.ceiling == self.opp_count - 1 {
+                        cap.next_ramp = None;
+                        actions.push(CapAction::Release { blade });
+                    } else {
+                        cap.next_ramp = Some(now + self.config.ramp_interval);
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    /// The blade's current OPP ceiling.
+    pub fn ceiling(&self, blade: usize) -> usize {
+        self.blades[blade].ceiling
+    }
+
+    /// The blade's active budget, watts, if its rail is browned out.
+    pub fn active_budget_watts(&self, blade: usize) -> Option<f64> {
+        self.blades[blade].budget_watts
+    }
+
+    /// Whether the blade is in a power emergency (boards powered off).
+    pub fn in_emergency(&self, blade: usize) -> bool {
+        self.blades[blade].emergency
+    }
+
+    /// Whether the blade is degraded: browned out, mid-ramp, or in
+    /// emergency. The scheduler steers new work away from such blades.
+    pub fn is_degraded(&self, blade: usize) -> bool {
+        let cap = &self.blades[blade];
+        cap.budget_watts.is_some() || cap.next_ramp.is_some() || cap.emergency
+    }
+
+    /// Number of blades governed.
+    pub fn blade_count(&self) -> usize {
+        self.blades.len()
+    }
+
+    /// The earliest future instant the governor must observe: a rail
+    /// recovery or a pending ramp-back step. While a budget is *active*
+    /// the governor re-evaluates every tick (workloads move the admissible
+    /// ceiling), which [`PowerCapGovernor::is_quiescent`] reports as
+    /// non-quiescence — so this is the due-time for the recovering tail,
+    /// aggregated by the event-driven clock.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.blades
+            .iter()
+            .flat_map(|cap| {
+                let recovery = cap.budget_watts.is_some().then_some(cap.until);
+                [recovery, cap.next_ramp]
+            })
+            .flatten()
+            .min()
+    }
+
+    /// Whether the governor is provably inert: no active budget, no
+    /// pending ramp, no emergency, every ceiling at nominal. Exactly then
+    /// may a due-time clock skip its evaluation.
+    pub fn is_quiescent(&self) -> bool {
+        self.blades.iter().all(|cap| {
+            cap.budget_watts.is_none()
+                && cap.next_ramp.is_none()
+                && !cap.emergency
+                && cap.ceiling == self.opp_count - 1
+        })
     }
 }
 
@@ -547,5 +902,132 @@ mod tests {
         let cold = vec![Celsius::new(60.0), Celsius::new(50.0)];
         let actions = cp.tick(SimTime::from_secs(60), &cold);
         assert_eq!(actions, vec![ControlAction::RelaxCool { node: 0 }]);
+    }
+
+    /// A synthetic power curve: blade power at OPP `opp` is
+    /// `6 + 1.5·opp` watts for every blade (floor 6 W, nominal 12 W over a
+    /// 5-point ladder).
+    fn synth_power(_blade: usize, opp: usize) -> f64 {
+        6.0 + 1.5 * opp as f64
+    }
+
+    #[test]
+    fn governor_caps_to_the_largest_admissible_opp_and_ramps_back() {
+        let mut gov = PowerCapGovernor::new(PowerCapConfig::rv007_default(), 4, 5);
+        assert!(gov.is_quiescent());
+        assert_eq!(gov.next_due(), None);
+        // 75 % of 12 W = 9 W: OPP 2 draws exactly 9 W, OPP 3 draws 10.5 W.
+        gov.begin_brownout(1, 0.75, SimTime::from_secs(10), SimDuration::from_secs(60));
+        assert!(!gov.is_quiescent());
+        assert_eq!(gov.next_due(), Some(SimTime::from_secs(70)));
+        let actions = gov.evaluate(SimTime::from_secs(10), synth_power);
+        assert_eq!(
+            actions,
+            vec![CapAction::SetCeiling {
+                blade: 1,
+                ceiling: 2
+            }]
+        );
+        assert_eq!(gov.ceiling(1), 2);
+        assert!(gov.is_degraded(1) && !gov.is_degraded(0));
+        // Steady state: no repeated actions while nothing changes.
+        assert!(gov.evaluate(SimTime::from_secs(20), synth_power).is_empty());
+        // Rail recovers at t=70: ramp one OPP per 10 s with hysteresis.
+        assert!(gov.evaluate(SimTime::from_secs(70), synth_power).is_empty());
+        assert_eq!(gov.next_due(), Some(SimTime::from_secs(80)));
+        let actions = gov.evaluate(SimTime::from_secs(80), synth_power);
+        assert_eq!(
+            actions,
+            vec![CapAction::SetCeiling {
+                blade: 1,
+                ceiling: 3
+            }]
+        );
+        let actions = gov.evaluate(SimTime::from_secs(90), synth_power);
+        assert_eq!(
+            actions,
+            vec![
+                CapAction::SetCeiling {
+                    blade: 1,
+                    ceiling: 4
+                },
+                CapAction::Release { blade: 1 }
+            ]
+        );
+        assert!(gov.is_quiescent());
+        assert_eq!(gov.next_due(), None);
+    }
+
+    #[test]
+    fn governor_declares_emergency_when_even_the_floor_opp_overdraws() {
+        let mut gov = PowerCapGovernor::new(PowerCapConfig::rv007_default(), 4, 5);
+        // 25 % of 12 W = 3 W < the 6 W floor.
+        gov.begin_brownout(2, 0.25, SimTime::ZERO, SimDuration::from_secs(40));
+        let actions = gov.evaluate(SimTime::ZERO, synth_power);
+        assert!(matches!(
+            actions.as_slice(),
+            [CapAction::Emergency { blade: 2, budget_watts }] if (*budget_watts - 3.0).abs() < 1e-12
+        ));
+        assert!(gov.in_emergency(2));
+        // The emergency holds (boards are off) until the rail recovers.
+        assert!(gov.evaluate(SimTime::from_secs(20), synth_power).is_empty());
+        let actions = gov.evaluate(SimTime::from_secs(40), synth_power);
+        assert_eq!(actions, vec![CapAction::RailRecovered { blade: 2 }]);
+        assert!(!gov.in_emergency(2));
+        // Ramp from the floor: 0 → 1 → 2 → 3 → 4 + release.
+        let mut t = SimTime::from_secs(50);
+        for expect in 1..=4usize {
+            let actions = gov.evaluate(t, synth_power);
+            assert!(
+                actions.contains(&CapAction::SetCeiling {
+                    blade: 2,
+                    ceiling: expect
+                }),
+                "t={t}: {actions:?}"
+            );
+            t += SimDuration::from_secs(10);
+        }
+        assert!(gov.is_quiescent());
+    }
+
+    #[test]
+    fn governor_tracks_load_shifts_under_an_active_budget() {
+        let mut gov = PowerCapGovernor::new(PowerCapConfig::rv007_default(), 1, 5);
+        gov.begin_brownout(0, 0.75, SimTime::ZERO, SimDuration::from_secs(100));
+        // Busy blade: 9 W budget admits OPP 2 on the synthetic curve.
+        gov.evaluate(SimTime::ZERO, synth_power);
+        assert_eq!(gov.ceiling(0), 2);
+        // The blade goes idle (power halves): the whole ladder now fits,
+        // but an up-step needs a full ramp interval of sustained fit
+        // (dwell) before each single-OPP rise, still within the same
+        // brownout.
+        let idle = |b: usize, opp: usize| synth_power(b, opp) * 0.5;
+        for (t, expect) in [(10u64, None), (20, Some(3usize)), (25, None), (35, Some(4))] {
+            let actions = gov.evaluate(SimTime::from_secs(t), idle);
+            let expected: Vec<CapAction> = expect
+                .map(|ceiling| CapAction::SetCeiling { blade: 0, ceiling })
+                .into_iter()
+                .collect();
+            assert_eq!(actions, expected, "t={t}");
+        }
+        // Work returns: the clamp-down is immediate, no ramp interval.
+        let actions = gov.evaluate(SimTime::from_secs(40), synth_power);
+        assert_eq!(
+            actions,
+            vec![CapAction::SetCeiling {
+                blade: 0,
+                ceiling: 2
+            }]
+        );
+        // An up-step inside the margin band is refused even with dwell:
+        // no flapping at the budget boundary. OPP 3 here sits exactly at
+        // the 9 W budget — admissible, but without the up-step margin to
+        // spare.
+        let boundary = |b: usize, opp: usize| synth_power(b, opp).min(9.0);
+        assert!(gov.evaluate(SimTime::from_secs(60), boundary).is_empty());
+        assert!(gov.evaluate(SimTime::from_secs(80), boundary).is_empty());
+        assert_eq!(gov.ceiling(0), 2);
+        // Still degraded throughout — placement keeps steering away.
+        assert!(gov.is_degraded(0));
     }
 }

@@ -51,12 +51,16 @@ pub mod report;
 pub mod services;
 pub mod thermal;
 
+pub use blade::{Blade, MachineLayout, RAIL_RATED_WATTS};
 pub use checkpoint::{CheckpointCostModel, CheckpointStore, JobCheckpoint};
 pub use dpm::ThermalGovernor;
 pub use engine::{ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine};
-pub use faults::{FaultEvent, FaultKind, FaultPlan};
-pub use healing::{CheckpointConfig, ControlPlane, RecoveryConfig, ThermalWatchdog};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};
+pub use healing::{
+    CapAction, CheckpointConfig, ControlPlane, PowerCapConfig, PowerCapGovernor, RecoveryConfig,
+    ThermalWatchdog,
+};
 pub use node::ComputeNode;
 pub use perf::{HplModel, HplProblem, LaxModel};
 pub use reference::ReferenceNode;
-pub use thermal::{AirflowConfig, ThermalModel};
+pub use thermal::{AirflowConfig, AirflowDegradation, ThermalModel};

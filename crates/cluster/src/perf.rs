@@ -96,6 +96,15 @@ impl HplModel {
     /// Multiplier fitted so 8 nodes sustain the paper's 12.65 GFLOP/s.
     pub const CALIBRATED_COMM_SLOWDOWN: f64 = 6.6;
 
+    /// Extra communication cost per blade spanned *beyond* the minimal
+    /// packing (`ceil(nodes/2)` dual-node blades). Boards on one blade
+    /// share a switch line card and a short equal-length cable run; an
+    /// allocation scattered across extra blades sees slightly longer
+    /// store-and-forward paths and more cross-card contention. The
+    /// calibrated full-machine figure uses the minimal span, so the
+    /// paper-anchored points are untouched.
+    pub const CROSS_BLADE_COMM_PENALTY: f64 = 0.06;
+
     /// The model for Monte Cimone over its Gigabit Ethernet.
     pub fn monte_cimone(problem: HplProblem) -> Self {
         let soc = U74McComplex::default();
@@ -165,6 +174,32 @@ impl HplModel {
         self.compute_time(nodes) + self.comm_time(nodes)
     }
 
+    /// The fewest dual-node blades that can host `nodes` nodes.
+    pub fn minimal_blades(nodes: usize) -> usize {
+        nodes.div_ceil(2)
+    }
+
+    /// Communication-time multiplier for an allocation spanning
+    /// `blades_spanned` blades: exactly 1 at (or below) the minimal span,
+    /// growing by [`HplModel::CROSS_BLADE_COMM_PENALTY`] per extra blade.
+    pub fn blade_span_factor(nodes: usize, blades_spanned: usize) -> f64 {
+        let extra = blades_spanned.saturating_sub(Self::minimal_blades(nodes));
+        1.0 + Self::CROSS_BLADE_COMM_PENALTY * extra as f64
+    }
+
+    /// Total wall time of a run whose allocation spans `blades_spanned`
+    /// blades, seconds. Bit-identical to [`HplModel::run_time`] at the
+    /// minimal span (the factor is exactly 1).
+    pub fn run_time_spanning(&self, nodes: usize, blades_spanned: usize) -> f64 {
+        self.compute_time(nodes)
+            + self.comm_time(nodes) * Self::blade_span_factor(nodes, blades_spanned)
+    }
+
+    /// Sustained GFLOP/s at a given blade span.
+    pub fn gflops_spanning(&self, nodes: usize, blades_spanned: usize) -> f64 {
+        self.problem.flops() / self.run_time_spanning(nodes, blades_spanned) / 1e9
+    }
+
     /// Sustained GFLOP/s on `nodes` nodes.
     pub fn gflops(&self, nodes: usize) -> f64 {
         self.problem.flops() / self.run_time(nodes) / 1e9
@@ -189,7 +224,19 @@ impl HplModel {
     /// node count, as in the paper's error bars: ±2 % single node, ±4 %
     /// full machine).
     pub fn simulate_run<R: Rng + ?Sized>(&self, nodes: usize, rng: &mut R) -> HplRunSample {
-        let mean_seconds = self.run_time(nodes);
+        self.simulate_run_spanning(nodes, Self::minimal_blades(nodes), rng)
+    }
+
+    /// [`HplModel::simulate_run`] for an allocation spanning
+    /// `blades_spanned` blades (one RNG draw either way, so the stream
+    /// stays aligned; bit-identical at the minimal span).
+    pub fn simulate_run_spanning<R: Rng + ?Sized>(
+        &self,
+        nodes: usize,
+        blades_spanned: usize,
+        rng: &mut R,
+    ) -> HplRunSample {
+        let mean_seconds = self.run_time_spanning(nodes, blades_spanned);
         let sigma_frac = 0.021 + 0.0066 * (nodes as f64).log2();
         let seconds = gaussian(rng, mean_seconds, mean_seconds * sigma_frac).max(1e-9);
         HplRunSample {
@@ -315,6 +362,30 @@ mod tests {
         assert!(ib.efficiency_vs_linear(8) > 0.97);
         // Single-node performance is unchanged: the network is idle.
         assert!((ib.gflops(1) - gbe.gflops(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_blade_span_penalises_only_beyond_the_minimal_packing() {
+        let m = model();
+        // 2 nodes on one blade is the minimal span: identical to the
+        // calibrated curve, bit for bit.
+        assert_eq!(m.run_time_spanning(2, 1), m.run_time(2));
+        assert_eq!(m.gflops_spanning(2, 1), m.gflops(2));
+        // The same 2 nodes split across two blades pay the penalty.
+        let intra = m.gflops_spanning(2, 1);
+        let cross = m.gflops_spanning(2, 2);
+        assert!(cross < intra, "cross {cross} !< intra {intra}");
+        // The gap is the comm penalty, so it is small but real.
+        assert!(cross > intra * 0.95, "penalty too harsh: {cross}");
+        // 8 nodes necessarily span all 4 blades: minimal, no penalty.
+        assert_eq!(m.run_time_spanning(8, 4), m.run_time(8));
+        assert_eq!(HplModel::minimal_blades(3), 2);
+        // One RNG draw either way keeps the stream aligned.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let s1 = m.simulate_run(2, &mut a);
+        let s2 = m.simulate_run_spanning(2, 1, &mut b);
+        assert_eq!(s1, s2);
     }
 
     #[test]

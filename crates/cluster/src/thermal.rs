@@ -58,6 +58,35 @@ pub struct NodeThermalParams {
 /// // Paper: ≈39 °C steady state after the mitigation.
 /// assert!(model.temperature(6).as_f64() < 45.0);
 /// ```
+/// How badly a node's airflow is degraded by a dead blade fan.
+///
+/// The multipliers stack on top of the [`AirflowConfig`] baseline: a
+/// direct hit (the node's own blade fan) roughly doubles the thermal
+/// resistance and raises the local environment sharply; the blade in the
+/// exhaust shadow sees a milder version of both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AirflowDegradation {
+    /// Normal airflow.
+    None,
+    /// The node's own blade fan is dead.
+    Direct,
+    /// The node sits in a dead fan's exhaust shadow (the blade above).
+    Shadow,
+}
+
+impl AirflowDegradation {
+    /// `(resistance multiplier, env-offset delta °C)` for this state.
+    fn factors(self) -> (f64, f64) {
+        match self {
+            AirflowDegradation::None => (1.0, 0.0),
+            AirflowDegradation::Direct => (1.8, 12.0),
+            AirflowDegradation::Shadow => (1.2, 5.0),
+        }
+    }
+}
+
+/// Lumped-capacitance thermal model of the enclosure: per-node heat-up,
+/// airflow coupling (including dead-fan degradation), and trip latches.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThermalModel {
     config: AirflowConfig,
@@ -67,6 +96,8 @@ pub struct ThermalModel {
     tripped: Vec<bool>,
     /// Exponential leakage feedback: extra SoC watts per °C above 45 °C.
     leakage_feedback_w_per_deg: f64,
+    /// Per-node fan-failure airflow state (default all `None`).
+    airflow_degradation: Vec<AirflowDegradation>,
 }
 
 impl ThermalModel {
@@ -108,6 +139,7 @@ impl ThermalModel {
             tripped: vec![false; 8],
             params,
             leakage_feedback_w_per_deg: 0.012,
+            airflow_degradation: vec![AirflowDegradation::None; 8],
         }
     }
 
@@ -163,6 +195,25 @@ impl ThermalModel {
         )
     }
 
+    /// Sets node `i`'s fan-failure airflow state (the engine drives this
+    /// from [`crate::faults::FaultKind::FanFailure`] spans).
+    pub fn set_airflow_degradation(&mut self, i: usize, state: AirflowDegradation) {
+        self.airflow_degradation[i] = state;
+    }
+
+    /// Node `i`'s current fan-failure airflow state.
+    pub fn airflow_degradation(&self, i: usize) -> AirflowDegradation {
+        self.airflow_degradation[i]
+    }
+
+    /// The node's effective `(resistance, env_offset)` with any airflow
+    /// degradation applied on top of the baseline config.
+    fn effective_params(&self, i: usize) -> (f64, f64) {
+        let prm = &self.params[i];
+        let (r_mul, off_delta) = self.airflow_degradation[i].factors();
+        (prm.resistance * r_mul, prm.env_offset + off_delta)
+    }
+
     /// Whether node `i` has hit the trip point.
     pub fn is_tripped(&self, i: usize) -> bool {
         self.tripped[i]
@@ -176,8 +227,8 @@ impl ThermalModel {
     /// Steady-state temperature of node `i` at SoC power `p` (ignoring the
     /// leakage feedback).
     pub fn equilibrium(&self, i: usize, p: Power) -> Celsius {
-        let prm = &self.params[i];
-        Celsius::new(self.ambient.as_f64() + prm.env_offset + prm.resistance * p.as_watts())
+        let (resistance, env_offset) = self.effective_params(i);
+        Celsius::new(self.ambient.as_f64() + env_offset + resistance * p.as_watts())
     }
 
     /// Advances the model by `dt` under the given per-node SoC powers.
@@ -197,13 +248,14 @@ impl ThermalModel {
         let secs = dt.as_secs_f64();
         #[allow(clippy::needless_range_loop)] // index drives four parallel per-node arrays
         for i in 0..self.temperatures.len() {
-            let prm = &self.params[i];
+            let (resistance, env_offset) = self.effective_params(i);
+            let capacity = self.params[i].capacity;
             let temp = self.temperatures[i];
             // Leakage rises with temperature, closing the runaway loop.
             let feedback = self.leakage_feedback_w_per_deg * (temp - 45.0).max(0.0);
             let p = powers[i].as_watts() + feedback;
-            let env = self.ambient.as_f64() + prm.env_offset;
-            let d_temp = (p - (temp - env) / prm.resistance) / prm.capacity * secs;
+            let env = self.ambient.as_f64() + env_offset;
+            let d_temp = (p - (temp - env) / resistance) / capacity * secs;
             let updated = temp + d_temp;
             self.temperatures[i] = updated;
             if updated >= TRIP_POINT.as_f64() && !self.tripped[i] {
@@ -309,6 +361,39 @@ mod tests {
         assert!(model.is_tripped(0));
         model.clear_trip(0);
         assert!(!model.is_tripped(0));
+    }
+
+    #[test]
+    fn fan_failure_raises_equilibrium_and_shadow_raises_it_less() {
+        let mut model = ThermalModel::monte_cimone(AirflowConfig::LidOffSpaced);
+        let p = Power::from_watts(5.935);
+        let healthy = model.equilibrium(0, p).as_f64();
+        model.set_airflow_degradation(0, AirflowDegradation::Direct);
+        model.set_airflow_degradation(2, AirflowDegradation::Shadow);
+        let direct = model.equilibrium(0, p).as_f64();
+        let shadow = model.equilibrium(2, p).as_f64();
+        assert!(
+            direct > shadow && shadow > healthy,
+            "{direct} {shadow} {healthy}"
+        );
+        // Lid-off, a dead fan degrades but does not trip (the node lands
+        // around 60 °C, well under the 107 °C point).
+        assert!(direct < TRIP_POINT.as_f64());
+        // Clearing the fault restores the baseline exactly.
+        model.set_airflow_degradation(0, AirflowDegradation::None);
+        assert_eq!(model.equilibrium(0, p).as_f64(), healthy);
+    }
+
+    #[test]
+    fn fan_failure_compounds_the_lid_on_runaway() {
+        // With the original enclosure, losing node 7's blade fan pushes its
+        // already-pathological equilibrium far past the trip point — the
+        // correlated version of the Fig. 6 incident.
+        let mut model = ThermalModel::monte_cimone(AirflowConfig::LidOnTightStack);
+        let p = Power::from_watts(5.935);
+        let before = model.equilibrium(6, p).as_f64();
+        model.set_airflow_degradation(6, AirflowDegradation::Direct);
+        assert!(model.equilibrium(6, p).as_f64() > before + 30.0);
     }
 
     #[test]

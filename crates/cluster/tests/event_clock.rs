@@ -264,6 +264,72 @@ fn threaded_event_runs_match_serial_fixed_runs() {
     }
 }
 
+/// The blade fault domains — a governed brownout, a fan failure with its
+/// airflow shadow, and a PSU failure — composed in one plan: byte-equal
+/// across clock modes and 1..=4 threads, with the recovery stack (and its
+/// cap-aware failure detector) running underneath.
+#[test]
+fn blade_fault_domains_are_bit_identical_across_modes_and_threads() {
+    let plan = || {
+        FaultPlan::new()
+            .with(
+                SimTime::from_secs(60),
+                FaultKind::RailBrownout {
+                    blade: 1,
+                    budget_frac: 0.7,
+                    span: SimDuration::from_secs(400),
+                },
+            )
+            .with(
+                SimTime::from_secs(120),
+                FaultKind::FanFailure {
+                    blade: 2,
+                    span: SimDuration::from_secs(300),
+                },
+            )
+            .with(SimTime::from_secs(200), FaultKind::PsuFailure { blade: 3 })
+            .with(SimTime::from_secs(700), FaultKind::NodeRecover { node: 6 })
+            .with(SimTime::from_secs(700), FaultKind::NodeRecover { node: 7 })
+    };
+    let run = |clock: ClockMode, threads: usize| {
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(1),
+            threads,
+            parallel_grain: 1, // force the pool despite only 8 nodes
+            recovery: Some(RecoveryConfig::with_checkpoints(SimDuration::from_secs(60))),
+            clock,
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(plan());
+        engine.submit(synthetic(4, 180)).unwrap();
+        engine.submit(synthetic(2, 120)).unwrap();
+        engine.run_for(SimDuration::from_secs(2400));
+        engine
+    };
+    let reference = run(ClockMode::FixedDt, 1);
+    assert!(
+        reference
+            .events()
+            .iter()
+            .any(|e| matches!(e, EngineEvent::BladeCapped { blade: 1, .. })),
+        "the brownout must engage the governor"
+    );
+    for threads in 1..=4 {
+        let event = run(ClockMode::EventDriven, threads);
+        assert_bit_identical(
+            &reference,
+            &event,
+            &format!("blade fault domains at {threads} threads"),
+        );
+        assert_eq!(
+            reference.brownout_peak_power(1),
+            event.brownout_peak_power(1),
+            "peak-power accounting diverged at {threads} threads"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -307,5 +373,85 @@ proptest! {
         prop_assert_eq!(fixed.accounting(), event.accounting());
         prop_assert!(fixed.thermal() == event.thermal());
         prop_assert_eq!(fixed.total_downtime(), event.total_downtime());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The degraded-mode power invariant: while a rail is browned out the
+    /// governed blade's power never exceeds `budget_frac ×` the rated rail
+    /// budget at any tick — checked tick by tick against the exact
+    /// quantity the governor bounds — and the whole brownout run is
+    /// bit-identical across clock modes and 1..=4 threads.
+    #[test]
+    fn capped_blade_power_never_exceeds_the_budget(
+        budget_pct in 65u32..=95,
+        seed in prop::sample::select(vec![1u64, 7, 2022]),
+    ) {
+        let budget_frac = f64::from(budget_pct) / 100.0;
+        let budget = budget_frac * cimone_cluster::RAIL_RATED_WATTS;
+        let plan = || {
+            FaultPlan::new().with(
+                SimTime::from_secs(60),
+                FaultKind::RailBrownout {
+                    blade: 0,
+                    budget_frac,
+                    span: SimDuration::from_secs(600),
+                },
+            )
+        };
+        // Tick-by-tick: step a fixed-dt engine manually and sample the
+        // governed blade's power at every tick of the brownout window.
+        let mut engine = SimEngine::new(EngineConfig {
+            monitoring: false,
+            dt: SimDuration::from_secs(2),
+            seed,
+            ..EngineConfig::default()
+        })
+        .with_fault_plan(plan());
+        engine.submit(synthetic(8, 500)).unwrap();
+        for _ in 0..400 {
+            engine.step();
+            let now = engine.now().as_secs_f64();
+            if (62.0..=660.0).contains(&now) {
+                prop_assert!(
+                    engine.blade_power(0) <= budget + 1e-9,
+                    "tick {now}: blade 0 at {} W over the {budget} W budget",
+                    engine.blade_power(0)
+                );
+            }
+        }
+        prop_assert!(engine.brownout_peak_power(0) <= budget + 1e-9);
+        prop_assert!(engine.brownout_peak_power(0) > 0.0);
+
+        // Whole-run identity: clock modes and thread counts agree.
+        let run = |clock: ClockMode, threads: usize| {
+            let mut engine = SimEngine::new(EngineConfig {
+                monitoring: false,
+                dt: SimDuration::from_secs(2),
+                seed,
+                threads,
+                parallel_grain: 1,
+                clock,
+                ..EngineConfig::default()
+            })
+            .with_fault_plan(plan());
+            engine.submit(synthetic(8, 500)).unwrap();
+            engine.run_for(SimDuration::from_secs(1200));
+            engine
+        };
+        let reference = run(ClockMode::FixedDt, 1);
+        for threads in 1..=4 {
+            let event = run(ClockMode::EventDriven, threads);
+            prop_assert_eq!(reference.now(), event.now());
+            prop_assert_eq!(reference.events(), event.events());
+            prop_assert_eq!(reference.accounting(), event.accounting());
+            prop_assert!(reference.thermal() == event.thermal());
+            prop_assert_eq!(
+                reference.brownout_peak_power(0).to_bits(),
+                event.brownout_peak_power(0).to_bits()
+            );
+        }
     }
 }

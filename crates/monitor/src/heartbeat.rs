@@ -87,6 +87,11 @@ pub struct PhiAccrualDetector {
     window: usize,
     intervals: VecDeque<f64>,
     last_arrival: Option<SimTime>,
+    /// How much slower than nominal this node is *expected* to beat (1.0 =
+    /// nominal). A DVFS-capped node's health daemon runs at the capped
+    /// clock, so its silence must be judged against the scaled cadence;
+    /// without this, graceful degradation reads as a crash.
+    expected_scale: f64,
 }
 
 impl PhiAccrualDetector {
@@ -101,7 +106,30 @@ impl PhiAccrualDetector {
             window,
             intervals: VecDeque::new(),
             last_arrival: None,
+            expected_scale: 1.0,
         }
+    }
+
+    /// Declares that the node is expected to beat `scale`× slower than
+    /// nominal (DVFS cap or throttle; 1.0 restores nominal). Both recorded
+    /// intervals and elapsed silence are normalised by the scale, so the
+    /// fitted distribution stays on the nominal-cadence axis and a capped
+    /// node accrues no spurious suspicion.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the scale is finite and positive.
+    pub fn set_expected_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "expected scale must be finite and positive"
+        );
+        self.expected_scale = scale;
+    }
+
+    /// The declared cadence scale (1.0 = nominal).
+    pub fn expected_scale(&self) -> f64 {
+        self.expected_scale
     }
 
     /// Records a heartbeat arrival. Out-of-order or duplicate timestamps
@@ -115,7 +143,7 @@ impl PhiAccrualDetector {
                 self.intervals.pop_front();
             }
             self.intervals
-                .push_back(at.saturating_since(last).as_secs_f64());
+                .push_back(at.saturating_since(last).as_secs_f64() / self.expected_scale);
         }
         self.last_arrival = Some(at);
     }
@@ -164,7 +192,7 @@ impl PhiAccrualDetector {
             .sum::<f64>()
             / self.intervals.len() as f64;
         let sigma = var.sqrt().max(0.25 * mean).max(1e-6);
-        let elapsed = now.saturating_since(last).as_secs_f64();
+        let elapsed = now.saturating_since(last).as_secs_f64() / self.expected_scale;
         let z = (elapsed - mean) / sigma;
         // P(X > elapsed) for X ~ N(mean, sigma²).
         let p_later = 0.5 * erfc(z / std::f64::consts::SQRT_2);
@@ -331,6 +359,18 @@ impl HeartbeatMonitor {
         self.detectors.get(node)
     }
 
+    /// Declares `node`'s expected heartbeat cadence scale (see
+    /// [`PhiAccrualDetector::set_expected_scale`]). Creates the detector
+    /// if the node has not been heard from yet, so the scale applies from
+    /// its first arrival.
+    pub fn set_expected_scale(&mut self, node: &str, scale: f64) {
+        let window = self.window;
+        self.detectors
+            .entry(node.to_string())
+            .or_insert_with(|| PhiAccrualDetector::new(window))
+            .set_expected_scale(scale);
+    }
+
     /// The first grid tick in `[from, to]` (stepping by `step`) at which
     /// `node` would cross the suspicion threshold, assuming no further
     /// heartbeats arrive; `None` for unknown nodes or when the crossing
@@ -451,6 +491,45 @@ mod tests {
             det.first_crossing(DEFAULT_PHI_THRESHOLD, from, near, step),
             None
         );
+    }
+
+    #[test]
+    fn expected_scale_suppresses_false_suspicion_of_slow_nodes() {
+        use cimone_soc::units::SimDuration;
+        // Fit on a nominal 5 s cadence, then the node is capped to a third
+        // of its clock: beats arrive every 15 s.
+        let mut capped = PhiAccrualDetector::default();
+        let mut naive = PhiAccrualDetector::default();
+        steady(&mut capped, 12, 5);
+        steady(&mut naive, 12, 5);
+        let last = SimTime::from_secs(11 * 5);
+        capped.set_expected_scale(3.0);
+        // 15 s of silence: exactly one scaled beat late — not suspicious
+        // when the scale is declared, far over threshold when it is not.
+        let at = last + SimDuration::from_secs(15);
+        assert!(capped.phi(at) < 1.0, "phi {}", capped.phi(at));
+        assert!(naive.phi(at) > DEFAULT_PHI_THRESHOLD);
+        // Scaled beats keep the fitted window on the nominal axis...
+        capped.record(at);
+        assert!((capped.mean_interval().unwrap() - 5.0).abs() < 0.1);
+        // ...and a *real* crash still accrues suspicion on the scaled
+        // cadence: four straight missed (scaled) beats cross the line.
+        assert!(capped.phi(at + SimDuration::from_secs(60)) > DEFAULT_PHI_THRESHOLD);
+    }
+
+    #[test]
+    fn monitor_applies_scales_even_before_first_arrival() {
+        let broker = Broker::new();
+        let mut hb = HeartbeatMonitor::attach(&broker, "#".parse().unwrap(), DEFAULT_PHI_THRESHOLD);
+        hb.set_expected_scale("mc-node-05", 3.0);
+        assert_eq!(
+            hb.detector("mc-node-05").unwrap().expected_scale(),
+            3.0,
+            "scale must stick on the pre-created detector"
+        );
+        hb.observe("mc-node-05", SimTime::from_secs(0));
+        hb.set_expected_scale("mc-node-05", 1.0);
+        assert_eq!(hb.detector("mc-node-05").unwrap().expected_scale(), 1.0);
     }
 
     #[test]

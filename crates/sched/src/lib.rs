@@ -9,6 +9,7 @@
 //!
 //! * [`job`] — job specs, states and lifecycle records;
 //! * [`partition`] — named node sets with availability tracking;
+//! * [`placement`] — blade-aware node selection (packing and steering);
 //! * [`scheduler`] — the controller: submit, schedule, complete, fail;
 //! * [`accounting`] — completed-job records and utilisation statistics.
 //!
@@ -37,10 +38,12 @@
 pub mod accounting;
 pub mod job;
 pub mod partition;
+pub mod placement;
 pub mod render;
 pub mod scheduler;
 
 pub use accounting::{AccountingLog, JobRecord};
 pub use job::{Job, JobId, JobSpec, JobState};
 pub use partition::{NodeAvailability, Partition};
+pub use placement::BladeTopology;
 pub use scheduler::{SchedError, Scheduler, SchedulingPolicy};

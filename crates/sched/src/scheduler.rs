@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use crate::accounting::{JobEvent, JobEventKind};
 use crate::job::{Job, JobId, JobSpec, JobState};
 use crate::partition::{NodeAvailability, Partition};
+use crate::placement::{self, BladeTopology};
 
 /// Queue policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -98,6 +99,12 @@ pub struct Scheduler {
     draining: BTreeSet<String>,
     /// Requeue/retry events since the last [`Scheduler::take_events`].
     events: Vec<JobEvent>,
+    /// Blade topology for placement, when known. `None` falls back to
+    /// plain sorted-hostname allocation.
+    topology: Option<BladeTopology>,
+    /// Blades the engine marked degraded (browned-out rail, draining):
+    /// placement steers new work away while healthy blades have room.
+    degraded_blades: BTreeSet<usize>,
 }
 
 impl Scheduler {
@@ -117,7 +124,35 @@ impl Scheduler {
             next_id: 1,
             draining: BTreeSet::new(),
             events: Vec::new(),
+            topology: None,
+            degraded_blades: BTreeSet::new(),
         }
+    }
+
+    /// Installs the blade topology blade-aware placement works from.
+    pub fn set_topology(&mut self, topology: BladeTopology) {
+        self.topology = Some(topology);
+    }
+
+    /// The installed blade topology, if any.
+    pub fn topology(&self) -> Option<&BladeTopology> {
+        self.topology.as_ref()
+    }
+
+    /// Marks a blade degraded (or clears the mark): placement steers new
+    /// work away from degraded blades while healthy ones have room.
+    /// Ignored without a topology.
+    pub fn set_blade_degraded(&mut self, blade: usize, degraded: bool) {
+        if degraded {
+            self.degraded_blades.insert(blade);
+        } else {
+            self.degraded_blades.remove(&blade);
+        }
+    }
+
+    /// Blades currently marked degraded.
+    pub fn degraded_blades(&self) -> &BTreeSet<usize> {
+        &self.degraded_blades
     }
 
     /// The partition.
@@ -312,7 +347,12 @@ impl Scheduler {
 
     fn start_job(&mut self, id: JobId, now: SimTime) {
         let need = self.jobs[&id].spec().nodes;
-        let allocation: Vec<String> = self.partition.idle_nodes().into_iter().take(need).collect();
+        let allocation = placement::allocate(
+            &self.partition,
+            self.topology.as_ref(),
+            &self.degraded_blades,
+            need,
+        );
         debug_assert_eq!(allocation.len(), need, "allocation underflow");
         for node in &allocation {
             self.partition

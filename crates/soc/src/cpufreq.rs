@@ -201,6 +201,20 @@ impl CpuFreq {
             leakage: self.current().leakage_scale(self.nominal()),
         }
     }
+
+    /// The scaling factors the complex *would* have at OPP `index` —
+    /// what-if power prediction for cap governors, without changing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range indices.
+    pub fn scale_at(&self, index: usize) -> DvfsScale {
+        let opp = &self.opps[index];
+        DvfsScale {
+            dynamic: opp.dynamic_scale(self.nominal()),
+            leakage: opp.leakage_scale(self.nominal()),
+        }
+    }
 }
 
 impl Default for CpuFreq {
@@ -244,6 +258,16 @@ mod tests {
         // ...at ~21 % of the nominal dynamic power.
         assert!((cpufreq.scale().dynamic - 0.8f64.powi(2) / 3.0).abs() < 1e-12);
         assert!(!cpufreq.step_down(), "cannot go below the lowest OPP");
+    }
+
+    #[test]
+    fn scale_at_predicts_without_mutating() {
+        let cpufreq = CpuFreq::u740();
+        let predicted = cpufreq.scale_at(0);
+        assert!((predicted.dynamic - 0.8f64.powi(2) / 3.0).abs() < 1e-12);
+        assert!((predicted.leakage - 0.8).abs() < 1e-12);
+        assert!(cpufreq.is_nominal(), "prediction must not change state");
+        assert_eq!(cpufreq.scale_at(4), cpufreq.scale());
     }
 
     #[test]
