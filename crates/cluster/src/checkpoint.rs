@@ -24,8 +24,34 @@ use crate::services::nfs::{MountHandle, NfsError, NfsServer};
 /// Uid the engine writes checkpoints under (a system service account).
 const CKPT_UID: u32 = 900;
 
-/// The export checkpoints are kept on.
+/// The default export checkpoints are kept on (see
+/// [`CheckpointStoreConfig`] to place them elsewhere).
 const CKPT_EXPORT: &str = "/ckpt";
+
+/// Where a [`CheckpointStore`] keeps its records: which NFS export, how
+/// big it is, and which client identity mounts it. The historical
+/// hard-coded `/ckpt` layout is [`CheckpointStoreConfig::default`]; a
+/// second store on a second export (with its own outage windows) is just
+/// a second config.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointStoreConfig {
+    /// The export path records live under.
+    pub export: String,
+    /// The export's quota.
+    pub quota: Bytes,
+    /// The client hostname the store mounts as.
+    pub client: String,
+}
+
+impl Default for CheckpointStoreConfig {
+    fn default() -> Self {
+        CheckpointStoreConfig {
+            export: CKPT_EXPORT.to_owned(),
+            quota: Bytes::from_gib(20),
+            client: "mc-master".to_owned(),
+        }
+    }
+}
 
 /// Where a job resumes inside its kernel: the natural restart unit of
 /// each workload in the paper's campaign.
@@ -178,6 +204,14 @@ pub enum CheckpointError {
     },
     /// The underlying filesystem refused the operation.
     Storage(NfsError),
+    /// The export is inside an injected outage window: the server is
+    /// unreachable until `until`. Retry, back off, or spill.
+    ExportOffline {
+        /// The unavailable export path.
+        export: String,
+        /// When the outage window ends.
+        until: SimTime,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -190,6 +224,9 @@ impl fmt::Display for CheckpointError {
                 write!(f, "no checkpoint stored for job {job_id}")
             }
             CheckpointError::Storage(e) => write!(f, "checkpoint storage failed: {e}"),
+            CheckpointError::ExportOffline { export, until } => {
+                write!(f, "export {export} is offline until t={until}")
+            }
         }
     }
 }
@@ -268,6 +305,9 @@ pub struct CheckpointSchedule {
     pending: f64,
     /// Progress preserved by the last *committed* checkpoint.
     committed: f64,
+    /// Commit attempts deferred by an export outage (see
+    /// [`CheckpointSchedule::defer`]).
+    retries: u32,
 }
 
 impl CheckpointSchedule {
@@ -280,6 +320,7 @@ impl CheckpointSchedule {
             draining_until: None,
             pending: 0.0,
             committed,
+            retries: 0,
         }
     }
 
@@ -318,7 +359,32 @@ impl CheckpointSchedule {
         self.committed = self.pending;
         self.draining_until = None;
         self.next_begin = Some(next_begin);
+        self.retries = 0;
         self.committed
+    }
+
+    /// Defers the drained-but-uncommittable write (the export is offline):
+    /// the drain deadline moves to `retry_at` and the retry counter
+    /// advances. The pending fraction stays pending — nothing became
+    /// durable.
+    pub fn defer(&mut self, retry_at: SimTime) {
+        self.draining_until = Some(retry_at);
+        self.retries += 1;
+    }
+
+    /// Commit attempts already deferred for the in-flight write.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Abandons the in-flight write after the retry budget is spent: the
+    /// pending fraction is dropped (never became durable), the retry
+    /// counter resets, and the next write is scheduled at `next_begin`.
+    pub fn abandon(&mut self, next_begin: SimTime) {
+        self.pending = self.committed;
+        self.draining_until = None;
+        self.next_begin = Some(next_begin);
+        self.retries = 0;
     }
 
     /// Progress the job falls back to if its nodes die right now.
@@ -349,39 +415,91 @@ impl CheckpointSchedule {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointStore {
+    config: CheckpointStoreConfig,
     nfs: NfsServer,
     mount: MountHandle,
     cache: BTreeMap<u64, JobCheckpoint>,
+    /// Injected export outage: while `now < offline_until`, timed saves
+    /// fail with [`CheckpointError::ExportOffline`].
+    offline_until: Option<SimTime>,
+    /// Node-local write-behind records awaiting an export recovery flush.
+    spill: BTreeMap<u64, JobCheckpoint>,
 }
 
 impl CheckpointStore {
-    /// A store on a fresh master-node export over Gigabit Ethernet.
+    /// A store on a fresh master-node export over Gigabit Ethernet, at
+    /// the default `/ckpt` layout.
     pub fn new() -> Self {
+        CheckpointStore::with_config(CheckpointStoreConfig::default())
+    }
+
+    /// A store with an explicit export layout.
+    pub fn with_config(config: CheckpointStoreConfig) -> Self {
         let mut nfs = NfsServer::monte_cimone();
-        nfs.export(CKPT_EXPORT, Bytes::from_gib(20));
+        nfs.export(&config.export, config.quota);
         let mount = nfs
-            .mount(CKPT_EXPORT, "mc-master")
+            .mount(&config.export, &config.client)
             .expect("the export was just created");
         CheckpointStore {
+            config,
             nfs,
             mount,
             cache: BTreeMap::new(),
+            offline_until: None,
+            spill: BTreeMap::new(),
         }
     }
 
-    fn path(job_id: u64) -> String {
-        format!("{CKPT_EXPORT}/job-{job_id}.ckpt")
+    /// The export layout this store writes to.
+    pub fn config(&self) -> &CheckpointStoreConfig {
+        &self.config
+    }
+
+    fn path(&self, job_id: u64) -> String {
+        format!("{}/job-{job_id}.ckpt", self.config.export)
+    }
+
+    /// Marks the export unreachable until `until` (an injected
+    /// [`crate::faults::FaultKind::NfsExportDown`] window). Repeated calls
+    /// keep the later deadline.
+    pub fn set_export_offline(&mut self, until: SimTime) {
+        self.offline_until = Some(match self.offline_until {
+            Some(t) if t > until => t,
+            _ => until,
+        });
+    }
+
+    /// When the current outage window ends, if one is open. The window
+    /// stays observable past its deadline until
+    /// [`CheckpointStore::clear_export_offline`] acknowledges it, so the
+    /// engine can run its recovery flush exactly once.
+    pub fn export_offline_until(&self) -> Option<SimTime> {
+        self.offline_until
+    }
+
+    /// Acknowledges an expired outage window: clears it.
+    pub fn clear_export_offline(&mut self) {
+        self.offline_until = None;
+    }
+
+    /// Whether the export is inside an outage window at `now`.
+    pub fn is_export_offline(&self, now: SimTime) -> bool {
+        self.offline_until.is_some_and(|t| now < t)
     }
 
     /// Commits a checkpoint record, replacing the job's previous one.
     /// Returns the metadata write's network cost (the application data's
     /// drain time is the [`CheckpointCostModel`]'s business).
     ///
+    /// This path assumes the export is reachable; the engine's timed
+    /// commits go through [`CheckpointStore::save_at`], which honours
+    /// outage windows.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem failures (quota, export gone).
     pub fn save(&mut self, ckpt: JobCheckpoint) -> Result<SimDuration, CheckpointError> {
-        let path = Self::path(ckpt.job_id);
+        let path = self.path(ckpt.job_id);
         let encoded = ckpt.encode();
         if !self.cache.contains_key(&ckpt.job_id) {
             self.nfs.create(&self.mount, &path, CKPT_UID, false)?;
@@ -393,8 +511,89 @@ impl CheckpointStore {
         Ok(cost)
     }
 
-    /// The last committed checkpoint for `job_id`, if any.
+    /// [`CheckpointStore::save`], but refused while `now` lies inside an
+    /// injected export outage window.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::ExportOffline`] during an outage, else any
+    /// filesystem failure.
+    pub fn save_at(
+        &mut self,
+        now: SimTime,
+        ckpt: JobCheckpoint,
+    ) -> Result<SimDuration, CheckpointError> {
+        if let Some(until) = self.offline_until {
+            if now < until {
+                return Err(CheckpointError::ExportOffline {
+                    export: self.config.export.clone(),
+                    until,
+                });
+            }
+        }
+        self.save(ckpt)
+    }
+
+    /// Buffers a record node-locally instead of committing it: the
+    /// write-behind path a spill-enabled engine takes while the export is
+    /// offline. The record replaces any older spill for the same job and
+    /// is flushed to the export by [`CheckpointStore::flush_spill`].
+    pub fn spill_write(&mut self, ckpt: JobCheckpoint) {
+        self.spill.insert(ckpt.job_id, ckpt);
+    }
+
+    /// The spilled (buffered, not yet durable on the export) record for
+    /// `job_id`, if one is waiting.
+    pub fn spilled(&self, job_id: u64) -> Option<&JobCheckpoint> {
+        self.spill.get(&job_id)
+    }
+
+    /// Drops `job_id`'s spilled record (the buffering node crashed before
+    /// the flush), returning it if one existed.
+    pub fn drop_spill(&mut self, job_id: u64) -> Option<JobCheckpoint> {
+        self.spill.remove(&job_id)
+    }
+
+    /// Jobs with a spilled record waiting to flush.
+    pub fn spilled_jobs(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// Flushes every spilled record to the (recovered) export, in job-id
+    /// order. Returns how many records flushed and their total network
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::ExportOffline`] if the export is still inside
+    /// an outage window at `now`, else any filesystem failure (records
+    /// already flushed stay flushed).
+    pub fn flush_spill(&mut self, now: SimTime) -> Result<(usize, SimDuration), CheckpointError> {
+        if self.is_export_offline(now) {
+            return Err(CheckpointError::ExportOffline {
+                export: self.config.export.clone(),
+                until: self.offline_until.expect("offline window is open"),
+            });
+        }
+        let mut flushed = 0;
+        let mut cost = SimDuration::ZERO;
+        while let Some((&job_id, _)) = self.spill.iter().next() {
+            let ckpt = self.spill.remove(&job_id).expect("key just observed");
+            cost += self.save(ckpt)?;
+            flushed += 1;
+        }
+        Ok((flushed, cost))
+    }
+
+    /// The last committed checkpoint for `job_id`, preferring a spilled
+    /// (newer, node-local) record over the export's copy.
     pub fn load(&self, job_id: u64) -> Option<&JobCheckpoint> {
+        self.spill.get(&job_id).or_else(|| self.cache.get(&job_id))
+    }
+
+    /// The last record durable *on the export* for `job_id` — what
+    /// survives if the spill-buffering node dies before the flush.
+    pub fn load_durable(&self, job_id: u64) -> Option<&JobCheckpoint> {
         self.cache.get(&job_id)
     }
 
@@ -410,18 +609,20 @@ impl CheckpointStore {
         if !self.cache.contains_key(&job_id) {
             return Err(CheckpointError::Missing { job_id });
         }
-        let (data, _cost) = self.nfs.read(&self.mount, &Self::path(job_id), CKPT_UID)?;
+        let (data, _cost) = self.nfs.read(&self.mount, &self.path(job_id), CKPT_UID)?;
         let text = String::from_utf8(data).map_err(|e| CheckpointError::Malformed {
             line: format!("<invalid utf-8: {e}>"),
         })?;
         JobCheckpoint::decode(&text)
     }
 
-    /// Deletes a job's checkpoint (done on completion: the restart point
-    /// is dead weight once the job finishes).
+    /// Deletes a job's checkpoint — spilled and durable alike (done on
+    /// completion: the restart point is dead weight once the job
+    /// finishes).
     pub fn remove(&mut self, job_id: u64) {
+        self.spill.remove(&job_id);
         if self.cache.remove(&job_id).is_some() {
-            let _ = self.nfs.remove(&self.mount, &Self::path(job_id), CKPT_UID);
+            let _ = self.nfs.remove(&self.mount, &self.path(job_id), CKPT_UID);
         }
     }
 
@@ -547,6 +748,110 @@ mod tests {
             store.reload(42),
             Err(CheckpointError::Missing { job_id: 42 })
         ));
+    }
+
+    #[test]
+    fn schedule_defers_and_abandons_offline_writes() {
+        let t = SimTime::from_secs;
+        let mut sched = CheckpointSchedule::new(Some(t(60)), 0.25);
+        sched.begin(0.5, t(63));
+        // The export is down: the drain completes but cannot commit.
+        sched.defer(t(67));
+        assert_eq!(sched.retries(), 1);
+        assert!(sched.is_draining(), "retry holds the job quiesced");
+        assert_eq!(sched.next_due(), Some(t(67)));
+        assert_eq!(sched.committed(), 0.25, "nothing became durable");
+        sched.defer(t(75));
+        assert_eq!(sched.retries(), 2);
+        // Retry budget spent: the write is dropped, cadence resumes.
+        sched.abandon(t(120));
+        assert_eq!(sched.retries(), 0);
+        assert!(!sched.is_draining());
+        assert_eq!(sched.next_due(), Some(t(120)));
+        assert_eq!(sched.committed(), 0.25);
+        assert_eq!(sched.pending(), 0.25, "pending fraction dropped");
+        // A later successful commit clears the retry counter too.
+        sched.begin(0.75, t(125));
+        sched.defer(t(130));
+        assert_eq!(sched.commit(t(180)), 0.75);
+        assert_eq!(sched.retries(), 0);
+    }
+
+    #[test]
+    fn store_config_parameterises_the_export() {
+        let config = CheckpointStoreConfig {
+            export: "/ckpt2".to_owned(),
+            quota: Bytes::from_gib(5),
+            client: "mc-login".to_owned(),
+        };
+        let mut store = CheckpointStore::with_config(config.clone());
+        assert_eq!(store.config(), &config);
+        store.save(sample()).expect("saves on the renamed export");
+        assert_eq!(store.reload(42).expect("reads back"), sample());
+        // The default store still lives at the historical /ckpt path.
+        assert_eq!(CheckpointStore::new().config().export, "/ckpt");
+    }
+
+    #[test]
+    fn offline_windows_refuse_timed_saves() {
+        let t = SimTime::from_secs;
+        let mut store = CheckpointStore::new();
+        store.set_export_offline(t(100));
+        // An earlier deadline does not shrink the window.
+        store.set_export_offline(t(50));
+        assert_eq!(store.export_offline_until(), Some(t(100)));
+        assert!(store.is_export_offline(t(99)));
+        assert!(!store.is_export_offline(t(100)));
+        let err = store.save_at(t(40), sample()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::ExportOffline { until, .. } if until == t(100)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("/ckpt"), "{err}");
+        assert_eq!(store.len(), 0, "no torn write: the cache saw nothing");
+        // At the window's end the same save lands.
+        store.save_at(t(100), sample()).expect("export is back");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn spill_buffers_then_flushes_on_recovery() {
+        let t = SimTime::from_secs;
+        let mut store = CheckpointStore::new();
+        // A durable pre-outage record.
+        store.save(sample()).expect("saves");
+        store.set_export_offline(t(100));
+        let newer = JobCheckpoint::new(
+            42,
+            0.6,
+            CheckpointPosition::HplPanel(127),
+            SimTime::from_secs(80),
+        );
+        store.spill_write(newer);
+        assert_eq!(store.spilled_jobs(), 1);
+        // The restart path sees the newer spilled record; the durable view
+        // still answers with the pre-outage one.
+        assert_eq!(store.load(42), Some(&newer));
+        assert_eq!(store.load_durable(42), Some(&sample()));
+        // Flushing mid-outage is refused.
+        assert!(matches!(
+            store.flush_spill(t(90)),
+            Err(CheckpointError::ExportOffline { .. })
+        ));
+        // After recovery the spill drains to the export.
+        let (flushed, cost) = store.flush_spill(t(100)).expect("export is back");
+        assert_eq!(flushed, 1);
+        assert!(cost > SimDuration::ZERO);
+        assert_eq!(store.spilled_jobs(), 0);
+        assert_eq!(store.load_durable(42), Some(&newer));
+        assert_eq!(store.reload(42).expect("reads back"), newer);
+        // A crash of the buffering node instead drops the spill: the
+        // durable record is what recovery falls back to.
+        let mut store = CheckpointStore::new();
+        store.save(sample()).expect("saves");
+        store.spill_write(newer);
+        assert_eq!(store.drop_spill(42), Some(newer));
+        assert_eq!(store.load(42), Some(&sample()));
     }
 
     #[test]

@@ -27,8 +27,12 @@ use cimone_soc::workload::Workload;
 
 use cimone_kernels::pool::{default_threads, WorkerPool};
 
+use cimone_net::switch::MgmtSwitch;
+
 use crate::blade::MachineLayout;
-use crate::checkpoint::{CheckpointPosition, CheckpointSchedule, CheckpointStore, JobCheckpoint};
+use crate::checkpoint::{
+    CheckpointError, CheckpointPosition, CheckpointSchedule, CheckpointStore, JobCheckpoint,
+};
 use crate::dpm::{GovernorAction, ThermalGovernor};
 use crate::faults::{FaultKind, FaultPlan, FaultPlanError, FaultQueue};
 use crate::healing::{
@@ -294,6 +298,80 @@ pub enum EngineEvent {
         /// When.
         at: SimTime,
     },
+    /// The control plane saw the whole cluster go silent at once and
+    /// entered the `Partitioned` state instead of mass-fencing: suspicion
+    /// is deferred until connectivity returns (or the partition times
+    /// out).
+    PartitionSuspected {
+        /// When.
+        at: SimTime,
+        /// Unfenced nodes that were over the phi threshold at entry.
+        silent: usize,
+    },
+    /// Heartbeats flowed again: the `Partitioned` state lifted without a
+    /// single false suspicion.
+    PartitionHealed {
+        /// When.
+        at: SimTime,
+    },
+    /// The `Partitioned` state outlived its timeout: the control plane
+    /// concedes the cluster really died and lets fencing proceed.
+    PartitionTimedOut {
+        /// When.
+        at: SimTime,
+    },
+    /// The shared GbE switch returned: heartbeats and telemetry flow
+    /// again.
+    SwitchRestored {
+        /// When.
+        at: SimTime,
+    },
+    /// A drained checkpoint write could not commit (the export is
+    /// offline); the commit retries with exponential backoff.
+    CheckpointDeferred {
+        /// The job.
+        id: JobId,
+        /// When the commit was refused.
+        at: SimTime,
+        /// When the next attempt runs.
+        retry_at: SimTime,
+        /// Attempts deferred so far for this write.
+        retries: u32,
+    },
+    /// A drained write exhausted its retry budget against an offline
+    /// export and was dropped; the job's restart point stays at the last
+    /// durable commit.
+    CheckpointAbandoned {
+        /// The job.
+        id: JobId,
+        /// When.
+        at: SimTime,
+    },
+    /// A drained write spilled to the job's first allocated node instead
+    /// of the offline export; it flushes when the export recovers.
+    CheckpointSpilled {
+        /// The job.
+        id: JobId,
+        /// When.
+        at: SimTime,
+        /// Work fraction the spilled record preserves.
+        progress: f64,
+    },
+    /// The export recovered and the node-local spill buffers flushed.
+    SpillFlushed {
+        /// When.
+        at: SimTime,
+        /// Records made durable on the export.
+        records: usize,
+    },
+    /// A machine-wide brownout budget proved infeasible even with every
+    /// blade at its floor OPP: the whole rack checkpoint-drains.
+    RackPowerEmergency {
+        /// When.
+        at: SimTime,
+        /// The machine-wide budget that could not be met, watts.
+        budget_watts: f64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -381,6 +459,10 @@ pub struct SimEngine {
     partitioned: Option<(usize, usize)>,
     partition_until: Option<SimTime>,
     nfs_stall_until: Option<SimTime>,
+    /// The shared GbE management switch every node's heartbeat and
+    /// telemetry path rides on; a [`FaultKind::SwitchOutage`] takes it
+    /// down rack-wide.
+    switch: MgmtSwitch,
     /// Physical blade layout: power rails and the airflow stack.
     layout: MachineLayout,
     /// The blade power-cap governor, when configured.
@@ -397,6 +479,11 @@ pub struct SimEngine {
     /// acceptance invariant — capped power never exceeds the reduced
     /// budget — is checked against this.
     brownout_peak_power: Vec<f64>,
+    /// Peak machine-wide power observed while a multi-rail rack budget was
+    /// active, watts. The rack-arbitration acceptance invariant — the
+    /// water-filled per-blade shares never let the whole machine exceed
+    /// the rack budget — is checked against this.
+    rack_peak_power: f64,
     // Outage bookkeeping for MTTF/MTTR.
     node_down_since: Vec<Option<SimTime>>,
     node_downtime: Vec<SimDuration>,
@@ -438,6 +525,10 @@ struct RecoveryState {
     checkpoints_written: usize,
     suspicions: usize,
     fences: usize,
+    /// Which node holds each job's spilled (node-local, not yet durable)
+    /// checkpoint: by convention the job's first allocated node. Placement
+    /// soft-avoids these nodes until the spill flushes.
+    spill_holders: HashMap<u64, usize>,
 }
 
 impl SimEngine {
@@ -486,6 +577,7 @@ impl SimEngine {
             checkpoints_written: 0,
             suspicions: 0,
             fences: 0,
+            spill_holders: HashMap::new(),
         });
         SimEngine {
             config,
@@ -516,6 +608,7 @@ impl SimEngine {
             partitioned: None,
             partition_until: None,
             nfs_stall_until: None,
+            switch: MgmtSwitch::monte_cimone(),
             layout,
             power_cap: config
                 .power_cap
@@ -524,6 +617,7 @@ impl SimEngine {
             brownout_until: vec![None; blade_count],
             last_blade_power: vec![0.0; blade_count],
             brownout_peak_power: vec![0.0; blade_count],
+            rack_peak_power: 0.0,
             node_down_since: vec![None; n],
             node_downtime: vec![SimDuration::ZERO; n],
             failures: 0,
@@ -672,6 +766,14 @@ impl SimEngine {
         self.brownout_peak_power[blade]
     }
 
+    /// Peak machine-wide mean power observed at any tick while a
+    /// multi-rail rack budget was active (0.0 if one never was). With the
+    /// governor on, the water-filled per-blade shares keep this at or
+    /// under the machine budget.
+    pub fn rack_peak_power(&self) -> f64 {
+        self.rack_peak_power
+    }
+
     /// Records this tick's per-blade power and, while a blade is under an
     /// active brownout budget (governed or crash-only), tracks the peak.
     /// Called with the same mean powers phase 4 and the thermal microstep
@@ -691,6 +793,16 @@ impl SimEngine {
                 || self.brownout_until[blade].is_some();
             if budgeted && watts > self.brownout_peak_power[blade] {
                 self.brownout_peak_power[blade] = watts;
+            }
+        }
+        if self
+            .power_cap
+            .as_ref()
+            .is_some_and(|gov| gov.active_rack_budget_watts().is_some())
+        {
+            let total: f64 = self.last_blade_power.iter().sum();
+            if total > self.rack_peak_power {
+                self.rack_peak_power = total;
             }
         }
     }
@@ -743,7 +855,12 @@ impl SimEngine {
         self.recovery.as_ref().map_or(0, |r| r.fences)
     }
 
-    /// The NFS-backed checkpoint store, when recovery is configured.
+    /// The shared GbE management switch (the rack-level fault domain).
+    pub fn switch(&self) -> &MgmtSwitch {
+        &self.switch
+    }
+
+    /// The checkpoint store, when recovery is configured.
     pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
         self.recovery.as_ref().map(|r| &r.store)
     }
@@ -954,12 +1071,16 @@ impl SimEngine {
         //    RNG stream is identical at every thread count.
         let mut node_power = Vec::with_capacity(self.nodes.len());
         let mut power_messages: Vec<(Topic, Payload)> = Vec::with_capacity(self.nodes.len());
+        // A dead management switch silences every node's telemetry at once
+        // (the broker lives across it), exactly like a cluster-wide sensor
+        // dropout.
+        let switch_up = self.switch.is_up(self.now);
         for i in 0..self.nodes.len() {
             let workload = self.nodes[i].effective_power_workload();
             let temp = self.thermal.temperature(i);
             let scale = self.nodes[i].cpufreq().scale();
             node_power.push(self.power.mean_all_dvfs(workload, temp, scale).total());
-            if self.config.monitoring {
+            if self.config.monitoring && switch_up {
                 let dropped_out = self.now < self.sensor_dropout_until[i];
                 let stuck = self.now < self.sensor_stuck_until[i];
                 if !dropped_out {
@@ -1024,7 +1145,7 @@ impl SimEngine {
         if let Some(pool) = &self.pool {
             let now = self.now;
             let eligible: Vec<bool> = (0..self.nodes.len())
-                .map(|i| monitoring && now >= self.sensor_dropout_until[i])
+                .map(|i| monitoring && switch_up && now >= self.sensor_dropout_until[i])
                 .collect();
             let tiles = pool.even_chunks(self.nodes.len());
             pool.scope(|scope| {
@@ -1076,8 +1197,8 @@ impl SimEngine {
         } else {
             for i in 0..self.nodes.len() {
                 self.nodes[i].advance(dt);
-                if !monitoring || self.now < self.sensor_dropout_until[i] {
-                    continue; // silent or monitoring off
+                if !monitoring || !switch_up || self.now < self.sensor_dropout_until[i] {
+                    continue; // silent, switch dark, or monitoring off
                 }
                 let mut out = std::mem::take(&mut self.plugin_scratch[i]);
                 out.clear();
@@ -1197,12 +1318,34 @@ impl SimEngine {
                         at: self.now,
                     });
                 }
+                CapAction::RackEmergency { budget_watts } => {
+                    // The per-blade Emergency actions that follow carry the
+                    // infeasible shares and do the actual checkpoint-drain;
+                    // this records the machine-wide cause.
+                    self.events.push(EngineEvent::RackPowerEmergency {
+                        at: self.now,
+                        budget_watts,
+                    });
+                }
             }
         }
+        // With a thermal governor or watchdog configured, those own the
+        // upward moves (they step boards back up when cool), so the cap is
+        // a one-way upper bound. Without either, nothing else would ever
+        // raise a clamped board again — so nodes are pinned *exactly* at
+        // the ceiling (nominal on healthy blades, the implicit
+        // performance-governor semantic), and each ramp-back step and the
+        // final release restore their frequency.
+        let pin_exact = self.config.governor.is_none()
+            && self
+                .recovery
+                .as_ref()
+                .is_none_or(|rec| rec.config.thermal_watchdog.is_none());
         for (blade, b) in self.layout.blades().iter().enumerate() {
             let ceiling = gov.ceiling(blade);
             for &i in &b.node_indices {
-                if self.nodes[i].cpufreq().current_index() > ceiling {
+                let current = self.nodes[i].cpufreq().current_index();
+                if current > ceiling || (pin_exact && current < ceiling) {
                     self.nodes[i].cpufreq_mut().set_index(ceiling);
                 }
             }
@@ -1281,6 +1424,18 @@ impl SimEngine {
             return false;
         }
         if self.collector_offline_until.is_some_and(|t| self.now >= t) {
+            return false;
+        }
+        // A switch restoration or export recovery due now mutates state
+        // (restore acknowledgement, spill flush).
+        if self.switch.restore_due(self.now) {
+            return false;
+        }
+        if self
+            .recovery
+            .as_ref()
+            .is_some_and(|rec| rec.store.export_offline_until().is_some_and(|t| self.now >= t))
+        {
             return false;
         }
         // A non-quiescent power-cap governor (active budget, pending ramp,
@@ -1368,6 +1523,10 @@ impl SimEngine {
             self.broker_loss_until,
             self.collector_offline_until,
             self.partition_until,
+            self.switch.next_due(),
+            self.recovery
+                .as_ref()
+                .and_then(|rec| rec.store.export_offline_until()),
         ]
         .into_iter()
         .flatten()
@@ -1688,6 +1847,12 @@ impl SimEngine {
             // A finished job's restart point is dead weight.
             rec.store.remove(id.0);
             rec.resume_progress.remove(&id);
+            Self::release_spill_holder(
+                &mut rec.spill_holders,
+                &mut self.scheduler,
+                &self.nodes,
+                id.0,
+            );
         }
         if let Some(record) = JobRecord::from_job(self.scheduler.job(id).expect("job exists")) {
             self.accounting.record(record.with_energy(job.energy));
@@ -1729,6 +1894,39 @@ impl SimEngine {
                 "#".parse().expect("valid filter"),
             ));
             self.collector_offline_until = None;
+        }
+        if self.switch.restore_due(self.now) {
+            self.switch.restore();
+            self.events.push(EngineEvent::SwitchRestored { at: self.now });
+        }
+        // NFS export recovery: acknowledge the expired window once, then
+        // flush any node-local spill buffers to the export in job-id order.
+        let flush_due = self
+            .recovery
+            .as_ref()
+            .is_some_and(|rec| rec.store.export_offline_until().is_some_and(|t| self.now >= t));
+        if flush_due {
+            let rec = self.recovery.as_mut().expect("recovery mode");
+            rec.store.clear_export_offline();
+            if rec.store.spilled_jobs() > 0 {
+                let (records, _cost) = rec
+                    .store
+                    .flush_spill(self.now)
+                    .expect("export back online");
+                rec.checkpoints_written += records;
+                for job_id in rec.spill_holders.keys().copied().collect::<Vec<_>>() {
+                    Self::release_spill_holder(
+                        &mut rec.spill_holders,
+                        &mut self.scheduler,
+                        &self.nodes,
+                        job_id,
+                    );
+                }
+                self.events.push(EngineEvent::SpillFlushed {
+                    at: self.now,
+                    records,
+                });
+            }
         }
         for blade in 0..self.layout.blades().len() {
             if self.fan_fault_until[blade].is_some_and(|t| self.now >= t) {
@@ -1847,6 +2045,47 @@ impl SimEngine {
                     }
                 }
             }
+            FaultKind::SwitchOutage { span } => {
+                // The whole rack hangs off one GbE switch: every node's
+                // heartbeat and telemetry path goes dark at the same
+                // instant. Heartbeat *schedules* keep advancing so the
+                // cadence is identical in both clock modes; the beats just
+                // never leave the NIC.
+                self.switch.fail_until(self.now + span);
+            }
+            FaultKind::NfsExportDown { span } => {
+                // The /ckpt export goes unreachable; the checkpoint commit
+                // path degrades to bounded retry (or the spill buffer).
+                // Running jobs keep computing — only durability stalls,
+                // unlike the full-filesystem NfsStall.
+                if let Some(rec) = self.recovery.as_mut() {
+                    rec.store.set_export_offline(self.now + span);
+                }
+            }
+            FaultKind::MultiRailBrownout { budget_frac, span } => {
+                if let Some(gov) = self.power_cap.as_mut() {
+                    // The rack arbiter water-fills the machine-wide budget
+                    // across blades at the next phase 3b.
+                    gov.begin_rack_brownout(budget_frac, self.now, span);
+                } else {
+                    // Crash-only machine: the feed cannot carry any blade.
+                    let mut victims = Vec::new();
+                    for blade in 0..self.layout.blades().len() {
+                        self.brownout_until[blade] = Some(self.now + span);
+                        let nodes = self.layout.blades()[blade].node_indices;
+                        if self.recovery.is_some() {
+                            for node in nodes {
+                                self.physical_down(node);
+                            }
+                        } else {
+                            for node in nodes {
+                                victims.extend(self.node_failed(node));
+                            }
+                        }
+                    }
+                    return victims;
+                }
+            }
             FaultKind::FanFailure { blade, span } => {
                 let until = self.now + span;
                 // Overlapping failures keep the longer window.
@@ -1909,13 +2148,41 @@ impl SimEngine {
         for &id in victims {
             let run = self.running.remove(&id);
             if let (Some(rec), Some(run)) = (self.recovery.as_mut(), run.as_ref()) {
-                // Work past the last committed checkpoint is gone.
-                let saved = run.ckpt.committed();
+                // Work past the last committed checkpoint is gone. A
+                // spilled (node-local, not yet durable) record counts as
+                // committed *unless* the node buffering it is itself dead
+                // or fenced — then the job falls back to its last record
+                // durable on the export, and the extra loss is attributed
+                // as wasted work (the crash landed inside the outage
+                // window).
+                let mut saved = run.ckpt.committed();
+                if rec.store.spilled(id.0).is_some() {
+                    let holder = rec.spill_holders.get(&id.0).copied();
+                    let holder_ok = holder.is_some_and(|h| {
+                        rec.node_alive[h] && !rec.control.is_fenced(h)
+                    });
+                    if !holder_ok {
+                        rec.store.drop_spill(id.0);
+                        Self::release_spill_holder(
+                            &mut rec.spill_holders,
+                            &mut self.scheduler,
+                            &self.nodes,
+                            id.0,
+                        );
+                        saved = rec
+                            .store
+                            .load_durable(id.0)
+                            .map(|c| c.progress())
+                            .unwrap_or(0.0);
+                    }
+                }
                 let wasted = (run.progress - saved).max(0.0);
                 rec.wasted_node_secs +=
                     wasted * run.duration.as_secs_f64() * run.node_indices.len() as f64;
                 if saved > 0.0 {
                     rec.resume_progress.insert(id, saved);
+                } else {
+                    rec.resume_progress.remove(&id);
                 }
             }
             let job = self.scheduler.job(id).expect("victim job exists");
@@ -1931,6 +2198,12 @@ impl SimEngine {
                 if let Some(rec) = self.recovery.as_mut() {
                     rec.store.remove(id.0);
                     rec.resume_progress.remove(&id);
+                    Self::release_spill_holder(
+                        &mut rec.spill_holders,
+                        &mut self.scheduler,
+                        &self.nodes,
+                        id.0,
+                    );
                 }
                 self.events.push(EngineEvent::JobLost { id, at: self.now });
             } else {
@@ -2023,6 +2296,7 @@ impl SimEngine {
     /// seeded broker loss drops beats inside the broker itself.
     fn publish_heartbeats(&mut self) {
         let partitioned = self.active_partition();
+        let switch_up = self.switch.is_up(self.now);
         let rec = self.recovery.as_mut().expect("recovery mode");
         for i in 0..self.nodes.len() {
             // A DVFS-capped or throttled board runs its management daemon
@@ -2039,8 +2313,14 @@ impl SimEngine {
                 continue;
             }
             if self.now >= rec.next_heartbeat[i] {
-                let topic = heartbeat_topic(self.nodes[i].hostname());
-                self.broker.publish(&topic, Payload::new(1.0, self.now));
+                // A rack-wide switch outage drops every beat on the floor,
+                // but the cadence keeps advancing exactly as if it were
+                // published — the daemon doesn't know its frames go
+                // nowhere, and both clock modes see identical schedules.
+                if switch_up {
+                    let topic = heartbeat_topic(self.nodes[i].hostname());
+                    self.broker.publish(&topic, Payload::new(1.0, self.now));
+                }
                 rec.next_heartbeat[i] = self.now
                     + SimDuration::from_secs_f64(
                         rec.config.heartbeat_interval.as_secs_f64() / perf,
@@ -2087,6 +2367,49 @@ impl SimEngine {
                 ControlAction::RelaxCool { node } => {
                     self.nodes[node].cpufreq_mut().step_up();
                 }
+                ControlAction::PartitionSuspected { silent } => {
+                    self.events.push(EngineEvent::PartitionSuspected {
+                        at: self.now,
+                        silent,
+                    });
+                }
+                ControlAction::PartitionHealed => {
+                    self.events
+                        .push(EngineEvent::PartitionHealed { at: self.now });
+                }
+                ControlAction::PartitionTimedOut => {
+                    self.events
+                        .push(EngineEvent::PartitionTimedOut { at: self.now });
+                }
+            }
+        }
+    }
+
+    /// Records that `node` holds `job_id`'s only (spilled) checkpoint copy
+    /// and steers placement away from it until the flush.
+    fn mark_spill_holder(
+        holders: &mut HashMap<u64, usize>,
+        scheduler: &mut Scheduler,
+        nodes: &[ComputeNode],
+        job_id: u64,
+        node: usize,
+    ) {
+        holders.insert(job_id, node);
+        scheduler.set_node_avoided(nodes[node].hostname(), true);
+    }
+
+    /// Releases `job_id`'s spill-holder mark (record flushed, dropped, or
+    /// job gone); the node returns to normal placement once no other job
+    /// spills on it.
+    fn release_spill_holder(
+        holders: &mut HashMap<u64, usize>,
+        scheduler: &mut Scheduler,
+        nodes: &[ComputeNode],
+        job_id: u64,
+    ) {
+        if let Some(node) = holders.remove(&job_id) {
+            if !holders.values().any(|&n| n == node) {
+                scheduler.set_node_avoided(nodes[node].hostname(), false);
             }
         }
     }
@@ -2094,7 +2417,11 @@ impl SimEngine {
     /// Advances every running job's checkpoint state machine: commits
     /// writes whose drain completed, and begins writes whose cadence is
     /// due. An active NFS stall pushes the completion time out, exactly as
-    /// it stalls every other filesystem client.
+    /// it stalls every other filesystem client. A drained write that meets
+    /// an *offline export* ([`FaultKind::NfsExportDown`]) either spills to
+    /// the job's first allocated node (spill mode), or retries with
+    /// exponential backoff until the retry budget runs out and the write
+    /// is abandoned.
     fn advance_checkpoints(&mut self) {
         let now = self.now;
         let nfs_stalled_until = self.nfs_stall_until.filter(|&t| now < t);
@@ -2105,22 +2432,75 @@ impl SimEngine {
             return;
         };
         let events = &mut self.events;
+        let scheduler = &mut self.scheduler;
+        let nodes = &self.nodes;
         for job in self.running.values_mut() {
             if job.ckpt.drained_by(now) {
-                let progress = job.ckpt.commit(now + cfg.interval);
+                let progress = job.ckpt.pending();
                 let ckpt = JobCheckpoint::new(
                     job.id.0,
                     progress,
                     checkpoint_position(&job.workload, progress),
                     now,
                 );
-                rec.store.save(ckpt).expect("checkpoint export healthy");
-                rec.checkpoints_written += 1;
-                events.push(EngineEvent::CheckpointWritten {
-                    id: job.id,
-                    at: now,
-                    progress,
-                });
+                match rec.store.save_at(now, ckpt) {
+                    Ok(_) => {
+                        let progress = job.ckpt.commit(now + cfg.interval);
+                        rec.checkpoints_written += 1;
+                        events.push(EngineEvent::CheckpointWritten {
+                            id: job.id,
+                            at: now,
+                            progress,
+                        });
+                    }
+                    Err(CheckpointError::ExportOffline { .. }) => {
+                        if cfg.spill {
+                            // Write-behind: buffer on the job's first
+                            // allocated node and treat the spilled record
+                            // as the restart point — it survives anything
+                            // short of that node dying before the flush.
+                            let holder =
+                                *job.node_indices.first().expect("running job has nodes");
+                            rec.store.spill_write(JobCheckpoint::new(
+                                job.id.0,
+                                progress,
+                                checkpoint_position(&job.workload, progress),
+                                now,
+                            ));
+                            Self::mark_spill_holder(
+                                &mut rec.spill_holders,
+                                scheduler,
+                                nodes,
+                                job.id.0,
+                                holder,
+                            );
+                            let progress = job.ckpt.commit(now + cfg.interval);
+                            events.push(EngineEvent::CheckpointSpilled {
+                                id: job.id,
+                                at: now,
+                                progress,
+                            });
+                        } else if job.ckpt.retries() >= cfg.max_retries {
+                            // Retry budget spent: drop the write, resume
+                            // the cadence from the last durable commit.
+                            job.ckpt.abandon(now + cfg.interval);
+                            events.push(EngineEvent::CheckpointAbandoned {
+                                id: job.id,
+                                at: now,
+                            });
+                        } else {
+                            let retry_at = now + cfg.retry_delay(job.ckpt.retries());
+                            job.ckpt.defer(retry_at);
+                            events.push(EngineEvent::CheckpointDeferred {
+                                id: job.id,
+                                at: now,
+                                retry_at,
+                                retries: job.ckpt.retries(),
+                            });
+                        }
+                    }
+                    Err(other) => panic!("checkpoint save failed: {other}"),
+                }
             } else if job.ckpt.should_begin(now)
                 && job.progress < 1.0
                 && job.node_indices.iter().all(|&i| rec.node_alive[i])

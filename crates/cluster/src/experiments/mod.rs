@@ -21,6 +21,7 @@
 //! | [`availability`] | extension: HPL campaign under a node-crash fault sweep |
 //! | [`recovery`] | extension: checkpoint/restart + heartbeat detection under crashes |
 //! | [`degradation`] | extension: blade fault domains — brownout capping, blade placement, fan loss |
+//! | [`rack_outage`] | extension: rack fault domains — switch outage, /ckpt export failure, multi-rail arbitration |
 
 pub mod availability;
 pub mod boot_trace;
@@ -32,6 +33,7 @@ pub mod monitored_hpl;
 pub mod power_table;
 pub mod power_traces;
 pub mod qe_lax;
+pub mod rack_outage;
 pub mod recovery;
 pub mod software_stack;
 pub mod stream_table;

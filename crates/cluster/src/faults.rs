@@ -110,6 +110,34 @@ pub enum FaultKind {
         /// How long the brownout lasts.
         span: SimDuration,
     },
+    /// The rack's shared GbE switch goes dark for `span`: every node loses
+    /// its broker/heartbeat/fabric path at once. Heartbeats stop arriving
+    /// cluster-wide and a partition-aware control plane must recognise the
+    /// correlated silence instead of mass-suspecting the whole machine.
+    SwitchOutage {
+        /// How long the switch stays dark.
+        span: SimDuration,
+    },
+    /// The shared `/ckpt` NFS export goes away for `span` (server reboot,
+    /// stale handle): checkpoint commits fail until the export returns.
+    /// A spill-enabled checkpoint path buffers writes node-locally and
+    /// flushes them when the export recovers; a naive path retries with
+    /// bounded exponential backoff and loses the checkpoint cadence.
+    NfsExportDown {
+        /// How long the export is unavailable.
+        span: SimDuration,
+    },
+    /// A feed-level brownout hits *several* rails at once: the whole
+    /// machine must fit under `budget_frac` of its total rated rail
+    /// capacity for `span`. The power-cap governor arbitrates the
+    /// machine-wide budget across blades by deterministic water-filling.
+    MultiRailBrownout {
+        /// Fraction of the machine's total rated rail budget still
+        /// available, in `(0, 1]`.
+        budget_frac: f64,
+        /// How long the brownout lasts.
+        span: SimDuration,
+    },
     /// The blade's fan fails for `span`: its own nodes lose most of their
     /// airflow, and the blade sitting in its exhaust shadow (directly
     /// above — hot air rises through the stack) runs warmer too.
@@ -163,6 +191,31 @@ pub enum FaultPlanError {
         /// Start of the later, overlapping brownout.
         second_at: SimTime,
     },
+    /// A machine-wide brownout's `budget_frac` lies outside `(0, 1]`.
+    RackBudgetOutOfRange {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The rejected fraction.
+        budget_frac: f64,
+    },
+    /// Two machine-wide brownouts overlap in time; the machine carries
+    /// one feed budget at a time.
+    OverlappingRackBrownouts {
+        /// Start of the earlier machine-wide brownout.
+        first_at: SimTime,
+        /// Start of the later, overlapping one.
+        second_at: SimTime,
+    },
+    /// A machine-wide brownout overlaps a per-rail brownout: the shared
+    /// rail would carry two budgets at once, so the plan is ambiguous.
+    RackRailBrownoutConflict {
+        /// The doubly-budgeted blade (rail) index.
+        blade: usize,
+        /// Start of the per-rail brownout.
+        rail_at: SimTime,
+        /// Start of the machine-wide brownout.
+        rack_at: SimTime,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -203,6 +256,29 @@ impl std::fmt::Display for FaultPlanError {
                 f,
                 "brownouts at t={first_at} and t={second_at} overlap on \
                  blade {blade}'s rail; a rail carries one budget at a time"
+            ),
+            FaultPlanError::RackBudgetOutOfRange { at, budget_frac } => write!(
+                f,
+                "machine-wide brownout at t={at} has budget_frac \
+                 {budget_frac}, outside the valid range (0, 1]"
+            ),
+            FaultPlanError::OverlappingRackBrownouts {
+                first_at,
+                second_at,
+            } => write!(
+                f,
+                "machine-wide brownouts at t={first_at} and t={second_at} \
+                 overlap; the machine carries one feed budget at a time"
+            ),
+            FaultPlanError::RackRailBrownoutConflict {
+                blade,
+                rail_at,
+                rack_at,
+            } => write!(
+                f,
+                "machine-wide brownout at t={rack_at} overlaps the per-rail \
+                 brownout at t={rail_at} on blade {blade}; the rail would \
+                 carry two budgets at once"
             ),
         }
     }
@@ -278,14 +354,17 @@ impl FaultPlan {
 
     /// Checks the plan against a machine of `node_count` nodes in
     /// `blade_count` blades: every node and blade index must be in range,
-    /// every brownout `budget_frac` in `(0, 1]`, and no two brownouts may
-    /// overlap on the same rail. Returns the first defect in schedule
-    /// order, as a descriptive [`FaultPlanError`], instead of letting the
-    /// engine panic later.
+    /// every brownout `budget_frac` in `(0, 1]`, no two brownouts may
+    /// overlap on the same rail, and machine-wide brownouts may overlap
+    /// neither each other nor any per-rail brownout. Returns the first
+    /// defect in schedule order, as a descriptive [`FaultPlanError`],
+    /// instead of letting the engine panic later.
     pub fn validate(&self, node_count: usize, blade_count: usize) -> Result<(), FaultPlanError> {
-        // End time of the last seen brownout per blade; the plan is
-        // time-sorted, so one pass catches every overlap.
+        // End time of the last seen brownout per blade (and the last
+        // machine-wide one); the plan is time-sorted, so one pass catches
+        // every overlap.
         let mut rail_busy: Vec<Option<(SimTime, SimTime)>> = vec![None; blade_count];
+        let mut rack_busy: Option<(SimTime, SimTime)> = None;
         for e in &self.events {
             let node = match e.kind {
                 FaultKind::NodeCrash { node }
@@ -353,7 +432,44 @@ impl FaultPlan {
                         });
                     }
                 }
+                if let Some((rack_at, rack_until)) = rack_busy {
+                    if e.at < rack_until {
+                        return Err(FaultPlanError::RackRailBrownoutConflict {
+                            blade,
+                            rail_at: e.at,
+                            rack_at,
+                        });
+                    }
+                }
                 rail_busy[blade] = Some((e.at, e.at + span));
+            }
+            if let FaultKind::MultiRailBrownout { budget_frac, span } = e.kind {
+                if !budget_frac.is_finite() || budget_frac <= 0.0 || budget_frac > 1.0 {
+                    return Err(FaultPlanError::RackBudgetOutOfRange {
+                        at: e.at,
+                        budget_frac,
+                    });
+                }
+                if let Some((first_at, busy_until)) = rack_busy {
+                    if e.at < busy_until {
+                        return Err(FaultPlanError::OverlappingRackBrownouts {
+                            first_at,
+                            second_at: e.at,
+                        });
+                    }
+                }
+                for (blade, busy) in rail_busy.iter().enumerate() {
+                    if let Some((rail_at, rail_until)) = *busy {
+                        if e.at < rail_until {
+                            return Err(FaultPlanError::RackRailBrownoutConflict {
+                                blade,
+                                rail_at,
+                                rack_at: e.at,
+                            });
+                        }
+                    }
+                }
+                rack_busy = Some((e.at, e.at + span));
             }
         }
         Ok(())
@@ -678,6 +794,126 @@ mod tests {
                 },
             );
         assert_eq!(disjoint_rails.validate(8, 4), Ok(()));
+    }
+
+    #[test]
+    fn validate_checks_rack_brownouts_against_rails_and_each_other() {
+        // A well-formed rack plan: switch outage, export outage and a
+        // machine-wide brownout, all disjoint from per-rail budgets.
+        let plan = FaultPlan::new()
+            .with(
+                SimTime::from_secs(5),
+                FaultKind::SwitchOutage {
+                    span: SimDuration::from_secs(60),
+                },
+            )
+            .with(
+                SimTime::from_secs(10),
+                FaultKind::NfsExportDown {
+                    span: SimDuration::from_secs(120),
+                },
+            )
+            .with(
+                SimTime::from_secs(200),
+                FaultKind::MultiRailBrownout {
+                    budget_frac: 0.6,
+                    span: SimDuration::from_secs(60),
+                },
+            )
+            .with(
+                SimTime::from_secs(300),
+                FaultKind::RailBrownout {
+                    blade: 1,
+                    budget_frac: 0.8,
+                    span: SimDuration::from_secs(30),
+                },
+            );
+        assert_eq!(plan.validate(8, 4), Ok(()));
+
+        // A bad machine-wide budget is rejected with its own variant.
+        for bad in [0.0, -1.0, 1.01, f64::INFINITY] {
+            let plan = FaultPlan::new().with(
+                SimTime::from_secs(1),
+                FaultKind::MultiRailBrownout {
+                    budget_frac: bad,
+                    span: SimDuration::from_secs(10),
+                },
+            );
+            let err = plan.validate(8, 4).unwrap_err();
+            assert!(
+                matches!(err, FaultPlanError::RackBudgetOutOfRange { .. }),
+                "{bad}: {err}"
+            );
+            assert!(err.to_string().contains("machine-wide"), "{err}");
+        }
+
+        // Two overlapping machine-wide brownouts are ambiguous.
+        let overlapping = FaultPlan::new()
+            .with(
+                SimTime::from_secs(10),
+                FaultKind::MultiRailBrownout {
+                    budget_frac: 0.7,
+                    span: SimDuration::from_secs(60),
+                },
+            )
+            .with(
+                SimTime::from_secs(40),
+                FaultKind::MultiRailBrownout {
+                    budget_frac: 0.5,
+                    span: SimDuration::from_secs(10),
+                },
+            );
+        let err = overlapping.validate(8, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::OverlappingRackBrownouts { .. }
+        ));
+        assert!(err.to_string().contains("overlap"), "{err}");
+
+        // A rack brownout over an active rail brownout double-budgets the
+        // rail — in either order.
+        let rail_then_rack = FaultPlan::new()
+            .with(
+                SimTime::from_secs(10),
+                FaultKind::RailBrownout {
+                    blade: 2,
+                    budget_frac: 0.8,
+                    span: SimDuration::from_secs(60),
+                },
+            )
+            .with(
+                SimTime::from_secs(30),
+                FaultKind::MultiRailBrownout {
+                    budget_frac: 0.6,
+                    span: SimDuration::from_secs(10),
+                },
+            );
+        let err = rail_then_rack.validate(8, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::RackRailBrownoutConflict { blade: 2, .. }
+        ));
+        assert!(err.to_string().contains("two budgets"), "{err}");
+        let rack_then_rail = FaultPlan::new()
+            .with(
+                SimTime::from_secs(10),
+                FaultKind::MultiRailBrownout {
+                    budget_frac: 0.6,
+                    span: SimDuration::from_secs(60),
+                },
+            )
+            .with(
+                SimTime::from_secs(30),
+                FaultKind::RailBrownout {
+                    blade: 0,
+                    budget_frac: 0.8,
+                    span: SimDuration::from_secs(10),
+                },
+            );
+        assert!(matches!(
+            rack_then_rail.validate(8, 4).unwrap_err(),
+            FaultPlanError::RackRailBrownoutConflict { blade: 0, .. }
+        ));
     }
 
     #[test]

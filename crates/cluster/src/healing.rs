@@ -32,10 +32,26 @@ pub struct CheckpointConfig {
     pub interval: SimDuration,
     /// What each commit costs the job.
     pub cost: CheckpointCostModel,
+    /// First retry delay when a drained write cannot commit because the
+    /// export is offline; each further attempt doubles it.
+    pub retry_base: SimDuration,
+    /// Ceiling on the exponential backoff between retries.
+    pub retry_cap: SimDuration,
+    /// Deferred commit attempts allowed before the in-flight write is
+    /// abandoned (its pending progress dropped) and the cadence resumes.
+    pub max_retries: u32,
+    /// Node-local write-behind: while the export is offline a drained
+    /// write spills to the job's first allocated node instead of retrying,
+    /// and flushes to the export when it recovers. The spilled progress is
+    /// a usable restart point *unless* the buffering node itself dies
+    /// before the flush.
+    pub spill: bool,
 }
 
 impl CheckpointConfig {
-    /// Checkpoints every `interval` at the default Gigabit-NFS cost.
+    /// Checkpoints every `interval` at the default Gigabit-NFS cost, with
+    /// the default outage posture: bounded retry (4 s base, 64 s cap,
+    /// 5 attempts), no spill buffer.
     ///
     /// # Panics
     ///
@@ -45,7 +61,25 @@ impl CheckpointConfig {
         CheckpointConfig {
             interval,
             cost: CheckpointCostModel::default(),
+            retry_base: SimDuration::from_secs(4),
+            retry_cap: SimDuration::from_secs(64),
+            max_retries: 5,
+            spill: false,
         }
+    }
+
+    /// The same policy with the node-local write-behind spill buffer on.
+    pub fn with_spill(mut self) -> Self {
+        self.spill = true;
+        self
+    }
+
+    /// The exponential-backoff delay before retry number `retries + 1`:
+    /// `retry_base · 2^retries`, capped at `retry_cap`.
+    pub fn retry_delay(&self, retries: u32) -> SimDuration {
+        let base = self.retry_base.as_secs_f64();
+        let cap = self.retry_cap.as_secs_f64();
+        SimDuration::from_secs_f64((base * 2f64.powi(retries.min(31) as i32)).min(cap))
     }
 }
 
@@ -103,6 +137,18 @@ pub struct RecoveryConfig {
     /// it reproduces the false-positive failure mode (for regression
     /// tests).
     pub cap_aware_suspicion: bool,
+    /// Whether the control plane distinguishes "everyone went silent at
+    /// once" (a rack-level switch outage) from "everyone died": when a
+    /// node would be suspected while *no* node in the cluster has
+    /// heartbeat recently, the plane enters a `Partitioned` state and
+    /// defers all suspicion until connectivity returns, instead of
+    /// mass-fencing the machine. Disabling reproduces the legacy
+    /// mass-false-suspect behaviour (for regression tests).
+    pub partition_aware: bool,
+    /// How long the `Partitioned` state may defer suspicion before the
+    /// plane concludes the cluster really did die en masse and lets
+    /// fencing proceed.
+    pub partition_timeout: SimDuration,
 }
 
 impl RecoveryConfig {
@@ -117,6 +163,8 @@ impl RecoveryConfig {
             auto_unfence: true,
             thermal_watchdog: None,
             cap_aware_suspicion: true,
+            partition_aware: true,
+            partition_timeout: SimDuration::from_secs(120),
         }
     }
 
@@ -172,6 +220,18 @@ pub enum ControlAction {
         /// The temperature observed.
         temperature: Celsius,
     },
+    /// Every node went silent at once: the plane suspects the shared
+    /// switch, not the nodes, and defers all suspicion.
+    PartitionSuspected {
+        /// Unfenced nodes over the phi threshold at entry.
+        silent: usize,
+    },
+    /// A heartbeat got through again: connectivity is back, deferred
+    /// suspicion re-accrues per node from here.
+    PartitionHealed,
+    /// The partition outlived [`RecoveryConfig::partition_timeout`]: the
+    /// plane concludes the cluster really died and lets fencing proceed.
+    PartitionTimedOut,
 }
 
 /// Heartbeat-fed decision loop over the cluster's nodes.
@@ -186,6 +246,9 @@ pub struct ControlPlane {
     /// Outstanding watchdog DVFS step-downs per node, so cooling only
     /// relaxes what the watchdog itself throttled.
     throttle_depth: Vec<usize>,
+    /// Since when the plane has judged the cluster partitioned (correlated
+    /// silence), deferring all suspicion.
+    partitioned_since: Option<SimTime>,
 }
 
 impl ControlPlane {
@@ -207,6 +270,7 @@ impl ControlPlane {
             fenced: vec![false; n],
             hot_since: vec![None; n],
             throttle_depth: vec![0; n],
+            partitioned_since: None,
         }
     }
 
@@ -245,6 +309,32 @@ impl ControlPlane {
         self.fenced.iter().any(|&f| f)
     }
 
+    /// Whether the plane is deferring suspicion because the whole cluster
+    /// went silent at once (a suspected shared-switch outage).
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned_since.is_some()
+    }
+
+    /// Since when the plane has been in the `Partitioned` state, if it is.
+    pub fn partitioned_since(&self) -> Option<SimTime> {
+        self.partitioned_since
+    }
+
+    /// Whether any node's heartbeat *actually* arrived within twice its
+    /// (cadence-scaled) heartbeat interval of `now` — the differential
+    /// evidence that separates "one node died" (peers still beating) from
+    /// "the shared switch died" (nobody beating).
+    fn recently_heard_any(&self, now: SimTime) -> bool {
+        self.hostnames.iter().any(|host| {
+            self.monitor.detector(host).is_some_and(|d| {
+                d.last_heard().is_some_and(|t| {
+                    now.saturating_since(t).as_secs_f64()
+                        < self.config.heartbeat_interval.as_secs_f64() * 2.0 * d.expected_scale()
+                })
+            })
+        })
+    }
+
     /// Whether [`ControlPlane::tick`] is provably a pure observation for
     /// ticks where no heartbeat arrives and no phi threshold is crossed:
     /// no node fenced, no armed watchdog sustain clock, no outstanding
@@ -255,6 +345,11 @@ impl ControlPlane {
     /// schedules explicitly — so skipping the call is exact.
     pub fn is_quiescent(&self, temperatures: &[Celsius]) -> bool {
         if self.any_fenced() {
+            return false;
+        }
+        // The partitioned state heals on arrivals and expires on a wall
+        // clock: both are tick-observed, so the plane stays busy.
+        if self.partitioned_since.is_some() {
             return false;
         }
         match self.config.thermal_watchdog {
@@ -296,11 +391,65 @@ impl ControlPlane {
     pub fn tick(&mut self, now: SimTime, temperatures: &[Celsius]) -> Vec<ControlAction> {
         self.monitor.pump();
         let mut actions = Vec::new();
+        if self.config.partition_aware && self.config.fence_on_suspicion {
+            let fresh = self.recently_heard_any(now);
+            match self.partitioned_since {
+                Some(since) => {
+                    if fresh {
+                        // Connectivity is back. Nodes that resumed carry a
+                        // fresh arrival; nodes rebaselined at entry have
+                        // been re-accruing silently and — if they really
+                        // died — are fenced by the loop below, this tick.
+                        self.partitioned_since = None;
+                        actions.push(ControlAction::PartitionHealed);
+                    } else if now.saturating_since(since) >= self.config.partition_timeout {
+                        // Nobody came back: the cluster really died en
+                        // masse. Stop deferring and let fencing proceed.
+                        self.partitioned_since = None;
+                        actions.push(ControlAction::PartitionTimedOut);
+                    }
+                }
+                None => {
+                    let silent = (0..self.hostnames.len())
+                        .filter(|&n| {
+                            !self.fenced[n]
+                                && self.monitor.phi(&self.hostnames[n], now)
+                                    >= self.config.phi_threshold
+                        })
+                        .count();
+                    // Correlated silence is only inferable against peers:
+                    // with fewer than two nodes ever heard from there is
+                    // no differential evidence, and a lone silent node is
+                    // just a dead node.
+                    let heard = self
+                        .hostnames
+                        .iter()
+                        .filter(|h| self.monitor.last_heard(h).is_some())
+                        .count();
+                    if silent > 0 && !fresh && heard >= 2 {
+                        // A node crossed the line while *nobody* in the
+                        // cluster is beating: that is the shared switch,
+                        // not the node. Defer everyone's suspicion.
+                        self.partitioned_since = Some(now);
+                        actions.push(ControlAction::PartitionSuspected { silent });
+                        for node in 0..self.hostnames.len() {
+                            if !self.fenced[node] {
+                                let host = self.hostnames[node].clone();
+                                self.monitor.rebaseline(&host, now);
+                            }
+                        }
+                    }
+                }
+            }
+        }
         for node in 0..self.hostnames.len() {
             let host = &self.hostnames[node];
             let phi = self.monitor.phi(host, now);
             if !self.fenced[node] {
-                if self.config.fence_on_suspicion && phi >= self.config.phi_threshold {
+                if self.config.fence_on_suspicion
+                    && self.partitioned_since.is_none()
+                    && phi >= self.config.phi_threshold
+                {
                     actions.push(ControlAction::FenceSuspect { node, phi });
                     // Applied optimistically: the engine fences in the same
                     // tick it receives the action.
@@ -315,7 +464,7 @@ impl ControlPlane {
                 let resumed = self
                     .monitor
                     .detector(host)
-                    .and_then(|d| d.last_arrival())
+                    .and_then(|d| d.last_heard())
                     .is_some_and(|t| now.saturating_since(t) < self.config.heartbeat_interval * 2);
                 let cooled = self
                     .config
@@ -440,6 +589,15 @@ pub enum CapAction {
         /// Blade index.
         blade: usize,
     },
+    /// Machine-wide power emergency: even with every blade clamped to its
+    /// floor OPP the rack cannot fit under the feed budget. The engine
+    /// must checkpoint-drain the whole machine; per-blade
+    /// [`CapAction::Emergency`] actions follow with the arbitrated
+    /// (infeasible) shares.
+    RackEmergency {
+        /// The machine-wide budget that could not be met, watts.
+        budget_watts: f64,
+    },
 }
 
 /// Per-blade cap state.
@@ -461,6 +619,19 @@ struct BladeCap {
     emergency: bool,
 }
 
+/// A machine-wide feed budget from a [`FaultKind::MultiRailBrownout`]: the
+/// rack arbiter splits it across blades each tick.
+#[derive(Debug, Clone, PartialEq)]
+struct RackBudget {
+    /// The machine-wide budget, watts.
+    budget_watts: f64,
+    /// When the brownout ends.
+    until: SimTime,
+    /// Whether the rack-level emergency has already been announced, so the
+    /// action stream carries it exactly once per episode.
+    emergency_announced: bool,
+}
+
 /// The brownout graceful-degradation governor: on a rail brownout it caps
 /// the blade's DVFS operating points so the blade's *mean* power never
 /// exceeds the reduced budget, instead of letting the boards crash; when
@@ -477,6 +648,7 @@ pub struct PowerCapGovernor {
     config: PowerCapConfig,
     opp_count: usize,
     blades: Vec<BladeCap>,
+    rack: Option<RackBudget>,
 }
 
 impl PowerCapGovernor {
@@ -502,6 +674,7 @@ impl PowerCapGovernor {
                 };
                 blade_count
             ],
+            rack: None,
         }
     }
 
@@ -527,6 +700,81 @@ impl PowerCapGovernor {
         cap.up_fit_since = None;
     }
 
+    /// Registers a machine-wide brownout: `budget_frac` of the rack's total
+    /// rated feed (`rail_rated_watts × blade_count`) remains available
+    /// until `now + span`. Each [`PowerCapGovernor::evaluate`] while the
+    /// budget is live arbitrates per-blade shares by deterministic
+    /// water-filling over the blades' measured load curves.
+    pub fn begin_rack_brownout(&mut self, budget_frac: f64, now: SimTime, span: SimDuration) {
+        let rated = self.config.rail_rated_watts * self.blades.len() as f64;
+        self.rack = Some(RackBudget {
+            budget_watts: budget_frac * rated,
+            until: now + span,
+            emergency_announced: false,
+        });
+    }
+
+    /// The active machine-wide budget, watts, if a multi-rail brownout is
+    /// in force.
+    pub fn active_rack_budget_watts(&self) -> Option<f64> {
+        self.rack.as_ref().map(|rack| rack.budget_watts)
+    }
+
+    /// Whether the machine is in a rack-level power emergency: even floor
+    /// OPPs on every blade did not fit the machine-wide budget.
+    pub fn in_rack_emergency(&self) -> bool {
+        self.rack
+            .as_ref()
+            .is_some_and(|rack| rack.emergency_announced)
+    }
+
+    /// Splits the machine-wide budget into per-blade budgets by
+    /// deterministic water-filling: every blade starts at its floor OPP,
+    /// then whichever blade's next OPP step costs the fewest watts (ties
+    /// broken by blade index) is raised, until no step fits. Lightly loaded
+    /// blades climb higher — their steps are cheaper — which is exactly
+    /// water-filling by load. Leftover headroom is shared equally, so the
+    /// per-blade budgets always sum to the machine budget and the rack can
+    /// never exceed it. Returns `None` when even the floor OPPs don't fit.
+    fn arbitrate_rack(
+        &self,
+        budget_watts: f64,
+        blade_power_at: &impl Fn(usize, usize) -> f64,
+    ) -> Option<Vec<f64>> {
+        let n = self.blades.len();
+        let mut ceilings = vec![0usize; n];
+        let mut powers: Vec<f64> = (0..n).map(|b| blade_power_at(b, 0)).collect();
+        let mut total: f64 = powers.iter().sum();
+        if total > budget_watts {
+            return None;
+        }
+        loop {
+            // Raise the blade whose post-step power (its "water level")
+            // stays lowest — lightly loaded blades climb first and the
+            // levels equalise, which is water-filling by load. Ties break
+            // by blade index; both rules are exact f64 compares, so the
+            // fill is deterministic.
+            let mut best: Option<(usize, f64)> = None;
+            for b in 0..n {
+                if ceilings[b] + 1 >= self.opp_count {
+                    continue;
+                }
+                let level = blade_power_at(b, ceilings[b] + 1);
+                if total + (level - powers[b]) <= budget_watts
+                    && best.is_none_or(|(_, best_level)| level < best_level)
+                {
+                    best = Some((b, level));
+                }
+            }
+            let Some((b, level)) = best else { break };
+            ceilings[b] += 1;
+            total += level - powers[b];
+            powers[b] = level;
+        }
+        let slack = (budget_watts - total) / n as f64;
+        Some(powers.iter().map(|p| p + slack).collect())
+    }
+
     /// One decision tick. `blade_power_at(blade, opp)` must return the
     /// blade's predicted mean power (watts) if every hosted node were
     /// clamped to OPP `opp` under its *current* workload and temperature —
@@ -539,6 +787,48 @@ impl PowerCapGovernor {
         blade_power_at: impl Fn(usize, usize) -> f64,
     ) -> Vec<CapAction> {
         let mut actions = Vec::new();
+        // Rack arbitration first: while a machine-wide budget is live every
+        // blade's budget is the arbiter's output, re-fitted to the moving
+        // load each tick; the per-blade pass below then applies its usual
+        // dwell-hysteresis ceiling logic to the arbitrated share.
+        if let Some(rack) = self.rack.clone() {
+            if now >= rack.until {
+                // Blade budgets assigned by the arbiter expire at the rack
+                // deadline too, so the per-blade pass below emits the
+                // recovery/ramp actions this same tick.
+                self.rack = None;
+            } else {
+                match self.arbitrate_rack(rack.budget_watts, &blade_power_at) {
+                    Some(shares) => {
+                        for (blade, share) in shares.into_iter().enumerate() {
+                            let cap = &mut self.blades[blade];
+                            cap.budget_watts = Some(share);
+                            cap.until = rack.until;
+                            cap.next_ramp = None;
+                        }
+                    }
+                    None => {
+                        if !rack.emergency_announced {
+                            actions.push(CapAction::RackEmergency {
+                                budget_watts: rack.budget_watts,
+                            });
+                            self.rack = Some(RackBudget {
+                                emergency_announced: true,
+                                ..rack
+                            });
+                        }
+                        // Infeasible equal shares force every blade's own
+                        // pass into emergency below.
+                        let n = self.blades.len() as f64;
+                        for cap in &mut self.blades {
+                            cap.budget_watts = Some(rack.budget_watts / n);
+                            cap.until = rack.until;
+                            cap.next_ramp = None;
+                        }
+                    }
+                }
+            }
+        }
         for blade in 0..self.blades.len() {
             let (recovered, was_emergency) = {
                 let cap = &mut self.blades[blade];
@@ -556,7 +846,13 @@ impl PowerCapGovernor {
                     actions.push(CapAction::RailRecovered { blade });
                 }
                 let cap = &mut self.blades[blade];
+                cap.up_fit_since = None;
                 if cap.ceiling == self.opp_count - 1 {
+                    // The in-window up-ramp may have climbed all the way
+                    // back to nominal and left its next_ramp armed; clear
+                    // it, or the post-recovery ramp below would push the
+                    // ceiling past the top of the ladder.
+                    cap.next_ramp = None;
                     actions.push(CapAction::Release { blade });
                 } else {
                     cap.next_ramp = Some(now + self.config.ramp_interval);
@@ -690,6 +986,7 @@ impl PowerCapGovernor {
                 [recovery, cap.next_ramp]
             })
             .flatten()
+            .chain(self.rack.as_ref().map(|rack| rack.until))
             .min()
     }
 
@@ -697,7 +994,8 @@ impl PowerCapGovernor {
     /// pending ramp, no emergency, every ceiling at nominal. Exactly then
     /// may a due-time clock skip its evaluation.
     pub fn is_quiescent(&self) -> bool {
-        self.blades.iter().all(|cap| {
+        self.rack.is_none()
+            && self.blades.iter().all(|cap| {
             cap.budget_watts.is_none()
                 && cap.next_ramp.is_none()
                 && !cap.emergency
@@ -779,6 +1077,157 @@ mod tests {
         assert!(cp
             .monitor()
             .is_suspect("mc-node-02", SimTime::from_secs(200)));
+    }
+
+    /// Steady 5 s heartbeats for every host until `until_secs`.
+    fn beat_all(broker: &Broker, until_secs: u64) {
+        for host in hosts() {
+            let topic = heartbeat_topic(&host);
+            for s in (0..until_secs).step_by(5) {
+                broker.publish(&topic, Payload::new(1.0, SimTime::from_secs(s)));
+            }
+        }
+    }
+
+    /// Runs the plane tick-by-tick over `[from, to]` seconds, collecting
+    /// every action tagged with its tick.
+    fn drive(
+        cp: &mut ControlPlane,
+        from: u64,
+        to: u64,
+        temps: &[Celsius],
+    ) -> Vec<(u64, ControlAction)> {
+        let mut seen = Vec::new();
+        for s in from..=to {
+            for a in cp.tick(SimTime::from_secs(s), temps) {
+                seen.push((s, a));
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn cluster_wide_silence_partitions_instead_of_mass_fencing() {
+        let broker = Broker::new();
+        let mut cp = ControlPlane::new(&broker, RecoveryConfig::detection_only(), hosts());
+        beat_all(&broker, 60);
+        // The switch goes dark after t=55: total silence, both nodes.
+        let seen = drive(&mut cp, 56, 140, &cool());
+        assert!(
+            seen.iter()
+                .all(|(_, a)| matches!(a, ControlAction::PartitionSuspected { .. })),
+            "only a partition entry is allowed, got {seen:?}"
+        );
+        assert_eq!(seen.len(), 1, "{seen:?}");
+        assert!(matches!(
+            seen[0].1,
+            ControlAction::PartitionSuspected { silent } if silent >= 1
+        ));
+        assert!(cp.is_partitioned());
+        assert!(!cp.is_fenced(0) && !cp.is_fenced(1), "nobody fenced");
+        assert!(!cp.is_quiescent(&cool()), "partitioned plane stays busy");
+        // The switch comes back: both streams resume, the partition heals,
+        // and — the acceptance bar — not one false suspicion ever fires.
+        for host in hosts() {
+            let topic = heartbeat_topic(&host);
+            for s in (141..=200).step_by(5) {
+                broker.publish(&topic, Payload::new(1.0, SimTime::from_secs(s)));
+            }
+        }
+        let seen = drive(&mut cp, 141, 200, &cool());
+        assert_eq!(
+            seen.iter()
+                .filter(|(_, a)| matches!(a, ControlAction::PartitionHealed))
+                .count(),
+            1,
+            "{seen:?}"
+        );
+        assert!(
+            !seen
+                .iter()
+                .any(|(_, a)| matches!(a, ControlAction::FenceSuspect { .. })),
+            "zero false suspicions across a pure switch outage: {seen:?}"
+        );
+        assert!(!cp.is_partitioned());
+    }
+
+    #[test]
+    fn legacy_detector_mass_fences_the_whole_cluster() {
+        // The regression baseline: partition awareness off reproduces the
+        // historical behaviour — cluster-wide silence fences everyone.
+        let broker = Broker::new();
+        let config = RecoveryConfig {
+            partition_aware: false,
+            ..RecoveryConfig::detection_only()
+        };
+        let mut cp = ControlPlane::new(&broker, config, hosts());
+        beat_all(&broker, 60);
+        let seen = drive(&mut cp, 56, 140, &cool());
+        let fences: Vec<_> = seen
+            .iter()
+            .filter(|(_, a)| matches!(a, ControlAction::FenceSuspect { .. }))
+            .collect();
+        assert_eq!(fences.len(), 2, "every node falsely fenced: {seen:?}");
+        assert!(cp.is_fenced(0) && cp.is_fenced(1));
+    }
+
+    #[test]
+    fn a_node_that_died_during_the_outage_is_fenced_on_healing() {
+        let broker = Broker::new();
+        let mut cp = ControlPlane::new(&broker, RecoveryConfig::detection_only(), hosts());
+        beat_all(&broker, 60);
+        drive(&mut cp, 56, 140, &cool());
+        assert!(cp.is_partitioned());
+        // Only node 0 resumes: the partition heals, and node 1 — silent
+        // since well before the rebaseline — is fenced at once.
+        broker.publish(
+            &heartbeat_topic("mc-node-01"),
+            Payload::new(1.0, SimTime::from_secs(141)),
+        );
+        let seen = drive(&mut cp, 141, 160, &cool());
+        assert!(
+            seen.iter()
+                .any(|(_, a)| matches!(a, ControlAction::PartitionHealed)),
+            "{seen:?}"
+        );
+        assert!(
+            seen.iter().any(
+                |(_, a)| matches!(a, ControlAction::FenceSuspect { node: 1, .. })
+            ),
+            "the genuinely dead node must be fenced: {seen:?}"
+        );
+        assert!(!cp.is_fenced(0), "the survivor is not touched");
+    }
+
+    #[test]
+    fn partition_timeout_concedes_mass_death() {
+        let broker = Broker::new();
+        let config = RecoveryConfig {
+            partition_timeout: SimDuration::from_secs(60),
+            ..RecoveryConfig::detection_only()
+        };
+        let mut cp = ControlPlane::new(&broker, config, hosts());
+        beat_all(&broker, 60);
+        // Nobody ever comes back: after the timeout the plane concedes and
+        // fences the (really dead) cluster.
+        let seen = drive(&mut cp, 56, 300, &cool());
+        let timeout_at = seen
+            .iter()
+            .find(|(_, a)| matches!(a, ControlAction::PartitionTimedOut))
+            .map(|(s, _)| *s)
+            .expect("the partition must time out");
+        let entry_at = seen
+            .iter()
+            .find(|(_, a)| matches!(a, ControlAction::PartitionSuspected { .. }))
+            .map(|(s, _)| *s)
+            .expect("partition entry");
+        assert_eq!(timeout_at, entry_at + 60);
+        let fences: Vec<_> = seen
+            .iter()
+            .filter(|(s, a)| matches!(a, ControlAction::FenceSuspect { .. }) && *s >= timeout_at)
+            .collect();
+        assert_eq!(fences.len(), 2, "{seen:?}");
+        assert!(!cp.is_partitioned());
     }
 
     #[test]
@@ -1029,5 +1478,108 @@ mod tests {
         assert_eq!(gov.ceiling(0), 2);
         // Still degraded throughout — placement keeps steering away.
         assert!(gov.is_degraded(0));
+    }
+
+    /// Heterogeneous load: blades 0–1 run hot (full synthetic curve),
+    /// blades 2–3 sit half idle.
+    fn skewed_power(blade: usize, opp: usize) -> f64 {
+        let factor = if blade < 2 { 1.0 } else { 0.5 };
+        synth_power(blade, opp) * factor
+    }
+
+    #[test]
+    fn rack_arbiter_water_fills_the_machine_budget_by_blade_load() {
+        let mut gov = PowerCapGovernor::new(PowerCapConfig::rv007_default(), 4, 5);
+        // 60 % of the 48 W machine feed = 28.8 W across four blades.
+        gov.begin_rack_brownout(0.6, SimTime::ZERO, SimDuration::from_secs(100));
+        assert!(!gov.is_quiescent());
+        assert_eq!(gov.next_due(), Some(SimTime::from_secs(100)));
+        let budget = gov.active_rack_budget_watts().expect("rack budget live");
+        assert!((budget - 28.8).abs() < 1e-9, "budget {budget}");
+        let actions = gov.evaluate(SimTime::ZERO, skewed_power);
+        // Water-filling raises the cheap (idle) blades to nominal and
+        // splits what is left between the loaded ones: blade 0 lands on
+        // OPP 2, blade 1 on OPP 1, blades 2–3 stay uncapped at OPP 4.
+        assert_eq!(
+            actions,
+            vec![
+                CapAction::SetCeiling {
+                    blade: 0,
+                    ceiling: 2
+                },
+                CapAction::SetCeiling {
+                    blade: 1,
+                    ceiling: 1
+                },
+            ]
+        );
+        assert_eq!(
+            (0..4).map(|b| gov.ceiling(b)).collect::<Vec<_>>(),
+            vec![2, 1, 4, 4]
+        );
+        // The arbitrated shares sum to the machine budget, so actual draw
+        // at the chosen ceilings can never exceed it.
+        let shares: f64 = (0..4)
+            .map(|b| gov.active_budget_watts(b).unwrap())
+            .sum();
+        assert!((shares - budget).abs() < 1e-9, "shares sum to {shares}");
+        let drawn: f64 = (0..4).map(|b| skewed_power(b, gov.ceiling(b))).sum();
+        assert!(drawn <= budget + 1e-9, "rack draws {drawn} W over budget");
+        // Every blade is degraded while the machine feed is reduced.
+        assert!((0..4).all(|b| gov.is_degraded(b)));
+        // Steady state: re-arbitration under unchanged load is silent.
+        assert!(gov.evaluate(SimTime::from_secs(10), skewed_power).is_empty());
+        // Feed recovers at t=100: capped blades ramp back with the usual
+        // hysteresis; the uncapped ones release immediately.
+        let actions = gov.evaluate(SimTime::from_secs(100), skewed_power);
+        assert_eq!(
+            actions,
+            vec![CapAction::Release { blade: 2 }, CapAction::Release { blade: 3 }]
+        );
+        let mut t = SimTime::from_secs(110);
+        while !gov.is_quiescent() {
+            gov.evaluate(t, skewed_power);
+            t += SimDuration::from_secs(10);
+            assert!(t < SimTime::from_secs(300), "ramp-back never converged");
+        }
+        assert_eq!(gov.next_due(), None);
+    }
+
+    #[test]
+    fn rack_emergency_fires_once_when_even_floor_opps_overdraw() {
+        let mut gov = PowerCapGovernor::new(PowerCapConfig::rv007_default(), 4, 5);
+        // 25 % of 48 W = 12 W < the 24 W sum of floor OPPs.
+        gov.begin_rack_brownout(0.25, SimTime::ZERO, SimDuration::from_secs(50));
+        let actions = gov.evaluate(SimTime::ZERO, synth_power);
+        assert!(matches!(
+            actions.first(),
+            Some(CapAction::RackEmergency { budget_watts }) if (*budget_watts - 12.0).abs() < 1e-12
+        ));
+        // Each blade then declares its own emergency on the infeasible
+        // equal share, which is what drives the engine's checkpoint-drain.
+        let blade_emergencies: Vec<usize> = actions[1..]
+            .iter()
+            .map(|a| match a {
+                CapAction::Emergency { blade, budget_watts } => {
+                    assert!((*budget_watts - 3.0).abs() < 1e-12);
+                    *blade
+                }
+                other => panic!("expected Emergency, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(blade_emergencies, vec![0, 1, 2, 3]);
+        assert!(gov.in_rack_emergency());
+        // The announcement is once-per-episode; the hold is silent.
+        assert!(gov.evaluate(SimTime::from_secs(20), synth_power).is_empty());
+        // Feed recovery clears the rack and every blade rail.
+        let actions = gov.evaluate(SimTime::from_secs(50), synth_power);
+        assert_eq!(
+            actions,
+            (0..4)
+                .map(|blade| CapAction::RailRecovered { blade })
+                .collect::<Vec<_>>()
+        );
+        assert!(!gov.in_rack_emergency());
+        assert!((0..4).all(|b| !gov.in_emergency(b)));
     }
 }

@@ -19,7 +19,8 @@
 //! * [`checkpoint`] / [`healing`] — the recovery subsystem: NFS-backed
 //!   checkpoint/restart, phi-accrual failure detection over broker
 //!   heartbeats, and the self-healing control plane (fencing, migration,
-//!   thermal watchdog);
+//!   thermal watchdog, partition-aware detection, blade and rack power
+//!   arbitration);
 //! * [`experiments`] — one module per paper table/figure.
 //!
 //! # Examples
@@ -52,7 +53,7 @@ pub mod services;
 pub mod thermal;
 
 pub use blade::{Blade, MachineLayout, RAIL_RATED_WATTS};
-pub use checkpoint::{CheckpointCostModel, CheckpointStore, JobCheckpoint};
+pub use checkpoint::{CheckpointCostModel, CheckpointStore, CheckpointStoreConfig, JobCheckpoint};
 pub use dpm::ThermalGovernor;
 pub use engine::{ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanError};

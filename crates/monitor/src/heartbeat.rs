@@ -92,6 +92,14 @@ pub struct PhiAccrualDetector {
     /// clock, so its silence must be judged against the scaled cadence;
     /// without this, graceful degradation reads as a crash.
     expected_scale: f64,
+    /// When a heartbeat *actually* arrived last (unlike `last_arrival`,
+    /// never moved by [`PhiAccrualDetector::rebaseline`]) — the freshness
+    /// signal a partition-aware control plane compares peers against.
+    last_heard: Option<SimTime>,
+    /// Set by a rebaseline: the next recorded interval would span the
+    /// deferred silence, not a real cadence gap, so it is dropped instead
+    /// of polluting the fitted window.
+    skip_next_sample: bool,
 }
 
 impl PhiAccrualDetector {
@@ -107,6 +115,8 @@ impl PhiAccrualDetector {
             intervals: VecDeque::new(),
             last_arrival: None,
             expected_scale: 1.0,
+            last_heard: None,
+            skip_next_sample: false,
         }
     }
 
@@ -139,18 +149,46 @@ impl PhiAccrualDetector {
             if at <= last {
                 return;
             }
-            if self.intervals.len() == self.window {
-                self.intervals.pop_front();
+            if self.skip_next_sample {
+                // The gap spans a deferred-silence rebaseline, not a real
+                // cadence interval: advance the clock, drop the sample.
+                self.skip_next_sample = false;
+            } else {
+                if self.intervals.len() == self.window {
+                    self.intervals.pop_front();
+                }
+                self.intervals
+                    .push_back(at.saturating_since(last).as_secs_f64() / self.expected_scale);
             }
-            self.intervals
-                .push_back(at.saturating_since(last).as_secs_f64() / self.expected_scale);
         }
         self.last_arrival = Some(at);
+        self.last_heard = Some(at);
     }
 
-    /// When the last heartbeat arrived, if any.
+    /// Moves the silence reference to `at` without recording an arrival:
+    /// phi re-accrues from `at`, the fitted window is untouched, and the
+    /// next real arrival's interval (which would span the deferred
+    /// silence) is dropped. This is how a partition-aware control plane
+    /// *defers* suspicion across a correlated outage instead of letting
+    /// the whole outage count as per-node silence. Backwards moves are
+    /// ignored.
+    pub fn rebaseline(&mut self, at: SimTime) {
+        if self.last_arrival.is_none_or(|last| at > last) {
+            self.last_arrival = Some(at);
+            self.skip_next_sample = true;
+        }
+    }
+
+    /// When the last heartbeat arrived (or the silence reference was last
+    /// moved by [`PhiAccrualDetector::rebaseline`]), if ever.
     pub fn last_arrival(&self) -> Option<SimTime> {
         self.last_arrival
+    }
+
+    /// When a heartbeat last *actually* arrived — never moved by
+    /// [`PhiAccrualDetector::rebaseline`].
+    pub fn last_heard(&self) -> Option<SimTime> {
+        self.last_heard
     }
 
     /// Heartbeat arrivals observed (intervals + 1), zero if none.
@@ -371,6 +409,21 @@ impl HeartbeatMonitor {
             .set_expected_scale(scale);
     }
 
+    /// Moves `node`'s silence reference to `at` without recording an
+    /// arrival (see [`PhiAccrualDetector::rebaseline`]). A no-op for nodes
+    /// never heard from — they carry no suspicion to defer.
+    pub fn rebaseline(&mut self, node: &str, at: SimTime) {
+        if let Some(det) = self.detectors.get_mut(node) {
+            det.rebaseline(at);
+        }
+    }
+
+    /// When `node` last *actually* heartbeat, if ever (see
+    /// [`PhiAccrualDetector::last_heard`]).
+    pub fn last_heard(&self, node: &str) -> Option<SimTime> {
+        self.detectors.get(node).and_then(|d| d.last_heard())
+    }
+
     /// The first grid tick in `[from, to]` (stepping by `step`) at which
     /// `node` would cross the suspicion threshold, assuming no further
     /// heartbeats arrive; `None` for unknown nodes or when the crossing
@@ -530,6 +583,51 @@ mod tests {
         hb.observe("mc-node-05", SimTime::from_secs(0));
         hb.set_expected_scale("mc-node-05", 1.0);
         assert_eq!(hb.detector("mc-node-05").unwrap().expected_scale(), 1.0);
+    }
+
+    #[test]
+    fn rebaseline_defers_suspicion_without_polluting_the_window() {
+        use cimone_soc::units::SimDuration;
+        let mut det = PhiAccrualDetector::default();
+        steady(&mut det, 12, 5);
+        let last = SimTime::from_secs(11 * 5);
+        let mean_before = det.mean_interval().unwrap();
+        // 40 s of silence would be far over threshold...
+        assert!(det.phi(last + SimDuration::from_secs(40)) > DEFAULT_PHI_THRESHOLD);
+        // ...but a rebaseline at +30 s restarts the silence clock there.
+        det.rebaseline(last + SimDuration::from_secs(30));
+        assert!(det.phi(last + SimDuration::from_secs(40)) < DEFAULT_PHI_THRESHOLD);
+        // The true-arrival clock is not fooled.
+        assert_eq!(det.last_heard(), Some(last));
+        assert_eq!(det.last_arrival(), Some(last + SimDuration::from_secs(30)));
+        // The first real arrival after the rebaseline updates the clocks
+        // but drops the outage-spanning interval from the fitted window.
+        let resumed = last + SimDuration::from_secs(60);
+        det.record(resumed);
+        assert_eq!(det.last_heard(), Some(resumed));
+        assert!((det.mean_interval().unwrap() - mean_before).abs() < 1e-12);
+        // The next interval after that is a real one and is recorded.
+        det.record(resumed + SimDuration::from_secs(5));
+        assert!((det.mean_interval().unwrap() - mean_before).abs() < 0.1);
+        // Backwards rebaselines are ignored.
+        let reference = det.last_arrival();
+        det.rebaseline(SimTime::from_secs(1));
+        assert_eq!(det.last_arrival(), reference);
+    }
+
+    #[test]
+    fn monitor_rebaseline_only_touches_known_nodes() {
+        let broker = Broker::new();
+        let mut hb = HeartbeatMonitor::attach(&broker, "#".parse().unwrap(), DEFAULT_PHI_THRESHOLD);
+        hb.rebaseline("ghost", SimTime::from_secs(10));
+        assert!(hb.detector("ghost").is_none(), "no detector conjured");
+        hb.observe("mc-node-01", SimTime::from_secs(0));
+        hb.rebaseline("mc-node-01", SimTime::from_secs(10));
+        assert_eq!(
+            hb.detector("mc-node-01").unwrap().last_arrival(),
+            Some(SimTime::from_secs(10))
+        );
+        assert_eq!(hb.last_heard("mc-node-01"), Some(SimTime::ZERO));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   network heatmap);
 //! * [`ib`] — the InfiniBand capability matrix exactly as the paper
 //!   reports it: device recognised, module loaded, `ib_ping` fine, RDMA
-//!   unsupported.
+//!   unsupported;
+//! * [`switch`] — the single shared GbE management switch, the rack-level
+//!   fault domain every node's heartbeat and telemetry path rides on.
 //!
 //! # Examples
 //!
@@ -31,8 +33,10 @@ pub mod fabric;
 pub mod ib;
 pub mod link;
 pub mod mpi;
+pub mod switch;
 
 pub use fabric::Fabric;
 pub use ib::{IbCapability, IbHca};
 pub use link::LinkModel;
 pub use mpi::{CommWorld, ProcessGrid};
+pub use switch::MgmtSwitch;

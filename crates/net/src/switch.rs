@@ -1,0 +1,153 @@
+//! The rack's shared Gigabit Ethernet management switch.
+//!
+//! Monte Cimone hangs all eight nodes (and the master's broker, NFS and
+//! monitoring endpoints) off a single GbE switch — the paper's Sec. 3
+//! network. That makes the switch a *rack-level* fault domain: when it
+//! goes dark, every management-path flow is cut at the same instant —
+//! heartbeats, ExaMon telemetry, the checkpoint export's control traffic —
+//! which is a very different signature from any per-node failure. The
+//! simulation models the switch explicitly so the engine can reason about
+//! "everyone went silent together" as one correlated event instead of
+//! eight coincidental ones.
+
+use cimone_soc::units::SimTime;
+
+/// The shared management/compute GbE switch: up, or inside an injected
+/// outage window.
+///
+/// # Examples
+///
+/// ```
+/// use cimone_net::switch::MgmtSwitch;
+/// use cimone_soc::units::SimTime;
+///
+/// let mut switch = MgmtSwitch::monte_cimone();
+/// assert!(switch.is_up(SimTime::ZERO));
+/// switch.fail_until(SimTime::from_secs(30));
+/// assert!(!switch.is_up(SimTime::from_secs(10)));
+/// assert!(switch.is_up(SimTime::from_secs(30)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MgmtSwitch {
+    ports: usize,
+    outage_until: Option<SimTime>,
+    outages: usize,
+}
+
+impl MgmtSwitch {
+    /// A switch with `ports` downlinks, up.
+    pub fn new(ports: usize) -> Self {
+        MgmtSwitch {
+            ports,
+            outage_until: None,
+            outages: 0,
+        }
+    }
+
+    /// The paper's machine: eight node downlinks on one switch.
+    pub fn monte_cimone() -> Self {
+        MgmtSwitch::new(8)
+    }
+
+    /// Downlink ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Takes the switch down until `until`. Overlapping outages keep the
+    /// later deadline — the rack has one switch, not a spare.
+    pub fn fail_until(&mut self, until: SimTime) {
+        if self.outage_until.is_none() {
+            self.outages += 1;
+        }
+        self.outage_until = Some(match self.outage_until {
+            Some(t) if t > until => t,
+            _ => until,
+        });
+    }
+
+    /// Whether traffic flows at `now`. The outage window is half-open:
+    /// the switch is back up *at* its deadline.
+    pub fn is_up(&self, now: SimTime) -> bool {
+        !self.outage_until.is_some_and(|t| now < t)
+    }
+
+    /// The open outage window's deadline, if one is pending — it stays
+    /// observable until [`MgmtSwitch::restore`] acknowledges it, so the
+    /// owner can run its recovery actions exactly once.
+    pub fn outage_until(&self) -> Option<SimTime> {
+        self.outage_until
+    }
+
+    /// Whether the pending outage window has expired by `now` and awaits
+    /// its [`MgmtSwitch::restore`].
+    pub fn restore_due(&self, now: SimTime) -> bool {
+        self.outage_until.is_some_and(|t| now >= t)
+    }
+
+    /// Acknowledges the expired outage: clears the window.
+    pub fn restore(&mut self) {
+        self.outage_until = None;
+    }
+
+    /// Outages injected over the switch's lifetime.
+    pub fn outages(&self) -> usize {
+        self.outages
+    }
+
+    /// The next instant the switch needs attention (its pending restore),
+    /// for the event-driven clock's due-time aggregation.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.outage_until
+    }
+
+    /// Whether the switch is provably inert: no outage window open or
+    /// awaiting acknowledgement.
+    pub fn is_quiescent(&self) -> bool {
+        self.outage_until.is_none()
+    }
+}
+
+impl Default for MgmtSwitch {
+    fn default() -> Self {
+        MgmtSwitch::monte_cimone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_windows_merge_to_the_later_deadline() {
+        let mut switch = MgmtSwitch::monte_cimone();
+        assert_eq!(switch.ports(), 8);
+        assert!(switch.is_quiescent());
+        assert_eq!(switch.next_due(), None);
+        switch.fail_until(SimTime::from_secs(60));
+        switch.fail_until(SimTime::from_secs(40));
+        assert_eq!(switch.outage_until(), Some(SimTime::from_secs(60)));
+        switch.fail_until(SimTime::from_secs(90));
+        assert_eq!(switch.outage_until(), Some(SimTime::from_secs(90)));
+        // One merged window, one outage.
+        assert_eq!(switch.outages(), 1);
+        assert!(!switch.is_up(SimTime::from_secs(89)));
+        assert!(switch.is_up(SimTime::from_secs(90)));
+        assert_eq!(switch.next_due(), Some(SimTime::from_secs(90)));
+        assert!(!switch.is_quiescent());
+    }
+
+    #[test]
+    fn restore_acknowledges_exactly_once() {
+        let mut switch = MgmtSwitch::new(4);
+        switch.fail_until(SimTime::from_secs(10));
+        assert!(!switch.restore_due(SimTime::from_secs(9)));
+        assert!(switch.restore_due(SimTime::from_secs(10)));
+        switch.restore();
+        assert!(!switch.restore_due(SimTime::from_secs(10)));
+        assert!(switch.is_quiescent());
+        // A second outage counts separately.
+        switch.fail_until(SimTime::from_secs(20));
+        assert_eq!(switch.outages(), 2);
+    }
+}

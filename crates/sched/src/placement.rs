@@ -102,15 +102,26 @@ impl BladeTopology {
 /// an all-idle healthy machine this reproduces the plain sorted-order
 /// allocation exactly. Returns fewer than `need` names if the idle pool
 /// is too small (the scheduler checks the count first).
+///
+/// Nodes in `avoid` — spill-buffering nodes holding the only copy of some
+/// job's checkpoint until the export recovers — are soft-avoided: every
+/// other idle node is tried first, in the full blade order above, and the
+/// avoided nodes serve only when nothing else can fill the job. Losing a
+/// spill holder to a co-located crash would turn one fault into two jobs'
+/// wasted work, so new work stays off those boards while there is a
+/// choice.
 pub fn allocate(
     partition: &Partition,
     topology: Option<&BladeTopology>,
     degraded: &BTreeSet<usize>,
+    avoid: &BTreeSet<String>,
     need: usize,
 ) -> Vec<String> {
     let idle = partition.idle_nodes();
     let Some(topo) = topology else {
-        return idle.into_iter().take(need).collect();
+        let (clear, avoided): (Vec<String>, Vec<String>) =
+            idle.into_iter().partition(|h| !avoid.contains(h));
+        return clear.into_iter().chain(avoided).take(need).collect();
     };
     // Idle nodes per blade (sorted within: `idle` is already sorted), plus
     // the stragglers with no blade.
@@ -137,19 +148,28 @@ pub fn allocate(
         (degraded.contains(&b), fit, b)
     });
     let mut allocation = Vec::with_capacity(need);
-    for b in order {
-        for host in &per_blade[b] {
+    // Pass 1 takes only unavoided hosts in the full blade order; pass 2
+    // concedes the avoided ones, same order, if the job cannot fill
+    // otherwise.
+    for avoided_pass in [false, true] {
+        for &b in &order {
+            for host in &per_blade[b] {
+                if allocation.len() == need {
+                    return allocation;
+                }
+                if avoid.contains(host) == avoided_pass {
+                    allocation.push(host.clone());
+                }
+            }
+        }
+        for host in &unbladed {
             if allocation.len() == need {
                 return allocation;
             }
-            allocation.push(host.clone());
+            if avoid.contains(host) == avoided_pass {
+                allocation.push(host.clone());
+            }
         }
-    }
-    for host in unbladed {
-        if allocation.len() == need {
-            break;
-        }
-        allocation.push(host);
     }
     allocation
 }
@@ -167,12 +187,16 @@ mod tests {
         BTreeSet::new()
     }
 
+    fn no_hosts() -> BTreeSet<String> {
+        BTreeSet::new()
+    }
+
     #[test]
     fn fresh_machine_reproduces_sorted_order() {
         let (p, t) = machine();
         for need in 1..=8 {
-            let with_topo = allocate(&p, Some(&t), &none(), need);
-            let plain = allocate(&p, None, &none(), need);
+            let with_topo = allocate(&p, Some(&t), &none(), &no_hosts(), need);
+            let plain = allocate(&p, None, &none(), &no_hosts(), need);
             assert_eq!(with_topo, plain, "need {need}");
         }
     }
@@ -182,10 +206,10 @@ mod tests {
         let (mut p, t) = machine();
         // Blade 0 is half-busy; blade 1 is fully idle.
         p.set_availability("mc-node-01", NodeAvailability::Allocated);
-        let alloc = allocate(&p, Some(&t), &none(), 2);
+        let alloc = allocate(&p, Some(&t), &none(), &no_hosts(), 2);
         assert_eq!(alloc, vec!["mc-node-03", "mc-node-04"], "pack one blade");
         // The historical allocator would have split across blades 0 and 1.
-        let plain = allocate(&p, None, &none(), 2);
+        let plain = allocate(&p, None, &none(), &no_hosts(), 2);
         assert_eq!(plain, vec!["mc-node-02", "mc-node-03"]);
     }
 
@@ -195,7 +219,7 @@ mod tests {
         p.set_availability("mc-node-03", NodeAvailability::Allocated);
         // Blade 1 has one idle node left: a 1-node job takes it rather
         // than breaking open a fully idle blade.
-        let alloc = allocate(&p, Some(&t), &none(), 1);
+        let alloc = allocate(&p, Some(&t), &none(), &no_hosts(), 1);
         assert_eq!(alloc, vec!["mc-node-04"]);
     }
 
@@ -204,7 +228,7 @@ mod tests {
         let (mut p, t) = machine();
         let degraded: BTreeSet<usize> = [0].into();
         // Healthy blades win even though blade 0 sorts first.
-        let alloc = allocate(&p, Some(&t), &degraded, 2);
+        let alloc = allocate(&p, Some(&t), &degraded, &no_hosts(), 2);
         assert_eq!(alloc, vec!["mc-node-03", "mc-node-04"]);
         // With every healthy node busy, the degraded blade still serves.
         for h in ["mc-node-03", "mc-node-04", "mc-node-05", "mc-node-06"] {
@@ -212,7 +236,7 @@ mod tests {
         }
         p.set_availability("mc-node-07", NodeAvailability::Down);
         p.set_availability("mc-node-08", NodeAvailability::Down);
-        let alloc = allocate(&p, Some(&t), &degraded, 2);
+        let alloc = allocate(&p, Some(&t), &degraded, &no_hosts(), 2);
         assert_eq!(alloc, vec!["mc-node-01", "mc-node-02"]);
     }
 
@@ -223,7 +247,7 @@ mod tests {
         p.set_availability("mc-node-07", NodeAvailability::Down);
         // 4 nodes: blades 0 and 2 are whole and healthy; blade 1 (degraded)
         // and blade 3 (one node) are skipped.
-        let alloc = allocate(&p, Some(&t), &degraded, 4);
+        let alloc = allocate(&p, Some(&t), &degraded, &no_hosts(), 4);
         assert_eq!(
             alloc,
             vec!["mc-node-01", "mc-node-02", "mc-node-05", "mc-node-06"]
@@ -234,7 +258,7 @@ mod tests {
     fn hosts_outside_the_topology_come_last() {
         let p = Partition::new("mixed", vec!["a".into(), "b".into(), "z".into()]);
         let t = BladeTopology::new(vec![vec!["a".into(), "b".into()]]);
-        let alloc = allocate(&p, Some(&t), &none(), 3);
+        let alloc = allocate(&p, Some(&t), &none(), &no_hosts(), 3);
         assert_eq!(alloc, vec!["a", "b", "z"]);
     }
 
@@ -242,5 +266,24 @@ mod tests {
     #[should_panic(expected = "on two blades")]
     fn duplicate_hosts_panic() {
         let _ = BladeTopology::new(vec![vec!["a".into()], vec!["a".into()]]);
+    }
+
+    #[test]
+    fn spill_holders_serve_only_as_a_last_resort() {
+        let (mut p, t) = machine();
+        let avoid: BTreeSet<String> = ["mc-node-01".to_owned()].into();
+        // Plenty of room: the spill holder is skipped even though it sorts
+        // first, and its blade-mate still serves.
+        let alloc = allocate(&p, Some(&t), &none(), &avoid, 2);
+        assert_eq!(alloc, vec!["mc-node-02", "mc-node-03"]);
+        // Also without a topology.
+        let alloc = allocate(&p, None, &none(), &avoid, 2);
+        assert_eq!(alloc, vec!["mc-node-02", "mc-node-03"]);
+        // When only the holder can complete the job, it serves.
+        for h in (3..=8).map(|i| format!("mc-node-{i:02}")) {
+            p.set_availability(&h, NodeAvailability::Down);
+        }
+        let alloc = allocate(&p, Some(&t), &none(), &avoid, 2);
+        assert_eq!(alloc, vec!["mc-node-02", "mc-node-01"]);
     }
 }

@@ -105,6 +105,9 @@ pub struct Scheduler {
     /// Blades the engine marked degraded (browned-out rail, draining):
     /// placement steers new work away while healthy blades have room.
     degraded_blades: BTreeSet<usize>,
+    /// Nodes the engine marked avoided (spill-buffering a checkpoint that
+    /// exists nowhere else): placement takes them only as a last resort.
+    avoided_nodes: BTreeSet<String>,
 }
 
 impl Scheduler {
@@ -126,6 +129,7 @@ impl Scheduler {
             events: Vec::new(),
             topology: None,
             degraded_blades: BTreeSet::new(),
+            avoided_nodes: BTreeSet::new(),
         }
     }
 
@@ -153,6 +157,23 @@ impl Scheduler {
     /// Blades currently marked degraded.
     pub fn degraded_blades(&self) -> &BTreeSet<usize> {
         &self.degraded_blades
+    }
+
+    /// Marks a node avoided (or clears the mark): placement fills jobs
+    /// from every other idle node first. Unlike a drain this never blocks
+    /// an allocation — an avoided node still serves when the job cannot
+    /// fill without it.
+    pub fn set_node_avoided(&mut self, hostname: &str, avoided: bool) {
+        if avoided {
+            self.avoided_nodes.insert(hostname.to_owned());
+        } else {
+            self.avoided_nodes.remove(hostname);
+        }
+    }
+
+    /// Nodes currently soft-avoided by placement.
+    pub fn avoided_nodes(&self) -> &BTreeSet<String> {
+        &self.avoided_nodes
     }
 
     /// The partition.
@@ -351,6 +372,7 @@ impl Scheduler {
             &self.partition,
             self.topology.as_ref(),
             &self.degraded_blades,
+            &self.avoided_nodes,
             need,
         );
         debug_assert_eq!(allocation.len(), need, "allocation underflow");
