@@ -737,6 +737,37 @@ impl SimEngine {
         self.thermal.set_config(airflow);
     }
 
+    /// Re-tunes every pmu/stats runner's sampling comb in place: `period`
+    /// is the spacing between samples, `phase` the offset of the first
+    /// sample after the current clock. Coprime, misaligned combs are the
+    /// stress case for the §16 sampled-span replay, which must reproduce
+    /// every interleaving bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either period is zero — a zero-period plugin would be
+    /// due forever.
+    pub fn set_sampling_cadence(
+        &mut self,
+        pmu_period: SimDuration,
+        pmu_phase: SimDuration,
+        stats_period: SimDuration,
+        stats_phase: SimDuration,
+    ) {
+        assert!(
+            !pmu_period.is_zero() && !stats_period.is_zero(),
+            "sampling periods must be positive"
+        );
+        for runner in &mut self.pmu {
+            runner.plugin_mut().set_period(pmu_period);
+            runner.set_next_due(self.now + pmu_phase);
+        }
+        for runner in &mut self.stats {
+            runner.plugin_mut().set_period(stats_period);
+            runner.set_next_due(self.now + stats_phase);
+        }
+    }
+
     /// The DVFS state of one node's core complex.
     pub fn node_cpufreq(&self, node_index: usize) -> &cimone_soc::cpufreq::CpuFreq {
         self.nodes[node_index].cpufreq()
@@ -1402,12 +1433,40 @@ impl SimEngine {
     /// nothing but the thermal integrator (and its trip latch). `false`
     /// is conservative: the tick is stepped in full.
     ///
-    /// Monitoring must be off — with the ExaMon pipeline live every tick
-    /// publishes samples, so there is nothing to skip.
+    /// Monitoring must be off — the monitored counterpart is
+    /// [`SimEngine::tick_is_observation_only`], whose replay loop handles
+    /// due heartbeats and samples inline instead of treating them as
+    /// actions.
     fn tick_is_quiescent(&self) -> bool {
         if self.config.monitoring {
             return false;
         }
+        if !self.tick_is_observation_only() {
+            return false;
+        }
+        // With telemetry off nothing replays heartbeats, so one due now
+        // is an action the full step must publish.
+        if let Some(rec) = &self.recovery {
+            let partition = self.active_partition();
+            for i in 0..self.nodes.len() {
+                let cut = partition.is_some_and(|(a, b)| a == i || b == i);
+                if rec.node_alive[i] && !cut && self.now >= rec.next_heartbeat[i] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the *only* activity `step()` would perform at the current
+    /// tick is periodic observation — sensor draws, plugin samples,
+    /// heartbeat publication/ingestion — plus pure thermal relaxation.
+    /// Everything the full quiescence predicate demands holds, except
+    /// that monitoring may be on and due samples/heartbeats do not block
+    /// (the monitored fast-forward replays them exactly). A phi crossing
+    /// *at this tick* still blocks: it fences, which only a full step
+    /// applies. `false` is conservative.
+    fn tick_is_observation_only(&self) -> bool {
         if !self.running.is_empty() {
             return false;
         }
@@ -1431,11 +1490,11 @@ impl SimEngine {
         if self.switch.restore_due(self.now) {
             return false;
         }
-        if self
-            .recovery
-            .as_ref()
-            .is_some_and(|rec| rec.store.export_offline_until().is_some_and(|t| self.now >= t))
-        {
+        if self.recovery.as_ref().is_some_and(|rec| {
+            rec.store
+                .export_offline_until()
+                .is_some_and(|t| self.now >= t)
+        }) {
             return false;
         }
         // A non-quiescent power-cap governor (active budget, pending ramp,
@@ -1482,14 +1541,8 @@ impl SimEngine {
             if !rec.control.is_quiescent(&temps) {
                 return false;
             }
-            let partition = self.active_partition();
             let dt = self.config.dt;
             for i in 0..self.nodes.len() {
-                let cut = partition.is_some_and(|(a, b)| a == i || b == i);
-                // A heartbeat due now is an action.
-                if rec.node_alive[i] && !cut && self.now >= rec.next_heartbeat[i] {
-                    return false;
-                }
                 // A phi threshold crossing now fences a node.
                 if rec
                     .control
@@ -1509,6 +1562,14 @@ impl SimEngine {
     /// release or estimated completion, checkpoint transition, or plugin
     /// sample. `None` means nothing is due inside the horizon.
     pub fn next_due(&self, horizon: SimTime) -> Option<SimTime> {
+        self.next_due_inner(horizon, true)
+    }
+
+    /// [`SimEngine::next_due`] with observation events — plugin samples,
+    /// heartbeats and phi crossings — optionally excluded. The monitored
+    /// fast-forward replays those inline, so its wake-up must come only
+    /// from events that genuinely need the full pipeline.
+    fn next_due_inner(&self, horizon: SimTime, include_observation: bool) -> Option<SimTime> {
         let now = self.now;
         let add = |due: &mut Option<SimTime>, t: SimTime| {
             if t > now && t <= horizon && due.is_none_or(|d| t < d) {
@@ -1556,7 +1617,7 @@ impl SimEngine {
                 add(&mut due, run.started + job.spec().time_limit);
             }
         }
-        if self.config.monitoring {
+        if include_observation && self.config.monitoring {
             for runner in &self.pmu {
                 add(&mut due, runner.next_due());
             }
@@ -1564,7 +1625,7 @@ impl SimEngine {
                 add(&mut due, runner.next_due());
             }
         }
-        if let Some(rec) = &self.recovery {
+        if let Some(rec) = self.recovery.as_ref().filter(|_| include_observation) {
             let partition = self.active_partition();
             for i in 0..self.nodes.len() {
                 let cut = partition.is_some_and(|(a, b)| a == i || b == i);
@@ -1589,14 +1650,26 @@ impl SimEngine {
         due
     }
 
-    /// Fast-forwards from the current (quiescent) tick towards `cap` (a
-    /// grid tick): each skipped tick advances only the thermal integrator
-    /// with the exact arithmetic of a full step, and once the integrator
-    /// reaches its f64 fixed point the remaining span is jumped in O(1).
-    /// Stops early at the next due event, a thermal trip, a governor or
-    /// watchdog threshold crossing. Returns whether the clock advanced at
-    /// all (`false` ⇒ the caller must run a full step).
+    /// Fast-forwards from the current tick towards `cap` (a grid tick),
+    /// dispatching on the monitoring mode: with telemetry off, skipped
+    /// ticks advance only the thermal integrator; with telemetry on, the
+    /// sampled-span replay (DESIGN.md §16) performs exactly the
+    /// observation slice of each tick. Returns whether the clock advanced
+    /// at all (`false` ⇒ the caller must run a full step).
     fn fast_forward_to(&mut self, cap: SimTime) -> bool {
+        if self.config.monitoring {
+            self.monitored_fast_forward(cap)
+        } else {
+            self.unmonitored_fast_forward(cap)
+        }
+    }
+
+    /// The telemetry-off fast-forward: each skipped tick advances only
+    /// the thermal integrator with the exact arithmetic of a full step,
+    /// and once the integrator reaches its f64 fixed point the remaining
+    /// span is jumped in O(1). Stops early at the next due event, a
+    /// thermal trip, a governor or watchdog threshold crossing.
+    fn unmonitored_fast_forward(&mut self, cap: SimTime) -> bool {
         if cap <= self.now || !self.tick_is_quiescent() {
             return false;
         }
@@ -1618,6 +1691,187 @@ impl SimEngine {
                     break;
                 }
                 Microstep::Resume => break,
+            }
+        }
+        self.now > start
+    }
+
+    /// The sampled-span replay (DESIGN.md §16): fast-forwards a
+    /// *monitored* observation-only span towards `cap`. Every replayed
+    /// tick performs exactly the observable slice of a full step, in the
+    /// full step's order — heartbeat publication and same-tick ingestion,
+    /// the per-node sensor-noise draws and power messages (serially in
+    /// node order, so the RNG stream is identical), plugin samples
+    /// through the same allocation-free `due_messages_into`/`sample_into`
+    /// paths, per-tick node counter advancement (load averages smooth
+    /// exponentially — not batchable bitwise) and collector pumping —
+    /// while the phases proven inert for the whole span (scheduler probe,
+    /// job walk, condition refresh, power-cap evaluation) are skipped.
+    /// Thermal advances with the §13 microstep arithmetic until its f64
+    /// fixed point, after which the temperature-dependent slice is frozen
+    /// and skipped under the same equilibrium argument as the §13 jump.
+    ///
+    /// Phi-accrual suspicion is scheduled, not polled: between heartbeat
+    /// ingestions a detector's state is frozen and phi is monotone in
+    /// silence, so the binary-searched first crossing is exact until the
+    /// node's next arrival (after which it is recomputed on the
+    /// post-arrival state). A tick with a crossing due must fence, which
+    /// only the full pipeline applies, so the replay stops just before
+    /// it; likewise a thermal trip, governor move or watchdog arming
+    /// finishes its tick exactly and then resumes full stepping.
+    ///
+    /// Replayed ticks count as *skipped* — they bypass the full pipeline
+    /// — which makes the dense monitored scenario's tick ratio the same
+    /// deterministic speedup metric the sparse path reports.
+    fn monitored_fast_forward(&mut self, cap: SimTime) -> bool {
+        if cap <= self.now || !self.tick_is_observation_only() {
+            return false;
+        }
+        let dt = self.config.dt;
+        let n = self.nodes.len();
+        // Wake at the earliest non-observation event; samples, heartbeats
+        // and phi crossings inside the span are replayed, not woken for.
+        let wake = match self.next_due_inner(cap, false) {
+            Some(due) => cap.min(self.grid_align_up(due)),
+            None => cap,
+        };
+        let start = self.now;
+        let mut crossings: Vec<Option<SimTime>> = vec![None; n];
+        if let Some(rec) = &self.recovery {
+            for (i, slot) in crossings.iter_mut().enumerate() {
+                *slot = rec.control.next_suspicion_due(i, self.now + dt, wake, dt);
+            }
+        }
+        // A node's power topic is identical every tick; build each once.
+        let power_topics: Vec<Topic> = (0..n).map(|i| self.power_topic(i)).collect();
+        let mut equilibrium = false;
+        let mut node_power: Vec<Power> = Vec::with_capacity(n);
+        let mut prev_temps: Vec<Celsius> = Vec::with_capacity(n);
+        while self.now < wake {
+            if crossings.iter().flatten().any(|&t| t <= self.now) {
+                break; // a suspicion crossing fences: full step handles it
+            }
+            // Phase 0b: heartbeats on their exact cadence, ingested the
+            // same tick — `publish_heartbeats` IS the fixed-dt publisher.
+            if self.recovery.is_some() {
+                let due_any = {
+                    let partition = self.active_partition();
+                    let rec = self.recovery.as_ref().expect("recovery mode");
+                    (0..n).any(|i| {
+                        rec.node_alive[i]
+                            && !partition.is_some_and(|(a, b)| a == i || b == i)
+                            && self.now >= rec.next_heartbeat[i]
+                    })
+                };
+                self.publish_heartbeats();
+                if due_any {
+                    let rec = self.recovery.as_mut().expect("recovery mode");
+                    rec.control.pump_arrivals();
+                    // Detector state moved: refresh every crossing.
+                    for (i, slot) in crossings.iter_mut().enumerate() {
+                        *slot = rec.control.next_suspicion_due(i, self.now + dt, wake, dt);
+                    }
+                }
+            }
+            // Phase 4: sensor-noise draws and power messages, exactly as
+            // the full step draws them. The noise-free mean feeding the
+            // thermal model is frozen once the integrator settles.
+            let switch_up = self.switch.is_up(self.now);
+            if !equilibrium {
+                node_power.clear();
+                prev_temps.clear();
+                for i in 0..n {
+                    let workload = self.nodes[i].effective_power_workload();
+                    let temp = self.thermal.temperature(i);
+                    prev_temps.push(temp);
+                    let scale = self.nodes[i].cpufreq().scale();
+                    node_power.push(self.power.mean_all_dvfs(workload, temp, scale).total());
+                }
+            }
+            if switch_up {
+                for (i, topic) in power_topics.iter().enumerate() {
+                    if self.now < self.sensor_dropout_until[i] {
+                        continue; // dropped out: no draw, no message
+                    }
+                    let stuck = self.now < self.sensor_stuck_until[i];
+                    let workload = self.nodes[i].effective_power_workload();
+                    let temp = self.thermal.temperature(i);
+                    let scale = self.nodes[i].cpufreq().scale();
+                    let measured = self
+                        .power
+                        .sample_all_dvfs(workload, temp, scale, &mut self.rng)
+                        .total()
+                        .as_watts();
+                    let watts = match (stuck, self.last_power[i]) {
+                        (true, Some(frozen)) => frozen,
+                        _ => measured,
+                    };
+                    self.broker.publish(topic, Payload::new(watts, self.now));
+                    if !stuck {
+                        self.last_power[i] = Some(measured);
+                    }
+                }
+            }
+            // Phases 5/5b: the §13 thermal microstep arithmetic. A trip,
+            // governor move or watchdog arming finishes this tick exactly
+            // as the full step would, then resumes full stepping.
+            let mut resume = false;
+            if !equilibrium {
+                self.record_blade_power(&node_power);
+                let tripped = self.thermal.step(&node_power, dt);
+                let any_trip = !tripped.is_empty();
+                for node_index in tripped {
+                    self.handle_trip(node_index);
+                }
+                for i in 0..n {
+                    let (cpu, mb, nvme) = (
+                        self.thermal.temperature(i),
+                        self.thermal.mb_temperature(i),
+                        self.thermal.nvme_temperature(i),
+                    );
+                    self.nodes[i].set_temperatures(cpu, mb, nvme);
+                }
+                let governed = self.govern();
+                if any_trip || governed {
+                    resume = true;
+                } else if let Some(rec) = &self.recovery {
+                    let temps: Vec<Celsius> = (0..n).map(|i| self.thermal.temperature(i)).collect();
+                    if !rec.control.is_quiescent(&temps) {
+                        resume = true;
+                    }
+                }
+                if !resume {
+                    equilibrium = (0..n).all(|i| self.thermal.temperature(i) == prev_temps[i]);
+                }
+            }
+            // Phase 6: counters advance every tick; plugins sample at
+            // their due ticks. Building the (pure) snapshot only when a
+            // plugin is actually due is the replay's one shortcut.
+            for i in 0..n {
+                self.nodes[i].advance(dt);
+                if !switch_up || self.now < self.sensor_dropout_until[i] {
+                    continue; // silent or switch dark
+                }
+                if self.now < self.pmu[i].next_due() && self.now < self.stats[i].next_due() {
+                    continue;
+                }
+                let mut out = std::mem::take(&mut self.plugin_scratch[i]);
+                out.clear();
+                let snapshot = self.nodes[i].snapshot(self.now);
+                self.pmu[i].due_messages_into(self.now, &snapshot, &mut out);
+                self.stats[i].due_messages_into(self.now, &snapshot, &mut out);
+                for (topic, payload) in out.drain(..) {
+                    self.broker.publish(&topic, payload);
+                }
+                self.plugin_scratch[i] = out;
+            }
+            if let Some(collector) = &mut self.collector {
+                collector.pump(&mut self.store);
+            }
+            self.ticks_skipped += 1;
+            self.now += dt;
+            if resume {
+                break;
             }
         }
         self.now > start
@@ -1897,22 +2151,21 @@ impl SimEngine {
         }
         if self.switch.restore_due(self.now) {
             self.switch.restore();
-            self.events.push(EngineEvent::SwitchRestored { at: self.now });
+            self.events
+                .push(EngineEvent::SwitchRestored { at: self.now });
         }
         // NFS export recovery: acknowledge the expired window once, then
         // flush any node-local spill buffers to the export in job-id order.
-        let flush_due = self
-            .recovery
-            .as_ref()
-            .is_some_and(|rec| rec.store.export_offline_until().is_some_and(|t| self.now >= t));
+        let flush_due = self.recovery.as_ref().is_some_and(|rec| {
+            rec.store
+                .export_offline_until()
+                .is_some_and(|t| self.now >= t)
+        });
         if flush_due {
             let rec = self.recovery.as_mut().expect("recovery mode");
             rec.store.clear_export_offline();
             if rec.store.spilled_jobs() > 0 {
-                let (records, _cost) = rec
-                    .store
-                    .flush_spill(self.now)
-                    .expect("export back online");
+                let (records, _cost) = rec.store.flush_spill(self.now).expect("export back online");
                 rec.checkpoints_written += records;
                 for job_id in rec.spill_holders.keys().copied().collect::<Vec<_>>() {
                     Self::release_spill_holder(
@@ -2158,9 +2411,8 @@ impl SimEngine {
                 let mut saved = run.ckpt.committed();
                 if rec.store.spilled(id.0).is_some() {
                     let holder = rec.spill_holders.get(&id.0).copied();
-                    let holder_ok = holder.is_some_and(|h| {
-                        rec.node_alive[h] && !rec.control.is_fenced(h)
-                    });
+                    let holder_ok =
+                        holder.is_some_and(|h| rec.node_alive[h] && !rec.control.is_fenced(h));
                     if !holder_ok {
                         rec.store.drop_spill(id.0);
                         Self::release_spill_holder(
@@ -2459,8 +2711,7 @@ impl SimEngine {
                             // allocated node and treat the spilled record
                             // as the restart point — it survives anything
                             // short of that node dying before the flush.
-                            let holder =
-                                *job.node_indices.first().expect("running job has nodes");
+                            let holder = *job.node_indices.first().expect("running job has nodes");
                             rec.store.spill_write(JobCheckpoint::new(
                                 job.id.0,
                                 progress,

@@ -145,7 +145,16 @@ pub fn run(
         "budget_frac must be in (0, 1]"
     );
     let campaigns = vec![
-        campaign(problem, jobs, budget_frac, seed, clock, "naive", false, false),
+        campaign(
+            problem,
+            jobs,
+            budget_frac,
+            seed,
+            clock,
+            "naive",
+            false,
+            false,
+        ),
         campaign(
             problem,
             jobs,

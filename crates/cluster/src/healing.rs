@@ -279,6 +279,16 @@ impl ControlPlane {
         &self.monitor
     }
 
+    /// Ingests queued heartbeat arrivals *without* running the decision
+    /// pass; returns how many were ingested. The monitored fast-forward
+    /// (DESIGN.md §16) records arrivals at their exact ticks and proves
+    /// separately — via [`ControlPlane::is_quiescent`] at span entry and
+    /// [`ControlPlane::next_suspicion_due`] over the span — that the
+    /// decision pass would act on none of them, so skipping it is exact.
+    pub fn pump_arrivals(&mut self) -> usize {
+        self.monitor.pump()
+    }
+
     /// Whether this control plane has node `i` fenced.
     pub fn is_fenced(&self, node: usize) -> bool {
         self.fenced[node]
@@ -996,11 +1006,11 @@ impl PowerCapGovernor {
     pub fn is_quiescent(&self) -> bool {
         self.rack.is_none()
             && self.blades.iter().all(|cap| {
-            cap.budget_watts.is_none()
-                && cap.next_ramp.is_none()
-                && !cap.emergency
-                && cap.ceiling == self.opp_count - 1
-        })
+                cap.budget_watts.is_none()
+                    && cap.next_ramp.is_none()
+                    && !cap.emergency
+                    && cap.ceiling == self.opp_count - 1
+            })
     }
 }
 
@@ -1191,9 +1201,8 @@ mod tests {
             "{seen:?}"
         );
         assert!(
-            seen.iter().any(
-                |(_, a)| matches!(a, ControlAction::FenceSuspect { node: 1, .. })
-            ),
+            seen.iter()
+                .any(|(_, a)| matches!(a, ControlAction::FenceSuspect { node: 1, .. })),
             "the genuinely dead node must be fenced: {seen:?}"
         );
         assert!(!cp.is_fenced(0), "the survivor is not touched");
@@ -1519,22 +1528,25 @@ mod tests {
         );
         // The arbitrated shares sum to the machine budget, so actual draw
         // at the chosen ceilings can never exceed it.
-        let shares: f64 = (0..4)
-            .map(|b| gov.active_budget_watts(b).unwrap())
-            .sum();
+        let shares: f64 = (0..4).map(|b| gov.active_budget_watts(b).unwrap()).sum();
         assert!((shares - budget).abs() < 1e-9, "shares sum to {shares}");
         let drawn: f64 = (0..4).map(|b| skewed_power(b, gov.ceiling(b))).sum();
         assert!(drawn <= budget + 1e-9, "rack draws {drawn} W over budget");
         // Every blade is degraded while the machine feed is reduced.
         assert!((0..4).all(|b| gov.is_degraded(b)));
         // Steady state: re-arbitration under unchanged load is silent.
-        assert!(gov.evaluate(SimTime::from_secs(10), skewed_power).is_empty());
+        assert!(gov
+            .evaluate(SimTime::from_secs(10), skewed_power)
+            .is_empty());
         // Feed recovers at t=100: capped blades ramp back with the usual
         // hysteresis; the uncapped ones release immediately.
         let actions = gov.evaluate(SimTime::from_secs(100), skewed_power);
         assert_eq!(
             actions,
-            vec![CapAction::Release { blade: 2 }, CapAction::Release { blade: 3 }]
+            vec![
+                CapAction::Release { blade: 2 },
+                CapAction::Release { blade: 3 }
+            ]
         );
         let mut t = SimTime::from_secs(110);
         while !gov.is_quiescent() {
@@ -1560,7 +1572,10 @@ mod tests {
         let blade_emergencies: Vec<usize> = actions[1..]
             .iter()
             .map(|a| match a {
-                CapAction::Emergency { blade, budget_watts } => {
+                CapAction::Emergency {
+                    blade,
+                    budget_watts,
+                } => {
                     assert!((*budget_watts - 3.0).abs() < 1e-12);
                     *blade
                 }

@@ -242,6 +242,11 @@ impl ComputeNode {
 
     /// Advances the node by `dt`: cores retire instructions under the
     /// current conditions, network counters integrate, load averages decay.
+    ///
+    /// Not batchable: the load averages smooth exponentially and the SoC
+    /// counters accumulate per call, so `advance(2·dt)` ≠ two
+    /// `advance(dt)` calls bitwise. The §16 sampled-span replay therefore
+    /// calls this once per replayed tick, exactly like a full step.
     pub fn advance(&mut self, dt: SimDuration) {
         let busy = if self.conditions.communicating {
             0
@@ -269,7 +274,9 @@ impl ComputeNode {
         }
     }
 
-    /// Builds the monitoring snapshot the plugins sample.
+    /// Builds the monitoring snapshot the plugins sample. Pure — reads
+    /// state without mutating it — which is what lets the §16 replay
+    /// build it only on ticks where a plugin is actually due.
     pub fn snapshot(&self, now: SimTime) -> NodeSnapshot {
         let cores: Vec<CoreCounters> = self
             .soc

@@ -235,6 +235,12 @@ impl ThermalModel {
     /// Returns the indices of nodes that crossed the trip point during
     /// this step.
     ///
+    /// The RC update is a pure function of (temperatures, powers, dt),
+    /// so once a step leaves every temperature bitwise unchanged under
+    /// constant powers, all further steps are no-ops — the fixed-point
+    /// argument behind the §13 equilibrium jump and the frozen-thermal
+    /// phase of the §16 sampled-span replay.
+    ///
     /// # Panics
     ///
     /// Panics if `powers` does not cover every node.

@@ -36,7 +36,11 @@ fn spill_recovery(secs: u64) -> RecoveryConfig {
 
 /// Asserts every observable output of the two engines is identical.
 fn assert_bit_identical(reference: &SimEngine, other: &SimEngine, label: &str) {
-    assert_eq!(reference.now(), other.now(), "{label}: final clock diverged");
+    assert_eq!(
+        reference.now(),
+        other.now(),
+        "{label}: final clock diverged"
+    );
     assert_eq!(
         reference.events(),
         other.events(),
@@ -128,7 +132,7 @@ fn combined_rack_plan_is_bit_identical_across_modes_and_threads() {
         engine
     };
     let reference = run(ClockMode::FixedDt, 1);
-    let saw = |pred: fn(&EngineEvent) -> bool| reference.events().iter().any(|e| pred(e));
+    let saw = |pred: fn(&EngineEvent) -> bool| reference.events().iter().any(pred);
     assert!(
         saw(|e| matches!(e, EngineEvent::PartitionSuspected { .. })),
         "the switch outage must partition the control plane"
@@ -393,14 +397,8 @@ proptest! {
 /// A random fault event for [`FaultPlan::validate`] fuzzing — including
 /// out-of-range nodes, blades and budgets, and overlapping windows.
 fn arb_fault() -> impl Strategy<Value = FaultKind> {
-    (
-        0u8..8,
-        0usize..12,
-        0usize..6,
-        -0.5f64..1.5,
-        1u64..900,
-    )
-        .prop_map(|(kind, node, blade, budget_frac, secs)| {
+    (0u8..8, 0usize..12, 0usize..6, -0.5f64..1.5, 1u64..900).prop_map(
+        |(kind, node, blade, budget_frac, secs)| {
             let span = SimDuration::from_secs(secs);
             match kind {
                 0 => FaultKind::NodeCrash { node },
@@ -416,7 +414,8 @@ fn arb_fault() -> impl Strategy<Value = FaultKind> {
                 6 => FaultKind::FanFailure { blade, span },
                 _ => FaultKind::PsuFailure { blade },
             }
-        })
+        },
+    )
 }
 
 proptest! {

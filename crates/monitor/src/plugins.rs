@@ -124,16 +124,31 @@ pub trait Plugin {
 }
 
 /// The `pmu_pub` plugin: per-core CYCLE/INSTRET (and any programmed HPM
-/// events) at 2 Hz.
+/// events), at 2 Hz by default (paper Table II).
 #[derive(Debug, Clone)]
 pub struct PmuPlugin {
     schema: ExamonSchema,
+    period: SimDuration,
 }
 
 impl PmuPlugin {
-    /// Creates the plugin under `schema`.
+    /// Creates the plugin under `schema` at the paper's 2 Hz cadence.
     pub fn new(schema: ExamonSchema) -> Self {
-        PmuPlugin { schema }
+        PmuPlugin {
+            schema,
+            period: SimDuration::from_millis(500), // 2 Hz
+        }
+    }
+
+    /// Overrides the sampling period (the paper runs 2 Hz; sweeps and the
+    /// monitored fast-forward tests drive coprime, misaligned cadences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn set_period(&mut self, period: SimDuration) {
+        assert!(!period.is_zero(), "a sampling period must be positive");
+        self.period = period;
     }
 }
 
@@ -143,7 +158,7 @@ impl Plugin for PmuPlugin {
     }
 
     fn period(&self) -> SimDuration {
-        SimDuration::from_millis(500) // 2 Hz
+        self.period
     }
 
     fn sample_into(&mut self, snapshot: &NodeSnapshot, out: &mut Vec<(Topic, Payload)>) {
@@ -196,16 +211,31 @@ pub const STATS_METRICS: [&str; 28] = [
     "temperature.nvme_temp",
 ];
 
-/// The `stats_pub` plugin: OS statistics and hwmon temperatures at 0.2 Hz.
+/// The `stats_pub` plugin: OS statistics and hwmon temperatures, at
+/// 0.2 Hz by default (paper Table III).
 #[derive(Debug, Clone)]
 pub struct StatsPlugin {
     schema: ExamonSchema,
+    period: SimDuration,
 }
 
 impl StatsPlugin {
-    /// Creates the plugin under `schema`.
+    /// Creates the plugin under `schema` at the paper's 0.2 Hz cadence.
     pub fn new(schema: ExamonSchema) -> Self {
-        StatsPlugin { schema }
+        StatsPlugin {
+            schema,
+            period: SimDuration::from_secs(5), // 0.2 Hz
+        }
+    }
+
+    /// Overrides the sampling period (see [`PmuPlugin::set_period`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn set_period(&mut self, period: SimDuration) {
+        assert!(!period.is_zero(), "a sampling period must be positive");
+        self.period = period;
     }
 
     fn metric_value(snapshot: &NodeSnapshot, metric: &str) -> f64 {
@@ -249,7 +279,7 @@ impl Plugin for StatsPlugin {
     }
 
     fn period(&self) -> SimDuration {
-        SimDuration::from_secs(5) // 0.2 Hz
+        self.period
     }
 
     fn sample_into(&mut self, snapshot: &NodeSnapshot, out: &mut Vec<(Topic, Payload)>) {
@@ -283,6 +313,17 @@ impl<P: Plugin> PluginRunner<P> {
     /// The wrapped plugin.
     pub fn plugin(&self) -> &P {
         &self.plugin
+    }
+
+    /// Mutable access to the wrapped plugin (cadence reconfiguration).
+    pub fn plugin_mut(&mut self) -> &mut P {
+        &mut self.plugin
+    }
+
+    /// Re-anchors the next due time — the phase of the sampling comb.
+    /// Subsequent samples keep the plugin's period from `at`.
+    pub fn set_next_due(&mut self, at: SimTime) {
+        self.next_due = at;
     }
 
     /// The next time this runner will produce messages. Due-time clocks

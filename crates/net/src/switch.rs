@@ -69,7 +69,7 @@ impl MgmtSwitch {
     /// Whether traffic flows at `now`. The outage window is half-open:
     /// the switch is back up *at* its deadline.
     pub fn is_up(&self, now: SimTime) -> bool {
-        !self.outage_until.is_some_and(|t| now < t)
+        self.outage_until.is_none_or(|t| now >= t)
     }
 
     /// The open outage window's deadline, if one is pending — it stays
