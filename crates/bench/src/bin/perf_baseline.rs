@@ -16,10 +16,22 @@
 //! ratio (unlike wall clock) is deterministic and is the perf deliverable
 //! the replay exists for.
 //!
+//! The dense scenario also gates the wall clock itself: the event clock
+//! must finish the monitored run at least [`DENSE_WALL_SPEEDUP_FLOOR`]x
+//! faster than fixed-dt, measured as best-of-reps on both sides (the
+//! minimum estimates the uncontended cost of a deterministic workload;
+//! medians of alternating reps still drift with host load).
+//!
+//! `BENCH_engine.json` additionally carries a broker micro-benchmark:
+//! steady-state batched publish throughput through the precompiled
+//! routing table, plus the compiled-route count.
+//!
 //! `--smoke` shrinks the problem sizes for CI; `REPS` overrides the
 //! repetition count; `--out-dir DIR` redirects the JSON snapshots (so CI
-//! artifacts don't clobber the committed repo-root copies). Timings
-//! report the median rep, the stable statistic on a noisy shared host.
+//! artifacts don't clobber the committed repo-root copies). Kernel
+//! timings report the median rep, the stable statistic on a noisy shared
+//! host; the clock-mode comparison and the broker throughput use
+//! best-of-reps as above.
 
 use std::time::Instant;
 
@@ -46,6 +58,14 @@ const WORKERS: usize = 4;
 /// §16 sampled-span replay. Falling below this is a perf regression and
 /// exits non-zero, same as a bitwise divergence.
 const DENSE_TICK_RATIO_FLOOR: f64 = 10.0;
+
+/// Minimum wall-clock speedup (fixed-dt seconds / event-driven seconds,
+/// best-of-reps each) the dense monitored scenario must reach. The
+/// interned-topic publish path, the precompiled routing table and the
+/// columnar span-batched ingest exist to make the sampled-span replay
+/// cheap enough that the event clock wins by at least this factor even
+/// with every tick monitored.
+const DENSE_WALL_SPEEDUP_FLOOR: f64 = 2.0;
 
 struct Sizes {
     mode: &'static str,
@@ -95,6 +115,13 @@ impl Sizes {
 fn median(mut times: Vec<f64>) -> f64 {
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     times[times.len() / 2]
+}
+
+/// Best-of-reps: the minimum estimates the uncontended cost of a
+/// deterministic workload, which is the right statistic for a ratio gate
+/// on a host with drifting background load.
+fn best(times: &[f64]) -> f64 {
+    times.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
 /// Times `reps` calls of `f`, returning (median seconds, last result).
@@ -239,12 +266,19 @@ fn bench_stream(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
     ])
 }
 
-fn engine_with_threads(threads: usize, parallel_grain: usize, steps: usize) -> (f64, SimEngine) {
-    let mut engine = SimEngine::new(EngineConfig {
+fn engine_with_threads(
+    threads: usize,
+    parallel_grain: Option<usize>,
+    steps: usize,
+) -> (f64, SimEngine) {
+    let mut config = EngineConfig {
         threads,
-        parallel_grain,
         ..EngineConfig::default()
-    });
+    };
+    if let Some(grain) = parallel_grain {
+        config.parallel_grain = grain;
+    }
+    let mut engine = SimEngine::new(config);
     engine
         .submit(JobRequest {
             name: "perf-baseline".into(),
@@ -263,20 +297,30 @@ fn engine_with_threads(threads: usize, parallel_grain: usize, steps: usize) -> (
     (start.elapsed().as_secs_f64(), engine)
 }
 
+/// Threaded engine stepping, reported the way it actually ships: the
+/// default posture (default grain, where the stock 8-node machine is
+/// below the min-work threshold, so the engine auto-falls back to serial
+/// stepping) is the headline; the forced-pool path (grain 1) is measured
+/// and reported separately, because on this machine the fan-out loses to
+/// its own synchronisation and hiding that behind the default numbers
+/// would misstate both.
 fn bench_engine(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
     let steps = sizes.engine_steps;
     let mut serial_times = Vec::with_capacity(sizes.reps);
-    let mut threaded_times = Vec::with_capacity(sizes.reps);
+    let mut default_times = Vec::with_capacity(sizes.reps);
+    let mut forced_times = Vec::with_capacity(sizes.reps);
     let mut identical = true;
-    // Force the pool (grain 1) for the threaded measurement: the stock
-    // 8-node machine is below the default min-work threshold, so a
-    // default-grain engine would silently measure the serial path twice.
     for _ in 0..sizes.reps {
-        let (st, serial) = engine_with_threads(1, 1, steps);
-        let (tt, threaded) = engine_with_threads(WORKERS, 1, steps);
+        let (st, serial) = engine_with_threads(1, None, steps);
+        let (dt, default) = engine_with_threads(WORKERS, None, steps);
+        let (ft, forced) = engine_with_threads(WORKERS, Some(1), steps);
         serial_times.push(st);
-        threaded_times.push(tt);
-        identical &= serial.store() == threaded.store() && serial.events() == threaded.events();
+        default_times.push(dt);
+        forced_times.push(ft);
+        identical &= serial.store() == default.store()
+            && serial.events() == default.events()
+            && serial.store() == forced.store()
+            && serial.events() == forced.events();
     }
     if !identical {
         divergences.push(format!("engine {steps} steps: threaded != serial"));
@@ -289,23 +333,96 @@ fn bench_engine(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue {
     })
     .parallel_engaged();
     let serial_s = median(serial_times);
-    let threaded_s = median(threaded_times);
-    let speedup = serial_s / threaded_s;
+    let default_s = median(default_times);
+    let forced_s = median(forced_times);
+    let default_speedup = serial_s / default_s;
+    let forced_speedup = serial_s / forced_s;
     println!(
-        "ENGINE  steps={steps:<7} serial {:>8.0} steps/s  threaded {:>8.0} steps/s  speedup {speedup:.2}x  auto_fallback={auto_fallback}",
+        "ENGINE  steps={steps:<7} serial {:>8.0} steps/s  default({WORKERS}t) {:>8.0} steps/s ({default_speedup:.2}x, auto_fallback={auto_fallback})  forced-pool {:>8.0} steps/s ({forced_speedup:.2}x)",
         steps as f64 / serial_s,
-        steps as f64 / threaded_s,
+        steps as f64 / default_s,
+        steps as f64 / forced_s,
     );
     obj(vec![
         ("steps", num(steps as f64)),
         ("serial_steps_per_s", num(steps as f64 / serial_s)),
-        ("threaded_steps_per_s", num(steps as f64 / threaded_s)),
-        ("speedup", num(speedup)),
+        ("default_steps_per_s", num(steps as f64 / default_s)),
+        ("forced_pool_steps_per_s", num(steps as f64 / forced_s)),
+        ("default_speedup", num(default_speedup)),
+        ("forced_pool_speedup", num(forced_speedup)),
         (
             "auto_fallback_default_grain",
             JsonValue::Bool(auto_fallback),
         ),
         ("bit_identical", JsonValue::Bool(identical)),
+    ])
+}
+
+/// Steady-state broker micro-benchmark: a telemetry-shaped topic set
+/// (interned once, up front), one wildcard collector subscription, and
+/// repeated batched publishes through the precompiled routing table,
+/// each batch drained by the subscriber. Reports best-of-reps message
+/// throughput for the batched path and the per-message path, plus the
+/// compiled-route count as a direct witness that the table is populated.
+fn bench_broker(sizes: &Sizes) -> JsonValue {
+    use cimone_monitor::broker::Broker;
+    use cimone_monitor::payload::Payload;
+    use cimone_monitor::topic::Topic;
+
+    let topics: Vec<Topic> = (0..128)
+        .map(|i| {
+            format!(
+                "org/cimone/cluster/node{}/plugin/bench/chnl/data/metric{i}",
+                i % 8
+            )
+            .parse()
+            .expect("valid topic")
+        })
+        .collect();
+    let broker = Broker::new();
+    let sub = broker.subscribe("#".parse().expect("valid filter"));
+    let rounds = if sizes.mode == "full" { 2000 } else { 400 };
+    let mut batch: Vec<(Topic, Payload)> = Vec::with_capacity(topics.len());
+
+    let mut run = |batched: bool| -> f64 {
+        let mut times = Vec::with_capacity(sizes.reps);
+        for rep in 0..=sizes.reps {
+            let start = Instant::now();
+            for round in 0..rounds {
+                let at = SimTime::from_secs(round as u64);
+                if batched {
+                    batch.extend(topics.iter().map(|t| (*t, Payload::new(round as f64, at))));
+                    broker.publish_batch_serial(&mut batch);
+                } else {
+                    for t in &topics {
+                        broker.publish(t, Payload::new(round as f64, at));
+                    }
+                }
+                sub.drain_each(|_| {});
+            }
+            if rep > 0 {
+                // Rep 0 is the warm-up: route compilation and queue
+                // growth happen there, steady state is what we time.
+                times.push(start.elapsed().as_secs_f64());
+            }
+        }
+        (rounds * topics.len()) as f64 / best(&times)
+    };
+    let batched_msgs_per_s = run(true);
+    let per_message_msgs_per_s = run(false);
+    let compiled_routes = broker.compiled_routes();
+    println!(
+        "BROKER  topics={:<4} batched {:>10.0} msg/s  per-message {:>10.0} msg/s  compiled_routes={compiled_routes}",
+        topics.len(),
+        batched_msgs_per_s,
+        per_message_msgs_per_s,
+    );
+    obj(vec![
+        ("topics", num(topics.len() as f64)),
+        ("rounds", num(rounds as f64)),
+        ("batched_msgs_per_s", num(batched_msgs_per_s)),
+        ("per_message_msgs_per_s", num(per_message_msgs_per_s)),
+        ("compiled_routes", num(compiled_routes as f64)),
     ])
 }
 
@@ -378,8 +495,8 @@ fn bench_engine_event(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue
         if !identical {
             divergences.push(format!("engine event clock ({label}): event != fixed"));
         }
-        let fixed_s = median(fixed_times);
-        let event_s = median(event_times);
+        let fixed_s = best(&fixed_times);
+        let event_s = best(&event_times);
         let wall_speedup = fixed_s / event_s;
         // Deterministic counterpart to the (noisy) wall-clock ratio: how
         // many full ticks each mode actually walked.
@@ -388,6 +505,12 @@ fn bench_engine_event(sizes: &Sizes, divergences: &mut Vec<String>) -> JsonValue
             divergences.push(format!(
                 "engine event clock (dense): tick ratio {tick_ratio:.2}x \
                  below the {DENSE_TICK_RATIO_FLOOR:.0}x floor"
+            ));
+        }
+        if label == "dense" && wall_speedup < DENSE_WALL_SPEEDUP_FLOOR {
+            divergences.push(format!(
+                "engine event clock (dense): wall speedup {wall_speedup:.2}x \
+                 below the {DENSE_WALL_SPEEDUP_FLOOR:.1}x floor"
             ));
         }
         println!(
@@ -450,6 +573,7 @@ fn main() {
     let stream = bench_stream(&sizes, &mut divergences);
     let engine = bench_engine(&sizes, &mut divergences);
     let engine_event = bench_engine_event(&sizes, &mut divergences);
+    let broker = bench_broker(&sizes);
 
     let config = obj(vec![
         ("mode", JsonValue::String(sizes.mode.to_owned())),
@@ -466,6 +590,7 @@ fn main() {
         ("config", config),
         ("engine", engine),
         ("engine_event", engine_event),
+        ("broker", broker),
     ]);
     let dir = out_dir();
     std::fs::create_dir_all(&dir).expect("create --out-dir");

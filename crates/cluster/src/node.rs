@@ -255,7 +255,7 @@ impl ComputeNode {
         };
         let workload = self.conditions.workload;
         let scale = self.cpufreq.performance_scale();
-        self.soc.run_threads_scaled(workload, busy, dt, scale);
+        self.soc.step_threads_scaled(workload, busy, dt, scale);
 
         let secs = dt.as_secs_f64();
         self.net_recv_total += self.conditions.net_recv * secs;
@@ -278,28 +278,54 @@ impl ComputeNode {
     /// state without mutating it — which is what lets the §16 replay
     /// build it only on ticks where a plugin is actually due.
     pub fn snapshot(&self, now: SimTime) -> NodeSnapshot {
-        let cores: Vec<CoreCounters> = self
-            .soc
-            .cores()
-            .iter()
-            .map(|core| {
-                let mut events = BTreeMap::new();
+        let mut snap = NodeSnapshot::default();
+        self.snapshot_into(now, &mut snap);
+        snap
+    }
+
+    /// In-place form of [`ComputeNode::snapshot`]: refills a reusable
+    /// snapshot, so a warm steady-state caller (the §16 sampled-span
+    /// replay, which snapshots every due tick) allocates nothing — the
+    /// core vector, event maps and hostname buffer are all recycled.
+    pub fn snapshot_into(&self, now: SimTime, snap: &mut NodeSnapshot) {
+        if snap.hostname != self.hostname {
+            snap.hostname.clone_from(&self.hostname);
+        }
+        snap.time = now;
+        let cores = self.soc.cores();
+        snap.cores.resize_with(cores.len(), CoreCounters::default);
+        for (out, core) in snap.cores.iter_mut().zip(cores) {
+            out.cycles = core.hpm().cycle();
+            out.instret = core.hpm().instret();
+            // Update programmed-event values in place; rebuild the map
+            // only when the programmed set itself changed (HPM slots are
+            // reprogrammed at job boundaries, not per tick).
+            let mut programmed = 0;
+            let mut hit = 0;
+            for slot in 0..core.hpm().programmable_len() {
+                if let (Some(event), Ok(value)) =
+                    (core.hpm().programmed_event(slot), core.hpm().read(slot))
+                {
+                    programmed += 1;
+                    if let Some(v) = out.events.get_mut(event.name()) {
+                        *v = value;
+                        hit += 1;
+                    }
+                }
+            }
+            if hit != programmed || out.events.len() != programmed {
+                out.events.clear();
                 for slot in 0..core.hpm().programmable_len() {
                     if let (Some(event), Ok(value)) =
                         (core.hpm().programmed_event(slot), core.hpm().read(slot))
                     {
-                        events.insert(event.name().to_owned(), value);
+                        out.events.insert(event.name().to_owned(), value);
                     }
                 }
-                CoreCounters {
-                    cycles: core.hpm().cycle(),
-                    instret: core.hpm().instret(),
-                    events,
-                }
-            })
-            .collect();
+            }
+        }
 
-        let total_cores = cores.len() as f64;
+        let total_cores = snap.cores.len() as f64;
         let busy = if self.conditions.communicating {
             0.0
         } else {
@@ -323,32 +349,27 @@ impl ComputeNode {
         let cach = (total_mem * 0.05).min(total_mem - used);
         let free = (total_mem - used - cach).max(0.0);
 
-        NodeSnapshot {
-            hostname: self.hostname.clone(),
-            time: now,
-            cores,
-            load_avg: (self.load_1m, self.load_5m, self.load_15m),
-            memory: MemoryUsage {
-                used,
-                free,
-                buff: 0.1e9,
-                cach,
-            },
-            paging: (0.0, 0.0),
-            procs: (busy, 0.0, 0.1),
-            io_total: (0.0, 1e5),
-            dsk_total: (0.0, 1e5),
-            system: (250.0 + busy * 800.0, 120.0 + busy * 1500.0),
-            cpu_usage: CpuUsage {
-                usr,
-                sys,
-                idl,
-                wai,
-                stl: 0.0,
-            },
-            net_total: (self.conditions.net_recv, self.conditions.net_send),
-            temperatures: self.temperatures,
-        }
+        snap.load_avg = (self.load_1m, self.load_5m, self.load_15m);
+        snap.memory = MemoryUsage {
+            used,
+            free,
+            buff: 0.1e9,
+            cach,
+        };
+        snap.paging = (0.0, 0.0);
+        snap.procs = (busy, 0.0, 0.1);
+        snap.io_total = (0.0, 1e5);
+        snap.dsk_total = (0.0, 1e5);
+        snap.system = (250.0 + busy * 800.0, 120.0 + busy * 1500.0);
+        snap.cpu_usage = CpuUsage {
+            usr,
+            sys,
+            idl,
+            wai,
+            stl: 0.0,
+        };
+        snap.net_total = (self.conditions.net_recv, self.conditions.net_send);
+        snap.temperatures = self.temperatures;
     }
 }
 

@@ -119,11 +119,21 @@ pub fn blocked(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix, bl
     gemm_cols(alpha, a.as_slice(), b.as_slice(), c_data, m, k, 0, n, block);
 }
 
+/// Minimum retired FLOPs each worker must receive before
+/// [`blocked_parallel`] engages the pool. Below this the fork/join
+/// latency and the per-worker re-packing of `A` cost more than the tile
+/// compute they buy back: calibrated on the n=384 square case, where the
+/// fan-out ran 0.88–0.93x of serial, while n=512 (≈67 MFLOP per worker
+/// at four workers) breaks even or better.
+pub const MIN_PARALLEL_FLOPS_PER_WORKER: f64 = 48e6;
+
 /// [`blocked`] with the column tiles of `C` fanned out over `pool`.
 ///
 /// Bit-identical to the serial path at any worker count: tiles are
 /// disjoint contiguous column ranges and each tile runs the identical
-/// packed kernel.
+/// packed kernel. Problems too small to amortise the fan-out (per-worker
+/// work under [`MIN_PARALLEL_FLOPS_PER_WORKER`]) run the serial kernel
+/// directly — same result, none of the regression.
 ///
 /// # Panics
 ///
@@ -142,7 +152,8 @@ pub fn blocked_parallel(
     let c_data = c.as_mut_slice();
     scale(c_data, beta);
     let tiles = pool.even_chunks(n);
-    if tiles.len() <= 1 {
+    let per_worker_flops = 2.0 * m as f64 * k as f64 * n as f64 / tiles.len().max(1) as f64;
+    if tiles.len() <= 1 || per_worker_flops < MIN_PARALLEL_FLOPS_PER_WORKER {
         gemm_cols(alpha, a.as_slice(), b.as_slice(), c_data, m, k, 0, n, block);
         return;
     }

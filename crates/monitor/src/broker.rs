@@ -3,11 +3,21 @@
 //! Thread-safe topic-tree pub/sub: plugins publish from sampling threads,
 //! collectors drain subscriptions into the time-series store. QoS 0
 //! (fire-and-forget) semantics, matching ExaMon's MQTT usage.
+//!
+//! Routing is precompiled: the wildcard filter match for each
+//! `(TopicId, SubscriptionId)` pair is computed once and cached as a
+//! per-topic subscriber list, invalidated whenever the subscription set
+//! changes (subscribe, unsubscribe, dead-subscriber pruning). On the
+//! steady-state path a publish is a route-table hit plus one `VecDeque`
+//! push per matched subscriber — no string matching, no topic deep-clone,
+//! and (for pre-registered topics) no heap allocation at all.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -16,6 +26,9 @@ use crate::payload::Payload;
 use crate::topic::{Topic, TopicFilter};
 
 /// A message as delivered to subscribers.
+///
+/// `Topic` is an interned handle, so the message is two words of payload
+/// plus a reference-count bump — no per-delivery string cloning.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PublishedMessage {
     /// The concrete topic it was published under.
@@ -25,20 +38,100 @@ pub struct PublishedMessage {
 }
 
 /// Identifies a subscription for unsubscribe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubscriptionId(u64);
+
+/// Shared queue state between the broker's send side and a subscription.
+#[derive(Debug)]
+struct QueueState {
+    buf: VecDeque<PublishedMessage>,
+    /// Messages lost to bounded-queue overflow.
+    dropped: u64,
+    /// Set when the broker side goes away (unsubscribe, prune, broker
+    /// drop): `recv` returns `None` once the buffer is drained.
+    closed: bool,
+    /// Set when the `Subscription` handle is dropped: subsequent sends
+    /// count as drops and the entry is pruned.
+    receiver_gone: bool,
+    /// Receivers blocked in `recv`. Senders skip the condvar notify (a
+    /// futex syscall even with nobody waiting) unless this is non-zero —
+    /// the simulation's poll-style consumers never block, so the
+    /// steady-state send path stays entirely in user space.
+    waiters: u32,
+}
+
+/// A subscription's message queue. A plain locked ring buffer: the deque
+/// keeps its capacity across pushes and pops, so steady-state delivery
+/// allocates nothing (unlike a segmented channel).
+#[derive(Debug)]
+struct SubQueue {
+    // std primitives rather than the parking_lot shim: blocking `recv`
+    // needs a condvar, which the shim does not provide.
+    state: StdMutex<QueueState>,
+    ready: Condvar,
+}
+
+enum SendOutcome {
+    Delivered,
+    Full,
+    Dead,
+}
+
+impl SubQueue {
+    fn new() -> Arc<SubQueue> {
+        Arc::new(SubQueue {
+            state: StdMutex::new(QueueState {
+                buf: VecDeque::new(),
+                dropped: 0,
+                closed: false,
+                receiver_gone: false,
+                waiters: 0,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, QueueState> {
+        self.state.lock().expect("subscription queue poisoned")
+    }
+
+    fn send(&self, msg: PublishedMessage, capacity: Option<usize>) -> SendOutcome {
+        let mut state = self.lock();
+        if state.receiver_gone {
+            return SendOutcome::Dead;
+        }
+        if let Some(cap) = capacity {
+            if state.buf.len() >= cap {
+                state.dropped += 1;
+                return SendOutcome::Full;
+            }
+        }
+        state.buf.push_back(msg);
+        let waiting = state.waiters > 0;
+        drop(state);
+        if waiting {
+            self.ready.notify_one();
+        }
+        SendOutcome::Delivered
+    }
+
+    fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        let waiting = state.waiters > 0;
+        drop(state);
+        if waiting {
+            self.ready.notify_all();
+        }
+    }
+}
 
 /// A live subscription handle; drop it (or unsubscribe) to stop receiving.
 #[derive(Debug)]
 pub struct Subscription {
     id: SubscriptionId,
     filter: TopicFilter,
-    rx: Receiver<PublishedMessage>,
-    /// Messages currently queued (shared with the broker's send side so
-    /// bounded subscriptions can enforce their capacity).
-    depth: Arc<AtomicUsize>,
-    /// Messages this subscription lost to queue overflow.
-    dropped: Arc<AtomicU64>,
+    queue: Arc<SubQueue>,
 }
 
 impl Subscription {
@@ -54,41 +147,82 @@ impl Subscription {
 
     /// Messages currently queued and not yet received.
     pub fn queued(&self) -> usize {
-        self.depth.load(Ordering::Relaxed)
+        self.queue.lock().buf.len()
     }
 
     /// Messages this subscription lost because its bounded queue was full
     /// when the broker tried to deliver. Always zero for unbounded
     /// subscriptions.
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.queue.lock().dropped
     }
 
-    /// Non-blocking receive.
+    /// Non-blocking receive. Already-queued messages remain receivable
+    /// after the broker side closes.
     pub fn try_recv(&self) -> Option<PublishedMessage> {
-        match self.rx.try_recv() {
-            Ok(msg) => {
-                self.depth.fetch_sub(1, Ordering::Relaxed);
-                Some(msg)
-            }
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
-        }
+        self.queue.lock().buf.pop_front()
     }
 
     /// Drains everything currently queued.
     pub fn drain(&self) -> Vec<PublishedMessage> {
         let mut out = Vec::new();
-        while let Some(m) = self.try_recv() {
-            out.push(m);
-        }
+        self.drain_into(&mut out);
         out
     }
 
-    /// Blocking receive (used by collector threads).
+    /// Drains everything currently queued into `out` under a single lock
+    /// acquisition (one mutex round-trip per batch instead of one per
+    /// message); returns how many messages were appended. The queue keeps
+    /// its capacity, so a warm steady-state drain allocates nothing.
+    pub fn drain_into(&self, out: &mut Vec<PublishedMessage>) -> usize {
+        let mut state = self.queue.lock();
+        let n = state.buf.len();
+        out.extend(state.buf.drain(..));
+        n
+    }
+
+    /// Drains everything currently queued, calling `f` on each message,
+    /// under a single lock acquisition — the copy-free variant of
+    /// [`drain_into`](Subscription::drain_into) for consumers that ingest
+    /// in place. `f` must not publish to or (un)subscribe from the broker
+    /// (the queue lock is held across the calls). Returns how many
+    /// messages were consumed.
+    pub fn drain_each(&self, mut f: impl FnMut(PublishedMessage)) -> usize {
+        let mut state = self.queue.lock();
+        let n = state.buf.len();
+        for msg in state.buf.drain(..) {
+            f(msg);
+        }
+        n
+    }
+
+    /// Blocking receive (used by collector threads); `None` once the
+    /// broker side is gone and the queue is drained.
     pub fn recv(&self) -> Option<PublishedMessage> {
-        let msg = self.rx.recv().ok()?;
-        self.depth.fetch_sub(1, Ordering::Relaxed);
-        Some(msg)
+        let mut state = self.queue.lock();
+        loop {
+            if let Some(msg) = state.buf.pop_front() {
+                return Some(msg);
+            }
+            if state.closed {
+                return None;
+            }
+            state.waiters += 1;
+            state = self
+                .queue
+                .ready
+                .wait(state)
+                .expect("subscription queue poisoned");
+            state.waiters -= 1;
+        }
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        let mut state = self.queue.lock();
+        state.receiver_gone = true;
+        state.buf.clear();
     }
 }
 
@@ -96,11 +230,17 @@ impl Subscription {
 struct SubEntry {
     id: SubscriptionId,
     filter: TopicFilter,
-    tx: Sender<PublishedMessage>,
+    queue: Arc<SubQueue>,
     /// Queue bound; `None` means unbounded (the seed behaviour).
     capacity: Option<usize>,
-    depth: Arc<AtomicUsize>,
-    dropped: Arc<AtomicU64>,
+}
+
+impl Drop for SubEntry {
+    fn drop(&mut self) {
+        // Covers unsubscribe, dead-subscriber pruning and broker drop:
+        // a blocked `recv` wakes up and observes the closed queue.
+        self.queue.close();
+    }
 }
 
 /// Broker counters.
@@ -130,6 +270,51 @@ struct LossInjection {
     rng: StdRng,
 }
 
+/// The subscription set and its compiled routing table, guarded together
+/// so a cached route can never outlive the subscription list it indexes.
+#[derive(Debug, Default)]
+struct SubTable {
+    subs: Vec<SubEntry>,
+    /// Indexed directly by `TopicId` value (interned ids are small and
+    /// dense, so this is a flat array rather than a hash map — a route
+    /// hit is one bounds check and a pointer load, no hashing). Each
+    /// present entry is the ascending indices into `subs` of matching
+    /// subscriptions. Cleared wholesale on any subscription-set change;
+    /// recompiled lazily per topic on the next publish.
+    routes: Vec<Option<Vec<u32>>>,
+}
+
+impl SubTable {
+    fn compute_route(&self, topic: &Topic) -> Vec<u32> {
+        self.subs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.filter.matches(topic))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    fn route_get(&self, tid: u32) -> Option<&Vec<u32>> {
+        self.routes.get(tid as usize).and_then(Option::as_ref)
+    }
+
+    fn route_has(&self, tid: u32) -> bool {
+        self.route_get(tid).is_some()
+    }
+
+    fn route_insert(&mut self, tid: u32, route: Vec<u32>) {
+        let idx = tid as usize;
+        if idx >= self.routes.len() {
+            self.routes.resize_with(idx + 1, || None);
+        }
+        self.routes[idx] = Some(route);
+    }
+
+    fn routes_compiled(&self) -> usize {
+        self.routes.iter().filter(|r| r.is_some()).count()
+    }
+}
+
 /// The broker.
 ///
 /// # Examples
@@ -147,13 +332,16 @@ struct LossInjection {
 /// ```
 #[derive(Debug, Default)]
 pub struct Broker {
-    subs: RwLock<Vec<SubEntry>>,
+    table: RwLock<SubTable>,
     next_id: AtomicU64,
     published: AtomicU64,
     delivered: AtomicU64,
     dropped: AtomicU64,
     suppressed: AtomicU64,
     loss: Mutex<Option<LossInjection>>,
+    /// Recycled touched-lane scratch for [`Broker::publish_batch_serial`]
+    /// — keeps the steady-state batch publish allocation-free.
+    touched_scratch: Mutex<Vec<u32>>,
 }
 
 impl Broker {
@@ -182,32 +370,29 @@ impl Broker {
 
     fn subscribe_inner(&self, filter: TopicFilter, capacity: Option<usize>) -> Subscription {
         let id = SubscriptionId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = unbounded();
-        let depth = Arc::new(AtomicUsize::new(0));
-        let dropped = Arc::new(AtomicU64::new(0));
-        self.subs.write().push(SubEntry {
+        let queue = SubQueue::new();
+        let mut table = self.table.write();
+        table.subs.push(SubEntry {
             id,
             filter: filter.clone(),
-            tx,
+            queue: queue.clone(),
             capacity,
-            depth: depth.clone(),
-            dropped: dropped.clone(),
         });
-        Subscription {
-            id,
-            filter,
-            rx,
-            depth,
-            dropped,
-        }
+        table.routes.clear();
+        drop(table);
+        Subscription { id, filter, queue }
     }
 
     /// Removes a subscription; returns whether it existed.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
-        let mut subs = self.subs.write();
-        let before = subs.len();
-        subs.retain(|s| s.id != id);
-        subs.len() != before
+        let mut table = self.table.write();
+        let before = table.subs.len();
+        table.subs.retain(|s| s.id != id);
+        let removed = table.subs.len() != before;
+        if removed {
+            table.routes.clear();
+        }
+        removed
     }
 
     /// Publishes `payload` under `topic`; returns the number of
@@ -227,38 +412,307 @@ impl Broker {
                 }
             }
         }
+        let tid = topic.id().as_u32();
         let mut reached = 0;
         let mut dropped = 0u64;
-        let mut dead = Vec::new();
+        let mut dead: Vec<SubscriptionId> = Vec::new();
         {
-            let subs = self.subs.read();
-            for sub in subs.iter() {
-                if !sub.filter.matches(topic) {
-                    continue;
-                }
-                if !reserve_slot(&sub.depth, sub.capacity) {
-                    sub.dropped.fetch_add(1, Ordering::Relaxed);
-                    dropped += 1;
-                    continue;
-                }
-                let msg = PublishedMessage {
-                    topic: topic.clone(),
+            let table = self.table.read();
+            if let Some(route) = table.route_get(tid) {
+                deliver(
+                    &table.subs,
+                    route,
+                    topic,
                     payload,
-                };
-                if sub.tx.send(msg).is_ok() {
-                    reached += 1;
-                } else {
-                    sub.depth.fetch_sub(1, Ordering::Relaxed);
-                    dead.push(sub.id);
-                    dropped += 1;
-                }
+                    &mut reached,
+                    &mut dropped,
+                    &mut dead,
+                );
+            } else {
+                drop(table);
+                // First sight of this topic since the last subscription
+                // change: compile its route under the write lock.
+                let mut table = self.table.write();
+                let route = table.compute_route(topic);
+                deliver(
+                    &table.subs,
+                    &route,
+                    topic,
+                    payload,
+                    &mut reached,
+                    &mut dropped,
+                    &mut dead,
+                );
+                table.route_insert(tid, route);
             }
         }
         if !dead.is_empty() {
-            self.subs.write().retain(|s| !dead.contains(&s.id));
+            self.prune(&mut dead);
         }
         self.delivered.fetch_add(reached as u64, Ordering::Relaxed);
         self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        reached
+    }
+
+    /// Publishes a batch of messages serially, with observable semantics
+    /// identical to calling [`publish`](Broker::publish) once per message
+    /// in order: the same loss-RNG draw sequence, the same per-queue
+    /// delivery order, and the same accounting — including the lazy prune
+    /// after a dead subscriber's first hit (later messages in the batch
+    /// skip it, exactly as the one-by-one sequence would after pruning).
+    /// The broker locks are amortised over the whole batch, and `messages`
+    /// is drained so the caller's buffer can be reused allocation-free.
+    /// Returns the total number of deliveries made.
+    pub fn publish_batch_serial(&self, messages: &mut Vec<(Topic, Payload)>) -> usize {
+        if messages.is_empty() {
+            return 0;
+        }
+        self.published
+            .fetch_add(messages.len() as u64, Ordering::Relaxed);
+        {
+            let mut loss = self.loss.lock();
+            if let Some(inj) = loss.as_mut() {
+                if inj.rate > 0.0 {
+                    let rate = inj.rate;
+                    let mut suppressed = 0u64;
+                    // In-place retain keeps the draws in message order.
+                    messages.retain(|_| {
+                        if inj.rng.gen_bool(rate) {
+                            suppressed += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    self.suppressed.fetch_add(suppressed, Ordering::Relaxed);
+                }
+            }
+        }
+        if messages.is_empty() {
+            return 0;
+        }
+        let mut reached = 0usize;
+        let mut dropped = 0u64;
+        let mut dead: Vec<SubscriptionId> = Vec::new();
+        // Sub indices found dead during this batch: the one-by-one
+        // sequence would have pruned them, so later messages skip them.
+        let mut dead_idx: Vec<u32> = Vec::new();
+        // The touched-lane scratch is recycled across calls so the
+        // steady-state batch publish never allocates.
+        let mut touched = std::mem::take(&mut *self.touched_scratch.lock());
+        {
+            // One walk over the batch collects the sorted set of touched
+            // subscriber indices and detects uncompiled routes at the same
+            // time (returns false on the first miss).
+            fn collect_touched(
+                table: &SubTable,
+                messages: &[(Topic, Payload)],
+                touched: &mut Vec<u32>,
+            ) -> bool {
+                touched.clear();
+                for (topic, _) in messages {
+                    match table.route_get(topic.id().as_u32()) {
+                        Some(route) => {
+                            for &i in route {
+                                if let Err(pos) = touched.binary_search(&i) {
+                                    touched.insert(pos, i);
+                                }
+                            }
+                        }
+                        None => return false,
+                    }
+                }
+                true
+            }
+            let mut table = self.table.read();
+            let mut all_cached = collect_touched(&table, messages, &mut touched);
+            if !all_cached {
+                // First sight of at least one topic since the last
+                // subscription change: compile the missing routes under
+                // the write lock, then retry the single collection walk.
+                drop(table);
+                {
+                    let mut table = self.table.write();
+                    for (topic, _) in messages.iter() {
+                        let tid = topic.id().as_u32();
+                        if !table.route_has(tid) {
+                            let route = table.compute_route(topic);
+                            table.route_insert(tid, route);
+                        }
+                    }
+                }
+                table = self.table.read();
+                all_cached = collect_touched(&table, messages, &mut touched);
+            }
+            if all_cached {
+                // Fast path: every route is cached, so the destination
+                // queues are known up front. Lock each queue once for
+                // the whole batch: one mutex round-trip per queue
+                // instead of one per delivery.
+                struct Lane<'a> {
+                    sub: &'a SubEntry,
+                    state: StdMutexGuard<'a, QueueState>,
+                    pushed: usize,
+                }
+                /// The generic per-message walk: dead-subscriber and
+                /// capacity checks per delivery, lanes addressed through
+                /// the sorted touched set.
+                #[allow(clippy::too_many_arguments)]
+                fn deliver_batch(
+                    table: &SubTable,
+                    touched: &[u32],
+                    messages: &mut Vec<(Topic, Payload)>,
+                    lanes: &mut [Lane<'_>],
+                    reached: &mut usize,
+                    dropped: &mut u64,
+                    dead: &mut Vec<SubscriptionId>,
+                    dead_idx: &mut Vec<u32>,
+                ) {
+                    for (topic, payload) in messages.drain(..) {
+                        let route = table.route_get(topic.id().as_u32()).expect("checked above");
+                        for &i in route {
+                            if dead_idx.contains(&i) {
+                                continue;
+                            }
+                            let lane = &mut lanes
+                                [touched.binary_search(&i).expect("touched covers routes")];
+                            if lane.state.receiver_gone {
+                                *dropped += 1;
+                                dead.push(lane.sub.id);
+                                dead_idx.push(i);
+                                continue;
+                            }
+                            if let Some(cap) = lane.sub.capacity {
+                                if lane.state.buf.len() >= cap {
+                                    lane.state.dropped += 1;
+                                    *dropped += 1;
+                                    continue;
+                                }
+                            }
+                            lane.state
+                                .buf
+                                .push_back(PublishedMessage { topic, payload });
+                            lane.pushed += 1;
+                            *reached += 1;
+                        }
+                    }
+                }
+                fn finish(lane: Lane<'_>) {
+                    let waiting = lane.pushed > 0 && lane.state.waiters > 0;
+                    drop(lane.state);
+                    if waiting {
+                        lane.sub.queue.ready.notify_all();
+                    }
+                }
+                if let [only] = touched.as_slice() {
+                    // One destination queue: hold its lane on the stack —
+                    // no per-batch lane vector to allocate.
+                    let sub = &table.subs[*only as usize];
+                    let mut lane = Lane {
+                        sub,
+                        state: sub.queue.lock(),
+                        pushed: 0,
+                    };
+                    if lane.sub.capacity.is_none() && !lane.state.receiver_gone {
+                        // Single live unbounded destination — the engine's
+                        // steady state, where one collector subscribes to
+                        // everything. Each route is either empty or exactly
+                        // this lane, so the per-delivery dead/capacity
+                        // checks hoist out of the loop entirely.
+                        for (topic, payload) in messages.drain(..) {
+                            let route =
+                                table.route_get(topic.id().as_u32()).expect("checked above");
+                            if route.is_empty() {
+                                continue;
+                            }
+                            lane.state
+                                .buf
+                                .push_back(PublishedMessage { topic, payload });
+                            lane.pushed += 1;
+                            reached += 1;
+                        }
+                    } else {
+                        deliver_batch(
+                            &table,
+                            &touched,
+                            messages,
+                            std::slice::from_mut(&mut lane),
+                            &mut reached,
+                            &mut dropped,
+                            &mut dead,
+                            &mut dead_idx,
+                        );
+                    }
+                    finish(lane);
+                } else {
+                    let mut lanes: Vec<Lane<'_>> = touched
+                        .iter()
+                        .map(|&i| {
+                            let sub = &table.subs[i as usize];
+                            Lane {
+                                sub,
+                                state: sub.queue.lock(),
+                                pushed: 0,
+                            }
+                        })
+                        .collect();
+                    deliver_batch(
+                        &table,
+                        &touched,
+                        messages,
+                        &mut lanes,
+                        &mut reached,
+                        &mut dropped,
+                        &mut dead,
+                        &mut dead_idx,
+                    );
+                    for lane in lanes {
+                        finish(lane);
+                    }
+                }
+            } else {
+                // Cache cleared by a concurrent (un)subscribe between the
+                // compile pass and here: fall back to per-message sends
+                // with on-the-fly route computation.
+                let mut fallback: Vec<u32>;
+                for (topic, payload) in messages.iter() {
+                    let route: &[u32] = match table.route_get(topic.id().as_u32()) {
+                        Some(route) => route,
+                        None => {
+                            fallback = table.compute_route(topic);
+                            &fallback
+                        }
+                    };
+                    for &i in route {
+                        if dead_idx.contains(&i) {
+                            continue;
+                        }
+                        let sub = &table.subs[i as usize];
+                        let msg = PublishedMessage {
+                            topic: *topic,
+                            payload: *payload,
+                        };
+                        match sub.queue.send(msg, sub.capacity) {
+                            SendOutcome::Delivered => reached += 1,
+                            SendOutcome::Full => dropped += 1,
+                            SendOutcome::Dead => {
+                                dropped += 1;
+                                dead.push(sub.id);
+                                dead_idx.push(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        touched.clear();
+        *self.touched_scratch.lock() = touched;
+        if !dead.is_empty() {
+            self.prune(&mut dead);
+        }
+        self.delivered.fetch_add(reached as u64, Ordering::Relaxed);
+        self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        messages.clear();
         reached
     }
 
@@ -307,39 +761,76 @@ impl Broker {
         }
         let mut reached_total = 0usize;
         let mut dropped_total = 0u64;
-        let mut dead = Vec::new();
+        let mut dead: Vec<SubscriptionId> = Vec::new();
         {
-            let subs = self.subs.read();
+            // Compile any missing routes up front under a short write
+            // lock, then fan out under the read lock. A concurrent
+            // (un)subscribe between the two can clear the cache again;
+            // tiles fall back to an uncached local route in that case.
+            let missing = {
+                let table = self.table.read();
+                survivors
+                    .iter()
+                    .any(|(topic, _)| !table.route_has(topic.id().as_u32()))
+            };
+            if missing {
+                let mut table = self.table.write();
+                for (topic, _) in &survivors {
+                    let tid = topic.id().as_u32();
+                    if !table.route_has(tid) {
+                        let route = table.compute_route(topic);
+                        table.route_insert(tid, route);
+                    }
+                }
+            }
+            let table = self.table.read();
+            let table: &SubTable = &table;
+            let subs = &table.subs[..];
             let survivors = &survivors[..];
             let tiles = pool.even_chunks(subs.len());
             let mut results: Vec<(usize, u64, Vec<SubscriptionId>)> =
                 vec![Default::default(); tiles.len()];
             pool.scope(|scope| {
                 for (&(s0, s1), result) in tiles.iter().zip(results.iter_mut()) {
-                    let subs = &subs[s0..s1];
                     scope.spawn(move || {
                         let (reached, dropped, dead) = result;
+                        let mut fallback: Vec<u32>;
+                        // Sub indices (within this tile) found dead during
+                        // the batch: the one-by-one publish sequence would
+                        // have pruned them, so later messages skip them.
+                        let mut tile_dead: Vec<u32> = Vec::new();
                         for (topic, payload) in survivors {
-                            for sub in subs {
-                                if !sub.filter.matches(topic) {
+                            let route: &[u32] = match table.route_get(topic.id().as_u32()) {
+                                Some(route) => route,
+                                None => {
+                                    // Cache cleared by a concurrent
+                                    // (un)subscribe after compilation.
+                                    fallback = table.compute_route(topic);
+                                    &fallback
+                                }
+                            };
+                            // This task owns subs[s0..s1]; walk the slice
+                            // of the (ascending) route inside the tile.
+                            let lo = route.partition_point(|&i| (i as usize) < s0);
+                            for &i in &route[lo..] {
+                                if (i as usize) >= s1 {
+                                    break;
+                                }
+                                if tile_dead.contains(&i) {
                                     continue;
                                 }
-                                if !reserve_slot(&sub.depth, sub.capacity) {
-                                    sub.dropped.fetch_add(1, Ordering::Relaxed);
-                                    *dropped += 1;
-                                    continue;
-                                }
+                                let sub = &subs[i as usize];
                                 let msg = PublishedMessage {
-                                    topic: topic.clone(),
+                                    topic: *topic,
                                     payload: *payload,
                                 };
-                                if sub.tx.send(msg).is_ok() {
-                                    *reached += 1;
-                                } else {
-                                    sub.depth.fetch_sub(1, Ordering::Relaxed);
-                                    *dropped += 1;
-                                    if !dead.contains(&sub.id) {
+                                match sub.queue.send(msg, sub.capacity) {
+                                    SendOutcome::Delivered => *reached += 1,
+                                    SendOutcome::Full => *dropped += 1,
+                                    SendOutcome::Dead => {
+                                        *dropped += 1;
                                         dead.push(sub.id);
+                                        tile_dead.push(i);
                                     }
                                 }
                             }
@@ -354,12 +845,26 @@ impl Broker {
             }
         }
         if !dead.is_empty() {
-            self.subs.write().retain(|s| !dead.contains(&s.id));
+            self.prune(&mut dead);
         }
         self.delivered
             .fetch_add(reached_total as u64, Ordering::Relaxed);
         self.dropped.fetch_add(dropped_total, Ordering::Relaxed);
         reached_total
+    }
+
+    /// Removes dead subscriptions in one pass: sort + dedup the ids and
+    /// binary-search during the retain, so pruning costs
+    /// O((dead log dead) + subs log dead) instead of O(dead × subs).
+    fn prune(&self, dead: &mut Vec<SubscriptionId>) {
+        dead.sort_unstable();
+        dead.dedup();
+        let mut table = self.table.write();
+        let before = table.subs.len();
+        table.subs.retain(|s| dead.binary_search(&s.id).is_err());
+        if table.subs.len() != before {
+            table.routes.clear();
+        }
     }
 
     /// Configures deterministic wire loss: each subsequent publish is
@@ -390,24 +895,44 @@ impl Broker {
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.subs.read().len()
+        self.table.read().subs.len()
+    }
+
+    /// Number of topics with a compiled route in the cache. Diagnostic:
+    /// steady-state traffic over pre-registered topics holds this constant
+    /// while every publish hits the cache.
+    pub fn compiled_routes(&self) -> usize {
+        self.table.read().routes_compiled()
     }
 }
 
-/// Atomically claims a queue slot against an optional capacity; returns
-/// whether the claim succeeded. The compare-and-swap loop keeps the bound
-/// exact under concurrent publishers.
-fn reserve_slot(depth: &AtomicUsize, capacity: Option<usize>) -> bool {
-    match capacity {
-        None => {
-            depth.fetch_add(1, Ordering::Relaxed);
-            true
+/// Delivers one message along a compiled route, updating the accounting
+/// exactly as the legacy per-publish filter walk did.
+fn deliver(
+    subs: &[SubEntry],
+    route: &[u32],
+    topic: &Topic,
+    payload: Payload,
+    reached: &mut usize,
+    dropped: &mut u64,
+    dead: &mut Vec<SubscriptionId>,
+) {
+    for &i in route {
+        let sub = &subs[i as usize];
+        let msg = PublishedMessage {
+            topic: *topic,
+            payload,
+        };
+        match sub.queue.send(msg, sub.capacity) {
+            SendOutcome::Delivered => *reached += 1,
+            SendOutcome::Full => *dropped += 1,
+            SendOutcome::Dead => {
+                *dropped += 1;
+                if !dead.contains(&sub.id) {
+                    dead.push(sub.id);
+                }
+            }
         }
-        Some(cap) => depth
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
-                (d < cap).then_some(d + 1)
-            })
-            .is_ok(),
     }
 }
 
@@ -469,6 +994,53 @@ mod tests {
         assert_eq!(broker.subscription_count(), 1);
         broker.publish(&t("a"), Payload::new(0.0, SimTime::ZERO));
         assert_eq!(broker.subscription_count(), 0);
+    }
+
+    #[test]
+    fn route_cache_compiles_once_and_invalidates_on_change() {
+        let broker = Broker::new();
+        let _all = broker.subscribe(f("route/#"));
+        assert_eq!(broker.compiled_routes(), 0);
+        for i in 0..10 {
+            broker.publish(&t("route/x"), Payload::new(i as f64, SimTime::ZERO));
+        }
+        assert_eq!(broker.compiled_routes(), 1, "one topic, one compile");
+        broker.publish(&t("route/y"), Payload::new(0.0, SimTime::ZERO));
+        assert_eq!(broker.compiled_routes(), 2);
+        // A new subscription changes what existing topics should match:
+        // the whole cache is invalidated, then recompiled per topic.
+        let narrow = broker.subscribe(f("route/y"));
+        assert_eq!(broker.compiled_routes(), 0);
+        broker.publish(&t("route/y"), Payload::new(1.0, SimTime::ZERO));
+        assert_eq!(narrow.drain().len(), 1);
+        assert_eq!(broker.compiled_routes(), 1);
+        // Unsubscribe invalidates too.
+        broker.unsubscribe(narrow.id());
+        assert_eq!(broker.compiled_routes(), 0);
+        broker.publish(&t("route/y"), Payload::new(2.0, SimTime::ZERO));
+        assert_eq!(broker.compiled_routes(), 1);
+    }
+
+    #[test]
+    fn many_dead_subscribers_are_pruned_in_one_publish() {
+        // Regression test for the O(dead × subs) prune: a large batch of
+        // dropped receivers must be pruned in one pass with balanced
+        // accounting.
+        let broker = Broker::new();
+        let keeper = broker.subscribe(f("#"));
+        let quitters: Vec<Subscription> = (0..500).map(|_| broker.subscribe(f("#"))).collect();
+        drop(quitters);
+        assert_eq!(broker.subscription_count(), 501);
+        let reached = broker.publish(&t("a"), Payload::new(1.0, SimTime::ZERO));
+        assert_eq!(reached, 1);
+        assert_eq!(broker.subscription_count(), 1);
+        let stats = broker.stats();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 500, "each dead subscriber counts once");
+        assert_eq!(keeper.drain().len(), 1);
+        // The next publish walks only the surviving subscription.
+        broker.publish(&t("a"), Payload::new(2.0, SimTime::ZERO));
+        assert_eq!(broker.stats().dropped, 500);
     }
 
     #[test]
@@ -595,7 +1167,11 @@ mod tests {
         let stats = broker.stats();
         assert_eq!(stats.published, 5);
         assert_eq!(stats.delivered, 5);
-        assert_eq!(stats.dropped, 5); // quitter's five missed messages
+        // Sequence-exact accounting: the first message finds the quitter
+        // dead (one drop); the one-by-one publish sequence would prune it
+        // there, so the remaining four skip it — same books as a loop of
+        // `publish` calls.
+        assert_eq!(stats.dropped, 1);
     }
 
     #[test]

@@ -351,8 +351,13 @@ impl HeartbeatMonitor {
     pub fn pump(&mut self) -> usize {
         let mut n = 0;
         while let Some(msg) = self.subscription.try_recv() {
-            let node = node_of(&msg.topic.to_string());
-            self.observe(&node, msg.payload.timestamp);
+            match node_segment(msg.topic.segments()) {
+                Some(node) => self.observe(node, msg.payload.timestamp),
+                None => {
+                    let node = msg.topic.to_string();
+                    self.observe(&node, msg.payload.timestamp);
+                }
+            }
             n += 1;
         }
         n
@@ -361,11 +366,13 @@ impl HeartbeatMonitor {
     /// Records a heartbeat for `node` directly (the pump calls this; tests
     /// may too).
     pub fn observe(&mut self, node: &str, at: SimTime) {
-        let window = self.window;
-        self.detectors
-            .entry(node.to_string())
-            .or_insert_with(|| PhiAccrualDetector::new(window))
-            .record(at);
+        if let Some(det) = self.detectors.get_mut(node) {
+            det.record(at);
+        } else {
+            let mut det = PhiAccrualDetector::new(self.window);
+            det.record(at);
+            self.detectors.insert(node.to_string(), det);
+        }
     }
 
     /// The suspicion level for `node` at `now` (`0.0` for unknown nodes).
@@ -441,18 +448,19 @@ impl HeartbeatMonitor {
     }
 }
 
-/// Extracts the node name from an ExaMon topic: the segment after `node`,
-/// or the whole topic when the schema marker is absent.
-fn node_of(topic: &str) -> String {
-    let mut segments = topic.split('/');
-    while let Some(seg) = segments.next() {
+/// Extracts the node name from an ExaMon topic's segments: the segment
+/// after `node`, or `None` when the schema marker is absent (callers fall
+/// back to the whole topic string).
+fn node_segment(segments: &[String]) -> Option<&str> {
+    let mut iter = segments.iter();
+    while let Some(seg) = iter.next() {
         if seg == "node" {
-            if let Some(name) = segments.next() {
-                return name.to_string();
+            if let Some(name) = iter.next() {
+                return Some(name.as_str());
             }
         }
     }
-    topic.to_string()
+    None
 }
 
 #[cfg(test)]
@@ -676,9 +684,13 @@ mod tests {
     }
 
     #[test]
-    fn node_of_handles_schema_and_fallback() {
-        assert_eq!(node_of("a/b/node/mc-node-02/c"), "mc-node-02");
-        assert_eq!(node_of("no/marker/here"), "no/marker/here");
-        assert_eq!(node_of("ends/with/node"), "ends/with/node");
+    fn node_segment_handles_schema_and_fallback() {
+        let segs = |s: &str| -> Vec<String> { s.split('/').map(str::to_string).collect() };
+        assert_eq!(
+            node_segment(&segs("a/b/node/mc-node-02/c")),
+            Some("mc-node-02")
+        );
+        assert_eq!(node_segment(&segs("no/marker/here")), None);
+        assert_eq!(node_segment(&segs("ends/with/node")), None);
     }
 }

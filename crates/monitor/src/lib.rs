@@ -51,6 +51,7 @@ pub mod broker;
 pub mod collector;
 pub mod dashboard;
 pub mod heartbeat;
+pub mod interner;
 pub mod json;
 pub mod payload;
 pub mod plugins;
@@ -63,6 +64,7 @@ pub use broker::{Broker, PublishedMessage, Subscription};
 pub use collector::Collector;
 pub use dashboard::Heatmap;
 pub use heartbeat::{HeartbeatMonitor, PhiAccrualDetector};
+pub use interner::TopicId;
 pub use payload::Payload;
 pub use plugins::{NodeSnapshot, Plugin, PluginRunner, PmuPlugin, StatsPlugin};
 pub use topic::{ExamonSchema, Topic, TopicFilter};

@@ -123,20 +123,68 @@ pub trait Plugin {
     fn sample_into(&mut self, snapshot: &NodeSnapshot, out: &mut Vec<(Topic, Payload)>);
 }
 
+/// Interned topics for one core's counters: the fixed pair plus any
+/// programmed HPM events seen so far.
+#[derive(Debug, Clone)]
+struct PmuCoreTopics {
+    cycles: Topic,
+    instret: Topic,
+    /// Sorted by event name, mirroring the snapshot's `BTreeMap` order:
+    /// the sampling loop walks both in lockstep, so a steady-state
+    /// sample costs one string equality per event instead of a map
+    /// lookup.
+    events: Vec<(String, Topic)>,
+}
+
 /// The `pmu_pub` plugin: per-core CYCLE/INSTRET (and any programmed HPM
 /// events), at 2 Hz by default (paper Table II).
+///
+/// Topics are pre-registered per host/core/metric (eagerly via
+/// [`PmuPlugin::for_host`], else on the first sample): the steady-state
+/// [`Plugin::sample_into`] emits interned topic handles and performs zero
+/// heap allocations.
 #[derive(Debug, Clone)]
 pub struct PmuPlugin {
     schema: ExamonSchema,
     period: SimDuration,
+    /// Host the topic cache below was registered for.
+    hostname: String,
+    cores: Vec<PmuCoreTopics>,
 }
 
 impl PmuPlugin {
     /// Creates the plugin under `schema` at the paper's 2 Hz cadence.
+    /// Topics are registered on the first sample; prefer
+    /// [`PmuPlugin::for_host`] when the host is known up front.
     pub fn new(schema: ExamonSchema) -> Self {
         PmuPlugin {
             schema,
             period: SimDuration::from_millis(500), // 2 Hz
+            hostname: String::new(),
+            cores: Vec::new(),
+        }
+    }
+
+    /// Creates the plugin with its per-core topics pre-registered for
+    /// `hostname` — the construction-time interning that makes every
+    /// subsequent sample allocation-free.
+    pub fn for_host(schema: ExamonSchema, hostname: &str, cores: usize) -> Self {
+        let mut plugin = PmuPlugin::new(schema);
+        plugin.register_host(hostname, cores);
+        plugin
+    }
+
+    /// (Re)builds the topic cache for `hostname` with `cores` cores.
+    fn register_host(&mut self, hostname: &str, cores: usize) {
+        self.hostname.clear();
+        self.hostname.push_str(hostname);
+        self.cores.clear();
+        for core_id in 0..cores {
+            self.cores.push(PmuCoreTopics {
+                cycles: self.schema.pmu_topic(hostname, core_id, "cycles"),
+                instret: self.schema.pmu_topic(hostname, core_id, "instret"),
+                events: Vec::new(),
+            });
         }
     }
 
@@ -162,17 +210,54 @@ impl Plugin for PmuPlugin {
     }
 
     fn sample_into(&mut self, snapshot: &NodeSnapshot, out: &mut Vec<(Topic, Payload)>) {
+        if self.hostname != snapshot.hostname {
+            // Lazy registration path for plugins built without a host.
+            self.register_host(&snapshot.hostname, snapshot.cores.len());
+        }
+        // More cores than pre-registered: extend the cache (one-time).
+        for core_id in self.cores.len()..snapshot.cores.len() {
+            self.cores.push(PmuCoreTopics {
+                cycles: self.schema.pmu_topic(&self.hostname, core_id, "cycles"),
+                instret: self.schema.pmu_topic(&self.hostname, core_id, "instret"),
+                events: Vec::new(),
+            });
+        }
         for (core_id, counters) in snapshot.cores.iter().enumerate() {
-            let mut push = |metric: &str, value: f64| {
-                out.push((
-                    self.schema.pmu_topic(&snapshot.hostname, core_id, metric),
-                    Payload::new(value, snapshot.time),
-                ));
-            };
-            push("cycles", counters.cycles as f64);
-            push("instret", counters.instret as f64);
+            let topics = &mut self.cores[core_id];
+            out.push((
+                topics.cycles,
+                Payload::new(counters.cycles as f64, snapshot.time),
+            ));
+            out.push((
+                topics.instret,
+                Payload::new(counters.instret as f64, snapshot.time),
+            ));
+            // The snapshot's event map iterates in sorted order and the
+            // cache is kept sorted, so in steady state (same programmed
+            // events every tick) this is a straight lockstep walk.
+            let mut cursor = 0usize;
             for (event, value) in &counters.events {
-                push(event, *value as f64);
+                let topic = loop {
+                    match topics.events.get(cursor) {
+                        Some((name, topic)) if name == event => {
+                            cursor += 1;
+                            break *topic;
+                        }
+                        // A cached event the snapshot no longer reports:
+                        // step past it (kept for when it comes back).
+                        Some((name, _)) if name.as_str() < event.as_str() => cursor += 1,
+                        // First sight of this programmed event (cursor is
+                        // at the first cached name sorting after it, or
+                        // the end): intern once, keeping the cache sorted.
+                        _ => {
+                            let topic = self.schema.pmu_topic(&self.hostname, core_id, event);
+                            topics.events.insert(cursor, (event.clone(), topic));
+                            cursor += 1;
+                            break topic;
+                        }
+                    }
+                };
+                out.push((topic, Payload::new(*value as f64, snapshot.time)));
             }
         }
     }
@@ -213,19 +298,51 @@ pub const STATS_METRICS: [&str; 28] = [
 
 /// The `stats_pub` plugin: OS statistics and hwmon temperatures, at
 /// 0.2 Hz by default (paper Table III).
+///
+/// Like [`PmuPlugin`], the 28 Table III topics are pre-registered per
+/// host ([`StatsPlugin::for_host`], else first sample), so steady-state
+/// sampling emits interned handles without allocating.
 #[derive(Debug, Clone)]
 pub struct StatsPlugin {
     schema: ExamonSchema,
     period: SimDuration,
+    /// Host the topic cache below was registered for.
+    hostname: String,
+    /// One topic per [`STATS_METRICS`] entry, index-aligned.
+    topics: Vec<Topic>,
 }
 
 impl StatsPlugin {
     /// Creates the plugin under `schema` at the paper's 0.2 Hz cadence.
+    /// Topics are registered on the first sample; prefer
+    /// [`StatsPlugin::for_host`] when the host is known up front.
     pub fn new(schema: ExamonSchema) -> Self {
         StatsPlugin {
             schema,
             period: SimDuration::from_secs(5), // 0.2 Hz
+            hostname: String::new(),
+            topics: Vec::new(),
         }
+    }
+
+    /// Creates the plugin with all 28 Table III topics pre-registered for
+    /// `hostname`.
+    pub fn for_host(schema: ExamonSchema, hostname: &str) -> Self {
+        let mut plugin = StatsPlugin::new(schema);
+        plugin.register_host(hostname);
+        plugin
+    }
+
+    /// (Re)builds the topic cache for `hostname`.
+    fn register_host(&mut self, hostname: &str) {
+        self.hostname.clear();
+        self.hostname.push_str(hostname);
+        self.topics.clear();
+        self.topics.extend(
+            STATS_METRICS
+                .iter()
+                .map(|metric| self.schema.stats_topic(hostname, metric)),
+        );
     }
 
     /// Overrides the sampling period (see [`PmuPlugin::set_period`]).
@@ -238,37 +355,40 @@ impl StatsPlugin {
         self.period = period;
     }
 
-    fn metric_value(snapshot: &NodeSnapshot, metric: &str) -> f64 {
-        match metric {
-            "load_avg.1m" => snapshot.load_avg.0,
-            "load_avg.5m" => snapshot.load_avg.1,
-            "load_avg.15m" => snapshot.load_avg.2,
-            "io_total.read" => snapshot.io_total.0,
-            "io_total.writ" => snapshot.io_total.1,
-            "procs.run" => snapshot.procs.0,
-            "procs.blk" => snapshot.procs.1,
-            "procs.new" => snapshot.procs.2,
-            "memory_usage.used" => snapshot.memory.used,
-            "memory_usage.free" => snapshot.memory.free,
-            "memory_usage.buff" => snapshot.memory.buff,
-            "memory_usage.cach" => snapshot.memory.cach,
-            "paging.in" => snapshot.paging.0,
-            "paging.out" => snapshot.paging.1,
-            "dsk_total.read" => snapshot.dsk_total.0,
-            "dsk_total.writ" => snapshot.dsk_total.1,
-            "system.int" => snapshot.system.0,
-            "system.csw" => snapshot.system.1,
-            "total_cpu_usage.usr" => snapshot.cpu_usage.usr,
-            "total_cpu_usage.sys" => snapshot.cpu_usage.sys,
-            "total_cpu_usage.idl" => snapshot.cpu_usage.idl,
-            "total_cpu_usage.wai" => snapshot.cpu_usage.wai,
-            "total_cpu_usage.stl" => snapshot.cpu_usage.stl,
-            "net_total.recv" => snapshot.net_total.0,
-            "net_total.send" => snapshot.net_total.1,
-            "temperature.mb_temp" => snapshot.temperatures.mb.as_f64(),
-            "temperature.cpu_temp" => snapshot.temperatures.cpu.as_f64(),
-            "temperature.nvme_temp" => snapshot.temperatures.nvme.as_f64(),
-            other => unreachable!("unknown stats metric {other}"),
+    /// The value of the metric at a [`STATS_METRICS`] position: the hot
+    /// sampling path walks the index-aligned topic cache, so the metric
+    /// is known by position and no per-metric string match is needed.
+    fn metric_value_at(snapshot: &NodeSnapshot, index: usize) -> f64 {
+        match index {
+            0 => snapshot.load_avg.0,                  // load_avg.1m
+            1 => snapshot.load_avg.1,                  // load_avg.5m
+            2 => snapshot.load_avg.2,                  // load_avg.15m
+            3 => snapshot.io_total.0,                  // io_total.read
+            4 => snapshot.io_total.1,                  // io_total.writ
+            5 => snapshot.procs.0,                     // procs.run
+            6 => snapshot.procs.1,                     // procs.blk
+            7 => snapshot.procs.2,                     // procs.new
+            8 => snapshot.memory.used,                 // memory_usage.used
+            9 => snapshot.memory.free,                 // memory_usage.free
+            10 => snapshot.memory.buff,                // memory_usage.buff
+            11 => snapshot.memory.cach,                // memory_usage.cach
+            12 => snapshot.paging.0,                   // paging.in
+            13 => snapshot.paging.1,                   // paging.out
+            14 => snapshot.dsk_total.0,                // dsk_total.read
+            15 => snapshot.dsk_total.1,                // dsk_total.writ
+            16 => snapshot.system.0,                   // system.int
+            17 => snapshot.system.1,                   // system.csw
+            18 => snapshot.cpu_usage.usr,              // total_cpu_usage.usr
+            19 => snapshot.cpu_usage.sys,              // total_cpu_usage.sys
+            20 => snapshot.cpu_usage.idl,              // total_cpu_usage.idl
+            21 => snapshot.cpu_usage.wai,              // total_cpu_usage.wai
+            22 => snapshot.cpu_usage.stl,              // total_cpu_usage.stl
+            23 => snapshot.net_total.0,                // net_total.recv
+            24 => snapshot.net_total.1,                // net_total.send
+            25 => snapshot.temperatures.mb.as_f64(),   // temperature.mb_temp
+            26 => snapshot.temperatures.cpu.as_f64(),  // temperature.cpu_temp
+            27 => snapshot.temperatures.nvme.as_f64(), // temperature.nvme_temp
+            other => unreachable!("stats metric index {other} out of range"),
         }
     }
 }
@@ -283,11 +403,15 @@ impl Plugin for StatsPlugin {
     }
 
     fn sample_into(&mut self, snapshot: &NodeSnapshot, out: &mut Vec<(Topic, Payload)>) {
+        if self.hostname != snapshot.hostname {
+            // Lazy registration path for plugins built without a host.
+            self.register_host(&snapshot.hostname);
+        }
         out.reserve(STATS_METRICS.len());
-        for metric in STATS_METRICS {
+        for (index, topic) in self.topics.iter().enumerate() {
             out.push((
-                self.schema.stats_topic(&snapshot.hostname, metric),
-                Payload::new(Self::metric_value(snapshot, metric), snapshot.time),
+                *topic,
+                Payload::new(Self::metric_value_at(snapshot, index), snapshot.time),
             ));
         }
     }

@@ -1,13 +1,25 @@
 //! MQTT-style topics and wildcard filters, plus the ExaMon topic schema of
 //! the paper's Table II.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
 
 use serde::{Deserialize, Serialize};
 
+use crate::interner::{self, TopicData, TopicId};
+
 /// A concrete (wildcard-free) topic such as
 /// `org/unibo/cluster/cimone/node/mc-node-01/plugin/pmu_pub/chnl/data/core/2/instret`.
+///
+/// Topics are interned: the segment strings live in a process-wide
+/// registry ([`crate::interner`]) whose records are never evicted, so a
+/// topic is a plain `Copy` handle to a `&'static` record carrying a
+/// stable small-integer [`TopicId`]. Cloning is free (a pointer copy, no
+/// reference counting), equality/hashing are integer operations, and the
+/// `Display`/parse round-trip is lossless (`/`-joined segments, exactly as
+/// before interning), so the telemetry wire bytes are unchanged.
 ///
 /// # Examples
 ///
@@ -16,15 +28,17 @@ use serde::{Deserialize, Serialize};
 ///
 /// let t: Topic = "a/b/c".parse()?;
 /// assert_eq!(t.segments().len(), 3);
+/// assert_eq!(Topic::from_id(t.id()), Some(t.clone()));
 /// # Ok::<(), cimone_monitor::topic::TopicParseError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy)]
 pub struct Topic {
-    segments: Vec<String>,
+    data: &'static TopicData,
 }
 
 impl Topic {
-    /// Builds a topic from segments.
+    /// Builds a topic from segments, interning it (allocation-free when
+    /// the topic is already registered apart from collecting `segments`).
     ///
     /// # Panics
     ///
@@ -39,18 +53,73 @@ impl Topic {
                 "invalid topic segment {s:?}"
             );
         }
-        Topic { segments }
+        Topic {
+            data: interner::intern(segments),
+        }
     }
 
     /// The segments.
     pub fn segments(&self) -> &[String] {
-        &self.segments
+        &self.data.segments
+    }
+
+    /// The stable interned id.
+    pub fn id(&self) -> TopicId {
+        self.data.id
+    }
+
+    /// The rendered `/`-joined form, without allocating.
+    pub fn as_str(&self) -> &str {
+        &self.data.display
+    }
+
+    /// Resolves an id back to its topic; `None` if the id was never
+    /// handed out by the interner.
+    pub fn from_id(id: TopicId) -> Option<Self> {
+        interner::get(id).map(|data| Topic { data })
+    }
+}
+
+impl PartialEq for Topic {
+    fn eq(&self, other: &Self) -> bool {
+        // Interning makes ids bijective with segment vectors.
+        self.data.id == other.data.id
+    }
+}
+
+impl Eq for Topic {}
+
+impl Hash for Topic {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data.id.hash(state);
+    }
+}
+
+impl PartialOrd for Topic {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Topic {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Segment-wise lexicographic order, exactly as the pre-interning
+        // derive produced (id order is registration order, not name order).
+        self.data.segments.cmp(&other.data.segments)
+    }
+}
+
+impl fmt::Debug for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Topic")
+            .field("segments", &self.data.segments)
+            .finish()
     }
 }
 
 impl fmt::Display for Topic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.segments.join("/"))
+        f.write_str(&self.data.display)
     }
 }
 
@@ -73,6 +142,11 @@ impl FromStr for Topic {
     type Err = TopicParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Already-interned topics parse without allocating: anything in
+        // the registry passed validation when it was first registered.
+        if let Some(data) = interner::lookup_display(s) {
+            return Ok(Topic { data });
+        }
         if s.is_empty() {
             return Err(TopicParseError {
                 input: s.to_owned(),
@@ -94,7 +168,9 @@ impl FromStr for Topic {
                 });
             }
         }
-        Ok(Topic { segments })
+        Ok(Topic {
+            data: interner::intern(segments),
+        })
     }
 }
 
@@ -138,20 +214,20 @@ impl TopicFilter {
                     return true;
                 }
                 FilterSegment::SingleLevel => {
-                    if ti >= topic.segments.len() {
+                    if ti >= topic.segments().len() {
                         return false;
                     }
                     ti += 1;
                 }
                 FilterSegment::Literal(lit) => {
-                    if topic.segments.get(ti) != Some(lit) {
+                    if topic.segments().get(ti) != Some(lit) {
                         return false;
                     }
                     ti += 1;
                 }
             }
         }
-        ti == topic.segments.len()
+        ti == topic.segments().len()
     }
 }
 
@@ -409,5 +485,38 @@ mod tests {
     fn topics_reject_wildcards() {
         assert!("a/+/c".parse::<Topic>().is_err());
         assert!("a/#".parse::<Topic>().is_err());
+    }
+
+    #[test]
+    fn interned_topics_share_one_id() {
+        let a: Topic = "topic/intern/shared".parse().unwrap();
+        let b = Topic::new(["topic", "intern", "shared"].map(str::to_owned));
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        let c: Topic = "topic/intern/other".parse().unwrap();
+        assert_ne!(a.id(), c.id());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn id_round_trip_is_lossless() {
+        let t: Topic = "topic/roundtrip/a.b/42".parse().unwrap();
+        let back = Topic::from_id(t.id()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.segments(), t.segments());
+        assert_eq!(back.to_string(), "topic/roundtrip/a.b/42");
+        assert_eq!(back.as_str(), "topic/roundtrip/a.b/42");
+    }
+
+    #[test]
+    fn topic_ordering_follows_segments_not_ids() {
+        // Register in reverse name order so id order and name order differ.
+        let z: Topic = "topic/order/z".parse().unwrap();
+        let a: Topic = "topic/order/a".parse().unwrap();
+        assert!(a < z, "ordering must stay segment-lexicographic");
+        // "a/b" vs "a-c": segment-wise, ["a","b"] < ["a-c"].
+        let ab = Topic::new(["a", "b"].map(str::to_owned));
+        let ac = Topic::new(["a-c".to_owned()]);
+        assert!(ab < ac);
     }
 }

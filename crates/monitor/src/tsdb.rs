@@ -66,6 +66,14 @@ impl fmt::Display for Aggregation {
 /// Points are kept time-sorted per series; out-of-order inserts are placed
 /// correctly.
 ///
+/// Storage is columnar: each series is one point column, and interned
+/// [`TopicId`](crate::interner::TopicId)s map to column handles through a
+/// dense index vector, so the steady-state ingest path
+/// ([`TimeSeriesStore::insert`] / [`TimeSeriesStore::append_batch`]) is an
+/// O(1) handle lookup plus a column push — no string rendering, hashing or
+/// tree walk per sample. Names are kept in a sorted side index for the
+/// query paths, which are unchanged.
+///
 /// # Examples
 ///
 /// ```
@@ -84,9 +92,43 @@ impl fmt::Display for Aggregation {
 /// assert_eq!(mean, 4.5);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeriesStore {
-    series: BTreeMap<String, Vec<Point>>,
+    /// Sorted series-name index → column handle.
+    names: BTreeMap<String, u32>,
+    /// Point columns, handle-indexed. Evicted columns are recycled via
+    /// `free` (their capacity retained), never removed, so handles held in
+    /// `by_topic` stay dense.
+    columns: Vec<Column>,
+    /// `TopicId::index()` → column handle, `NO_COLUMN` when unbound.
+    by_topic: Vec<u32>,
+    /// Recycled column handles of fully evicted series.
+    free: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+struct Column {
+    name: String,
+    /// The bound `TopicId` raw value, `NO_TOPIC` when unknown (series
+    /// restored from serialization and not yet touched by an insert).
+    topic: u32,
+    points: Vec<Point>,
+}
+
+const NO_COLUMN: u32 = u32::MAX;
+const NO_TOPIC: u32 = u32::MAX;
+
+/// Sorted insert preserving the time order (fast path: append).
+fn place(points: &mut Vec<Point>, payload: Payload) {
+    let point = (payload.timestamp, payload.value);
+    match points.last() {
+        Some((last, _)) if *last > payload.timestamp => {
+            // Out-of-order arrival: binary-search the slot.
+            let idx = points.partition_point(|(t, _)| *t <= payload.timestamp);
+            points.insert(idx, point);
+        }
+        _ => points.push(point),
+    }
 }
 
 impl TimeSeriesStore {
@@ -95,18 +137,55 @@ impl TimeSeriesStore {
         TimeSeriesStore::default()
     }
 
+    /// Resolves (binding or creating as needed) the column handle for
+    /// `topic`. Steady state this is one dense-vector load.
+    fn handle(&mut self, topic: &Topic) -> usize {
+        let idx = topic.id().index();
+        if let Some(&column) = self.by_topic.get(idx) {
+            if column != NO_COLUMN {
+                return column as usize;
+            }
+        }
+        self.handle_slow(topic, idx)
+    }
+
+    /// First sight of this topic: bind an existing same-named series
+    /// (deserialized, or re-created after eviction) or open a new column.
+    fn handle_slow(&mut self, topic: &Topic, idx: usize) -> usize {
+        if self.by_topic.len() <= idx {
+            self.by_topic.resize(idx + 1, NO_COLUMN);
+        }
+        let column = match self.names.get(topic.as_str()) {
+            Some(&column) => column,
+            None => {
+                let column = match self.free.pop() {
+                    Some(recycled) => recycled,
+                    None => {
+                        self.columns.push(Column {
+                            name: String::new(),
+                            topic: NO_TOPIC,
+                            points: Vec::new(),
+                        });
+                        (self.columns.len() - 1) as u32
+                    }
+                };
+                let slot = &mut self.columns[column as usize];
+                slot.name.clear();
+                slot.name.push_str(topic.as_str());
+                slot.points.clear();
+                self.names.insert(topic.as_str().to_owned(), column);
+                column
+            }
+        };
+        self.columns[column as usize].topic = topic.id().as_u32();
+        self.by_topic[idx] = column;
+        column as usize
+    }
+
     /// Inserts one sample under `topic`.
     pub fn insert(&mut self, topic: &Topic, payload: Payload) {
-        let series = self.series.entry(topic.to_string()).or_default();
-        let point = (payload.timestamp, payload.value);
-        match series.last() {
-            Some((last, _)) if *last > payload.timestamp => {
-                // Out-of-order arrival: binary-search the slot.
-                let idx = series.partition_point(|(t, _)| *t <= payload.timestamp);
-                series.insert(idx, point);
-            }
-            _ => series.push(point),
-        }
+        let column = self.handle(topic);
+        place(&mut self.columns[column].points, payload);
     }
 
     /// Inserts a broker message.
@@ -114,29 +193,80 @@ impl TimeSeriesStore {
         self.insert(&message.topic, message.payload);
     }
 
+    /// Columnar batch ingest: appends every message, resolving each topic
+    /// to its series handle once per message (O(1) after the first sight).
+    /// Equivalent to calling [`TimeSeriesStore::insert_message`] per
+    /// element.
+    pub fn append_batch(&mut self, messages: &[PublishedMessage]) {
+        for message in messages {
+            self.insert_message(message);
+        }
+    }
+
+    /// Bulk-appends points of a single series: one handle resolution for
+    /// the whole run, and a straight `memcpy`-style column extension when
+    /// the run is internally time-sorted and starts at or after the column
+    /// tail (the steady-state shape — the collector's pump groups each
+    /// drain by topic before calling this). Out-of-order runs fall back to
+    /// per-point sorted insertion; the stored column is identical to
+    /// calling [`TimeSeriesStore::insert`] once per point in order.
+    pub fn extend_series(&mut self, topic: &Topic, points: &[Point]) {
+        if points.is_empty() {
+            return;
+        }
+        let column = self.handle(topic);
+        let col = &mut self.columns[column].points;
+        let sorted = points.windows(2).all(|w| w[0].0 <= w[1].0);
+        if sorted && col.last().is_none_or(|(t, _)| *t <= points[0].0) {
+            col.extend_from_slice(points);
+        } else {
+            for &(t, v) in points {
+                place(col, Payload::new(v, t));
+            }
+        }
+    }
+
+    /// Reserves room for `additional` further points on every series —
+    /// lets a steady-state ingest loop run allocation-free over a known
+    /// horizon (the zero-allocation probe uses this).
+    pub fn reserve_points(&mut self, additional: usize) {
+        for column in &mut self.columns {
+            column.points.reserve(additional);
+        }
+    }
+
     /// Series names, sorted.
     pub fn series_names(&self) -> impl Iterator<Item = &str> {
-        self.series.keys().map(String::as_str)
+        self.names.keys().map(String::as_str)
     }
 
     /// Number of series.
     pub fn series_count(&self) -> usize {
-        self.series.len()
+        self.names.len()
     }
 
     /// Total stored points.
     pub fn point_count(&self) -> usize {
-        self.series.values().map(Vec::len).sum()
+        self.names
+            .values()
+            .map(|&c| self.columns[c as usize].points.len())
+            .sum()
     }
 
     /// Whether the store has no data.
     pub fn is_empty(&self) -> bool {
-        self.series.is_empty()
+        self.names.is_empty()
+    }
+
+    fn points_of(&self, series: &str) -> Option<&Vec<Point>> {
+        self.names
+            .get(series)
+            .map(|&c| &self.columns[c as usize].points)
     }
 
     /// Points of `series` in `[from, to)`.
     pub fn query(&self, series: &str, from: SimTime, to: SimTime) -> &[Point] {
-        match self.series.get(series) {
+        match self.points_of(series) {
             None => &[],
             Some(points) => {
                 let lo = points.partition_point(|(t, _)| *t < from);
@@ -148,7 +278,7 @@ impl TimeSeriesStore {
 
     /// The latest point of `series`.
     pub fn latest(&self, series: &str) -> Option<Point> {
-        self.series.get(series).and_then(|p| p.last().copied())
+        self.points_of(series).and_then(|p| p.last().copied())
     }
 
     /// Aggregates `series` over `[from, to)`.
@@ -191,14 +321,30 @@ impl TimeSeriesStore {
 
     /// Drops every point older than `cutoff` (retention policy: the
     /// paper's ODA deployments cap storage by age). Series left empty are
-    /// removed entirely. Returns the number of points evicted.
+    /// removed entirely (their columns recycled). Returns the number of
+    /// points evicted.
     pub fn evict_before(&mut self, cutoff: SimTime) -> usize {
         let mut evicted = 0;
-        self.series.retain(|_, points| {
-            let keep_from = points.partition_point(|(t, _)| *t < cutoff);
+        let columns = &mut self.columns;
+        let by_topic = &mut self.by_topic;
+        let free = &mut self.free;
+        self.names.retain(|_, &mut column| {
+            let slot = &mut columns[column as usize];
+            let keep_from = slot.points.partition_point(|(t, _)| *t < cutoff);
             evicted += keep_from;
-            points.drain(..keep_from);
-            !points.is_empty()
+            slot.points.drain(..keep_from);
+            if slot.points.is_empty() {
+                // Unbind and recycle the column (capacity retained).
+                if slot.topic != NO_TOPIC {
+                    by_topic[slot.topic as usize] = NO_COLUMN;
+                    slot.topic = NO_TOPIC;
+                }
+                slot.name.clear();
+                free.push(column);
+                false
+            } else {
+                true
+            }
         });
         evicted
     }
@@ -222,7 +368,7 @@ impl TimeSeriesStore {
         to: SimTime,
     ) -> BTreeMap<String, Vec<Point>> {
         let mut out = BTreeMap::new();
-        for name in self.series.keys() {
+        for name in self.names.keys() {
             let Ok(topic) = name.parse::<Topic>() else {
                 continue;
             };
@@ -234,6 +380,21 @@ impl TimeSeriesStore {
             }
         }
         out
+    }
+}
+
+/// Stores compare by content: same series names with the same point runs,
+/// regardless of column layout, topic bindings or recycled slots.
+impl PartialEq for TimeSeriesStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.names.len() == other.names.len()
+            && self.names.iter().zip(other.names.iter()).all(
+                |((a_name, &a_col), (b_name, &b_col))| {
+                    a_name == b_name
+                        && self.columns[a_col as usize].points
+                            == other.columns[b_col as usize].points
+                },
+            )
     }
 }
 
@@ -365,5 +526,78 @@ mod tests {
         let db = store_with("s", &[(3, 1.0), (7, 9.0)]);
         assert_eq!(db.latest("s"), Some((SimTime::from_secs(7), 9.0)));
         assert_eq!(db.latest("missing"), None);
+    }
+
+    /// `extend_series` must store exactly what per-point `insert` would,
+    /// through both its paths: the sorted tail-append fast path and the
+    /// out-of-order fallback (runs that are internally unsorted, or start
+    /// before the existing column tail).
+    #[test]
+    fn extend_series_matches_per_point_inserts() {
+        let topic: Topic = "ext/equiv".parse().unwrap();
+        let runs: [&[(u64, f64)]; 4] = [
+            &[(0, 1.0), (5, 2.0), (10, 3.0)],   // sorted, fresh column
+            &[(10, 4.0), (20, 5.0)],            // sorted, starts at the tail
+            &[(30, 8.0), (25, 7.0), (40, 9.0)], // internally unsorted
+            &[(15, 6.0)],                       // starts before the tail
+        ];
+        let mut bulk = TimeSeriesStore::new();
+        let mut reference = TimeSeriesStore::new();
+        for run in runs {
+            let points: Vec<Point> = run
+                .iter()
+                .map(|&(t, v)| (SimTime::from_secs(t), v))
+                .collect();
+            bulk.extend_series(&topic, &points);
+            for &(t, v) in &points {
+                reference.insert(&topic, Payload::new(v, t));
+            }
+        }
+        let all = (SimTime::ZERO, SimTime::from_secs(1000));
+        assert_eq!(
+            bulk.query("ext/equiv", all.0, all.1),
+            reference.query("ext/equiv", all.0, all.1),
+        );
+    }
+
+    #[test]
+    fn extend_series_with_empty_run_creates_nothing() {
+        let mut db = TimeSeriesStore::new();
+        let topic: Topic = "ext/empty".parse().unwrap();
+        db.extend_series(&topic, &[]);
+        assert_eq!(db.series_count(), 0);
+    }
+
+    /// Fully evicting a series frees its column for recycling; a new
+    /// series then reuses the slot, and the evicted topic rebinds to a
+    /// fresh column if it comes back — with no stale points either way.
+    #[test]
+    fn evicted_columns_are_recycled_and_rebind_cleanly() {
+        let mut db = store_with("dead", &[(0, 1.0), (1, 2.0)]);
+        db.evict_before(SimTime::from_secs(50));
+        assert_eq!(db.series_count(), 0);
+
+        // A different topic takes over the recycled column slot.
+        let newcomer: Topic = "alive".parse().unwrap();
+        db.insert(&newcomer, Payload::new(7.0, SimTime::from_secs(60)));
+        assert_eq!(db.series_count(), 1);
+        assert_eq!(
+            db.query("alive", SimTime::ZERO, SimTime::from_secs(1000)),
+            &[(SimTime::from_secs(60), 7.0)],
+        );
+
+        // The evicted topic returns: it must not see the newcomer's
+        // points or its own evicted history.
+        let revenant: Topic = "dead".parse().unwrap();
+        db.insert(&revenant, Payload::new(9.0, SimTime::from_secs(70)));
+        assert_eq!(db.series_count(), 2);
+        assert_eq!(
+            db.query("dead", SimTime::ZERO, SimTime::from_secs(1000)),
+            &[(SimTime::from_secs(70), 9.0)],
+        );
+        assert_eq!(
+            db.query("alive", SimTime::ZERO, SimTime::from_secs(1000)),
+            &[(SimTime::from_secs(60), 7.0)],
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use cimone_monitor::broker::Broker;
 use cimone_monitor::payload::Payload;
 use cimone_monitor::topic::{Topic, TopicFilter};
 use cimone_monitor::tsdb::{Aggregation, TimeSeriesStore};
@@ -48,6 +49,17 @@ proptest! {
             t.segments().iter().cloned().chain(ext).collect::<Vec<_>>(),
         );
         prop_assert!(f.matches(&extended));
+    }
+
+    #[test]
+    fn interning_is_stable_and_lossless(t in topic_strategy()) {
+        // Re-parsing the rendered form lands on the same interned handle,
+        // and the id resolves back to a topic with identical segments.
+        let reparsed: Topic = t.to_string().parse().expect("display parses");
+        prop_assert_eq!(reparsed.id(), t.id());
+        let resolved = Topic::from_id(t.id()).expect("registered id resolves");
+        prop_assert_eq!(resolved.segments(), t.segments());
+        prop_assert_eq!(resolved.as_str(), t.as_str());
     }
 
     #[test]
@@ -172,5 +184,88 @@ proptest! {
         // Timestamps survive to microsecond resolution.
         let dt = decoded.timestamp.as_micros().abs_diff(p.timestamp.as_micros());
         prop_assert!(dt <= 1, "timestamp drifted by {dt} µs");
+    }
+}
+
+/// A filter derived from a concrete topic: each segment may be replaced
+/// by `+`, and the tail may be truncated and replaced by `#`. Deriving
+/// filters from published topics keeps the match rate high enough that
+/// the delivery oracle below exercises real routing, not just misses.
+fn derived_filter_strategy() -> impl Strategy<Value = TopicFilter> {
+    (
+        prop::collection::vec((segment_strategy(), any::<bool>()), 1..6),
+        // 0..=5 truncates the tail into `#`; 6 means no hash wildcard.
+        0usize..7,
+    )
+        .prop_map(|(segs, hash_at)| {
+            let mut parts: Vec<String> = segs
+                .into_iter()
+                .map(|(s, plus)| if plus { "+".into() } else { s })
+                .collect();
+            if hash_at < 6 {
+                parts.truncate(hash_at.min(parts.len()));
+                parts.push("#".into());
+            }
+            parts.join("/").parse().expect("derived filter is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The precompiled routing table delivers exactly what a per-message
+    /// `filter.matches` oracle predicts — same subscriber set, same
+    /// per-queue order — and agrees with the per-message `publish` path.
+    #[test]
+    fn batched_routing_agrees_with_the_matches_oracle(
+        // A small pool of topics so batches revisit routes and filters
+        // derived from the same alphabet actually match.
+        pool in prop::collection::vec(topic_strategy(), 1..6),
+        filters in prop::collection::vec(derived_filter_strategy(), 1..5),
+        picks in prop::collection::vec(0usize..6, 1..40),
+    ) {
+        let batched = Broker::new();
+        let serial = Broker::new();
+        let subs_batched: Vec<_> =
+            filters.iter().map(|f| batched.subscribe(f.clone())).collect();
+        let subs_serial: Vec<_> =
+            filters.iter().map(|f| serial.subscribe(f.clone())).collect();
+
+        let messages: Vec<(Topic, Payload)> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let topic = pool[p % pool.len()];
+                (topic, Payload::new(i as f64, SimTime::from_millis(i as u64)))
+            })
+            .collect();
+
+        let mut batch = messages.clone();
+        batched.publish_batch_serial(&mut batch);
+        for (topic, payload) in &messages {
+            serial.publish(topic, *payload);
+        }
+
+        for ((filter, sub_b), sub_s) in
+            filters.iter().zip(&subs_batched).zip(&subs_serial)
+        {
+            let expected: Vec<(Topic, f64)> = messages
+                .iter()
+                .filter(|(t, _)| filter.matches(t))
+                .map(|(t, p)| (*t, p.value))
+                .collect();
+            let got_b: Vec<(Topic, f64)> = sub_b
+                .drain()
+                .into_iter()
+                .map(|m| (m.topic, m.payload.value))
+                .collect();
+            let got_s: Vec<(Topic, f64)> = sub_s
+                .drain()
+                .into_iter()
+                .map(|m| (m.topic, m.payload.value))
+                .collect();
+            prop_assert_eq!(&got_b, &expected, "batched path vs oracle for {}", filter);
+            prop_assert_eq!(&got_s, &expected, "per-message path vs oracle for {}", filter);
+        }
     }
 }

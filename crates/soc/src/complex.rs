@@ -92,6 +92,30 @@ pub struct U74McComplex {
     power: PowerModel,
     boot: BootSequence,
     firmware: UBootConfig,
+    step_memo: StepMemo,
+}
+
+/// Cross-tick memo of the per-workload retired batches used by
+/// [`U74McComplex::step_threads_scaled`]. The batch is a pure function of
+/// (workload, effective duration) and the construction-fixed pipeline
+/// model, and the steady-state simulation loop calls with the same
+/// arguments every tick — so the mix arithmetic (and its libm `round`
+/// calls) runs once per workload change instead of once per tick.
+///
+/// Purely a cache: it never affects observable state, so it compares
+/// equal to any other memo and is skipped by (no-op) serialization.
+#[derive(Debug, Clone, Default)]
+struct StepMemo {
+    /// (busy workload, `to_bits` of the effective duration in seconds).
+    key: Option<(Workload, u64)>,
+    busy: Option<RetiredWork>,
+    idle: Option<RetiredWork>,
+}
+
+impl PartialEq for StepMemo {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
 }
 
 impl U74McComplex {
@@ -108,6 +132,7 @@ impl U74McComplex {
             power: PowerModel::u740(),
             boot: BootSequence::u740_default(),
             firmware,
+            step_memo: StepMemo::default(),
         }
     }
 
@@ -219,6 +244,74 @@ impl U74McComplex {
                 core.run(w, effective)
             })
             .collect()
+    }
+
+    /// [`U74McComplex::run_threads_scaled`] without materialising the
+    /// per-core [`RetiredWork`] results — for callers that only want the
+    /// HPM-counter side effects (the per-tick simulation step), it avoids
+    /// one short-lived `Vec` allocation per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`U74McComplex::run_threads_scaled`].
+    pub fn step_threads_scaled(
+        &mut self,
+        workload: Workload,
+        threads: usize,
+        duration: SimDuration,
+        performance_scale: f64,
+    ) {
+        assert!(
+            threads <= self.cores.len(),
+            "requested {threads} threads on {} cores",
+            self.cores.len()
+        );
+        assert!(
+            performance_scale > 0.0 && performance_scale <= 1.0,
+            "performance scale {performance_scale} outside (0, 1]"
+        );
+        let effective = SimDuration::from_secs_f64(duration.as_secs_f64() * performance_scale);
+        // Every core carries the same pipeline model (fixed at
+        // construction), so the retired batch for a given workload and
+        // duration is identical on every hart — and, steady state,
+        // identical across ticks: derive it once per (workload,
+        // duration) change and replay it into each HPM file, instead of
+        // recomputing the mix arithmetic five times per tick.
+        let key = (workload, effective.as_secs_f64().to_bits());
+        if self.step_memo.key != Some(key) {
+            self.step_memo = StepMemo {
+                key: Some(key),
+                busy: None,
+                idle: None,
+            };
+        }
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let (kind, slot) = if i < threads {
+                (workload, &mut self.step_memo.busy)
+            } else {
+                (Workload::Idle, &mut self.step_memo.idle)
+            };
+            let work = match slot {
+                Some(work) => *work,
+                None => {
+                    let mix = kind.instruction_mix();
+                    let secs = effective.as_secs_f64();
+                    let instructions =
+                        (core.pipeline().instructions_per_second(&mix) * secs).round() as u64;
+                    let cycles = core.pipeline().clock().cycles_over(effective);
+                    let work = RetiredWork::from_mix(
+                        instructions,
+                        cycles,
+                        &mix,
+                        kind.ddr_bytes_per_instruction(),
+                    );
+                    *slot = Some(work);
+                    work
+                }
+            };
+            core.hpm_mut().advance(&work);
+        }
     }
 
     /// Sum of retired instructions over all application cores.

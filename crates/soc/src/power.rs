@@ -198,8 +198,14 @@ impl PowerModel {
 
     /// Leakage of `rail` at temperature `t`.
     pub fn leakage_at(&self, rail: Rail, t: Celsius) -> Power {
-        let scale = (self.leak_alpha_per_deg * (t - self.leak_reference)).exp();
-        self.rail(rail).leakage * scale
+        self.rail(rail).leakage * self.leak_scale(t)
+    }
+
+    /// The thermal leakage multiplier at temperature `t`. The coefficient
+    /// and reference are model-wide, so full-board paths evaluate this
+    /// exponential once and share it across every rail.
+    fn leak_scale(&self, t: Celsius) -> f64 {
+        (self.leak_alpha_per_deg * (t - self.leak_reference)).exp()
     }
 
     /// Noise-free mean power of `rail` under `workload` at the calibration
@@ -268,8 +274,21 @@ impl PowerModel {
         t: Celsius,
         scale: crate::cpufreq::DvfsScale,
     ) -> Power {
+        self.mean_scaled_with(rail, workload, self.leak_scale(t), scale)
+    }
+
+    /// [`PowerModel::mean_scaled`] with the thermal leakage multiplier
+    /// precomputed — the shared core of the full-board paths, which pay
+    /// for the exponential once per board sample rather than per rail.
+    fn mean_scaled_with(
+        &self,
+        rail: Rail,
+        workload: Workload,
+        leak_scale: f64,
+        scale: crate::cpufreq::DvfsScale,
+    ) -> Power {
         let m = self.rail(rail);
-        self.leakage_at(rail, t) * scale.leakage
+        m.leakage * leak_scale * scale.leakage
             + m.dynamic_full * (m.activity(workload) * scale.dynamic)
     }
 
@@ -282,13 +301,14 @@ impl PowerModel {
         t: Celsius,
         core_scale: crate::cpufreq::DvfsScale,
     ) -> RailPowers {
+        let leak_scale = self.leak_scale(t);
         RailPowers::from_fn(|rail| {
             let scale = if rail == Rail::Core {
                 core_scale
             } else {
                 crate::cpufreq::DvfsScale::default()
             };
-            self.mean_scaled(rail, workload, t, scale)
+            self.mean_scaled_with(rail, workload, leak_scale, scale)
         })
     }
 
@@ -299,7 +319,7 @@ impl PowerModel {
         t: Celsius,
         rng: &mut R,
     ) -> RailPowers {
-        RailPowers::from_fn(|rail| self.sample(rail, workload, t, rng))
+        self.sample_all_dvfs(workload, t, crate::cpufreq::DvfsScale::default(), rng)
     }
 
     /// Draws one noisy full-board sample with DVFS scaling on the core
@@ -312,13 +332,17 @@ impl PowerModel {
         core_scale: crate::cpufreq::DvfsScale,
         rng: &mut R,
     ) -> RailPowers {
+        let leak_scale = self.leak_scale(t);
         RailPowers::from_fn(|rail| {
             let scale = if rail == Rail::Core {
                 core_scale
             } else {
                 crate::cpufreq::DvfsScale::default()
             };
-            self.sample_scaled(rail, workload, t, scale, rng)
+            let m = self.rail(rail);
+            let mean = self.mean_scaled_with(rail, workload, leak_scale, scale);
+            let mut noise = GaussianNoise::new(m.noise_sigma_mw);
+            (mean + Power::from_milliwatts(noise.sample(rng))).clamp_non_negative()
         })
     }
 
