@@ -24,6 +24,45 @@ use crate::services::nfs::{MountHandle, NfsError, NfsServer};
 /// Uid the engine writes checkpoints under (a system service account).
 const CKPT_UID: u32 = 900;
 
+/// How many record generations (newest first) the store retains per job
+/// for corruption fallback: a snapshot whose CRC fails on restore is
+/// quarantined and the walk falls back to the next-newest generation.
+pub const GENERATION_DEPTH: usize = 4;
+
+/// CRC-64/ECMA-182 lookup table, built at compile time.
+const CRC64_TABLE: [u64; 256] = {
+    // ECMA-182 polynomial (as used by XZ), reflected form.
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-64/ECMA-182 over `bytes` — the integrity check every serialized
+/// snapshot carries. Any single-bit (indeed any ≤ 64-bit burst) error in
+/// a record is guaranteed to change the checksum.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
 /// The default export checkpoints are kept on (see
 /// [`CheckpointStoreConfig`] to place them elsewhere).
 const CKPT_EXPORT: &str = "/ckpt";
@@ -123,30 +162,66 @@ impl JobCheckpoint {
     }
 
     /// Serialises to the on-disk line format:
-    /// `ckpt v1 job=<id> progress=<hex bits> pos=<position> at=<micros>`.
+    /// `ckpt v2 job=<id> progress=<hex bits> pos=<position> at=<micros>
+    /// crc=<16-hex CRC64>`, where the checksum covers every byte before
+    /// the ` crc=` suffix.
     pub fn encode(&self) -> String {
-        format!(
-            "ckpt v1 job={} progress={:016x} pos={} at={}",
+        let mut line = format!(
+            "ckpt v2 job={} progress={:016x} pos={} at={}",
             self.job_id,
             self.progress_bits,
             self.position,
             self.written_at.as_micros()
-        )
+        );
+        let crc = crc64(line.as_bytes());
+        line.push_str(&format!(" crc={crc:016x}"));
+        line
     }
 
-    /// Parses the [`JobCheckpoint::encode`] format.
+    /// Parses the [`JobCheckpoint::encode`] format. `v2` records must
+    /// carry a matching CRC64; the pre-integrity `v1` format (no
+    /// checksum) is still accepted for old records.
     ///
     /// # Errors
     ///
-    /// Returns [`CheckpointError::Malformed`] for anything else.
+    /// Returns [`CheckpointError::Corrupt`] when a `v2` record's checksum
+    /// does not match its body, and [`CheckpointError::Malformed`] for
+    /// anything else.
     pub fn decode(line: &str) -> Result<Self, CheckpointError> {
         let malformed = || CheckpointError::Malformed {
             line: line.to_owned(),
         };
         let mut fields = line.split_whitespace();
-        if fields.next() != Some("ckpt") || fields.next() != Some("v1") {
+        if fields.next() != Some("ckpt") {
             return Err(malformed());
         }
+        let fields = match fields.next() {
+            Some("v1") => fields,
+            Some("v2") => {
+                let (body, crc_hex) = line.rsplit_once(" crc=").ok_or_else(malformed)?;
+                // Only the canonical encoding — exactly 16 lowercase hex
+                // digits — is accepted. `from_str_radix` alone would parse
+                // a case-flipped digit ('a' → 'A' is a single-bit flip) to
+                // the same value and let the corruption through.
+                if crc_hex.len() != 16
+                    || !crc_hex
+                        .bytes()
+                        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+                {
+                    return Err(malformed());
+                }
+                let found = u64::from_str_radix(crc_hex, 16).map_err(|_| malformed())?;
+                let expected = crc64(body.as_bytes());
+                if found != expected {
+                    return Err(CheckpointError::Corrupt { expected, found });
+                }
+                let mut fields = body.split_whitespace();
+                fields.next(); // "ckpt"
+                fields.next(); // "v2"
+                fields
+            }
+            _ => return Err(malformed()),
+        };
         let mut job_id = None;
         let mut progress_bits = None;
         let mut position = None;
@@ -197,6 +272,14 @@ pub enum CheckpointError {
         /// The offending line.
         line: String,
     },
+    /// A stored record parsed but its CRC64 does not match its body: the
+    /// bytes silently changed since they were written.
+    Corrupt {
+        /// The checksum the record body computes to.
+        expected: u64,
+        /// The checksum the record carries.
+        found: u64,
+    },
     /// No checkpoint exists for the job.
     Missing {
         /// The job asked about.
@@ -220,6 +303,11 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Malformed { line } => {
                 write!(f, "malformed checkpoint record: {line:?}")
             }
+            CheckpointError::Corrupt { expected, found } => write!(
+                f,
+                "corrupt checkpoint record: crc64 {found:016x} does not \
+                 match body {expected:016x}"
+            ),
             CheckpointError::Missing { job_id } => {
                 write!(f, "no checkpoint stored for job {job_id}")
             }
@@ -424,6 +512,15 @@ pub struct CheckpointStore {
     offline_until: Option<SimTime>,
     /// Node-local write-behind records awaiting an export recovery flush.
     spill: BTreeMap<u64, JobCheckpoint>,
+    /// The exact serialized bytes of each spilled record — corruption
+    /// targets bytes, and a flush moves them verbatim so a flipped bit
+    /// survives onto the export instead of being silently re-encoded
+    /// away.
+    spill_bytes: BTreeMap<u64, Vec<u8>>,
+    /// Per-job durable record history, newest first, capped at
+    /// [`GENERATION_DEPTH`]: the byte-level chain a verified restore
+    /// walks when the newest generation fails its CRC.
+    generations: BTreeMap<u64, Vec<Vec<u8>>>,
 }
 
 impl CheckpointStore {
@@ -447,6 +544,8 @@ impl CheckpointStore {
             cache: BTreeMap::new(),
             offline_until: None,
             spill: BTreeMap::new(),
+            spill_bytes: BTreeMap::new(),
+            generations: BTreeMap::new(),
         }
     }
 
@@ -499,15 +598,27 @@ impl CheckpointStore {
     ///
     /// Propagates filesystem failures (quota, export gone).
     pub fn save(&mut self, ckpt: JobCheckpoint) -> Result<SimDuration, CheckpointError> {
-        let path = self.path(ckpt.job_id);
-        let encoded = ckpt.encode();
-        if !self.cache.contains_key(&ckpt.job_id) {
+        let cost = self.write_record(ckpt.job_id, ckpt.encode().into_bytes())?;
+        self.cache.insert(ckpt.job_id, ckpt);
+        Ok(cost)
+    }
+
+    /// Writes `bytes` as `job_id`'s newest record: the export file is
+    /// (created and) overwritten, and the byte-level generation chain
+    /// advances, keeping the newest [`GENERATION_DEPTH`] generations.
+    fn write_record(
+        &mut self,
+        job_id: u64,
+        bytes: Vec<u8>,
+    ) -> Result<SimDuration, CheckpointError> {
+        let path = self.path(job_id);
+        if !self.generations.contains_key(&job_id) {
             self.nfs.create(&self.mount, &path, CKPT_UID, false)?;
         }
-        let cost = self
-            .nfs
-            .write(&self.mount, &path, CKPT_UID, encoded.as_bytes())?;
-        self.cache.insert(ckpt.job_id, ckpt);
+        let cost = self.nfs.write(&self.mount, &path, CKPT_UID, &bytes)?;
+        let gens = self.generations.entry(job_id).or_default();
+        gens.insert(0, bytes);
+        gens.truncate(GENERATION_DEPTH);
         Ok(cost)
     }
 
@@ -539,6 +650,8 @@ impl CheckpointStore {
     /// offline. The record replaces any older spill for the same job and
     /// is flushed to the export by [`CheckpointStore::flush_spill`].
     pub fn spill_write(&mut self, ckpt: JobCheckpoint) {
+        self.spill_bytes
+            .insert(ckpt.job_id, ckpt.encode().into_bytes());
         self.spill.insert(ckpt.job_id, ckpt);
     }
 
@@ -551,6 +664,7 @@ impl CheckpointStore {
     /// Drops `job_id`'s spilled record (the buffering node crashed before
     /// the flush), returning it if one existed.
     pub fn drop_spill(&mut self, job_id: u64) -> Option<JobCheckpoint> {
+        self.spill_bytes.remove(&job_id);
         self.spill.remove(&job_id)
     }
 
@@ -579,7 +693,19 @@ impl CheckpointStore {
         let mut cost = SimDuration::ZERO;
         while let Some((&job_id, _)) = self.spill.iter().next() {
             let ckpt = self.spill.remove(&job_id).expect("key just observed");
-            cost += self.save(ckpt)?;
+            // Flush the buffered *bytes* verbatim: a bit that flipped in
+            // the node-local buffer lands on the export as-is, for the
+            // restore-time CRC to catch — re-encoding would silently heal
+            // it and hide the corruption.
+            let bytes = self
+                .spill_bytes
+                .remove(&job_id)
+                .unwrap_or_else(|| ckpt.encode().into_bytes());
+            let decoded = decode_bytes(&bytes).ok();
+            cost += self.write_record(job_id, bytes)?;
+            if let Some(valid) = decoded {
+                self.cache.insert(job_id, valid);
+            }
             flushed += 1;
         }
         Ok((flushed, cost))
@@ -621,9 +747,99 @@ impl CheckpointStore {
     /// finishes).
     pub fn remove(&mut self, job_id: u64) {
         self.spill.remove(&job_id);
-        if self.cache.remove(&job_id).is_some() {
+        self.spill_bytes.remove(&job_id);
+        self.cache.remove(&job_id);
+        if self.generations.remove(&job_id).is_some() {
             let _ = self.nfs.remove(&self.mount, &self.path(job_id), CKPT_UID);
         }
+    }
+
+    /// Durable generations currently retained for `job_id`.
+    pub fn generations_retained(&self, job_id: u64) -> usize {
+        self.generations.get(&job_id).map_or(0, Vec::len)
+    }
+
+    /// Flips one bit in `job_id`'s stored record chain — the silent-data-
+    /// corruption fault the SDC domain injects. Chain index 0 is the
+    /// newest record (a buffered node-local spill when one exists,
+    /// otherwise the newest durable generation); deeper indices walk back
+    /// in time, clamped to the oldest record held. `salt` picks the byte
+    /// and bit deterministically. Returns `false` when the job holds no
+    /// records to corrupt.
+    pub fn corrupt_chain(&mut self, job_id: u64, generation: usize, salt: u64) -> bool {
+        let mut chain: Vec<&mut Vec<u8>> = Vec::new();
+        if let Some(bytes) = self.spill_bytes.get_mut(&job_id) {
+            chain.push(bytes);
+        }
+        if let Some(gens) = self.generations.get_mut(&job_id) {
+            chain.extend(gens.iter_mut());
+        }
+        if chain.is_empty() {
+            return false;
+        }
+        let idx = generation.min(chain.len() - 1);
+        let bytes = &mut *chain[idx];
+        if bytes.is_empty() {
+            return false;
+        }
+        let byte = (salt / 8) as usize % bytes.len();
+        bytes[byte] ^= 1 << (salt % 8);
+        true
+    }
+
+    /// Walks `job_id`'s record chain newest→oldest, verifying each
+    /// record's CRC64, and returns the newest checkpoint that verifies
+    /// plus the chain indices (0 = newest; spill first when
+    /// `include_spill`) that failed and were quarantined — dropped from
+    /// the chain so a later walk cannot trip on them again. The decoded
+    /// durable cache is re-synced to whatever actually survives, so
+    /// [`CheckpointStore::load_durable`] never answers with bits the CRC
+    /// rejected.
+    pub fn restore_verified(
+        &mut self,
+        job_id: u64,
+        include_spill: bool,
+    ) -> (Option<JobCheckpoint>, Vec<usize>) {
+        let mut quarantined = Vec::new();
+        let mut index = 0usize;
+        if include_spill {
+            if let Some(bytes) = self.spill_bytes.get(&job_id) {
+                match decode_bytes(bytes) {
+                    Ok(ckpt) => return (Some(ckpt), quarantined),
+                    Err(_) => {
+                        quarantined.push(index);
+                        self.spill.remove(&job_id);
+                        self.spill_bytes.remove(&job_id);
+                    }
+                }
+                index += 1;
+            }
+        }
+        let mut found = None;
+        if let Some(gens) = self.generations.get_mut(&job_id) {
+            while let Some(bytes) = gens.first() {
+                match decode_bytes(bytes) {
+                    Ok(ckpt) => {
+                        found = Some(ckpt);
+                        break;
+                    }
+                    Err(_) => {
+                        quarantined.push(index);
+                        index += 1;
+                        gens.remove(0);
+                    }
+                }
+            }
+        }
+        match found {
+            Some(ckpt) => {
+                self.cache.insert(job_id, ckpt);
+            }
+            None => {
+                self.cache.remove(&job_id);
+            }
+        }
+        (found, quarantined)
     }
 
     /// Checkpoints currently held.
@@ -646,6 +862,15 @@ impl Default for CheckpointStore {
     fn default() -> Self {
         CheckpointStore::new()
     }
+}
+
+/// Parses a stored record's raw bytes (UTF-8, then the line format with
+/// its CRC check).
+fn decode_bytes(bytes: &[u8]) -> Result<JobCheckpoint, CheckpointError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| CheckpointError::Malformed {
+        line: format!("<invalid utf-8: {e}>"),
+    })?;
+    JobCheckpoint::decode(text)
 }
 
 #[cfg(test)]
@@ -717,6 +942,7 @@ mod tests {
         for bad in [
             "",
             "ckpt v2 job=1 progress=0 pos=fraction at=0",
+            "ckpt v3 job=1 progress=0 pos=fraction at=0 crc=0000000000000000",
             "ckpt v1 job=x progress=0 pos=fraction at=0",
             "ckpt v1 job=1 pos=fraction at=0",
             "ckpt v1 job=1 progress=0 pos=unknown:3 at=0",
@@ -724,6 +950,143 @@ mod tests {
         ] {
             assert!(JobCheckpoint::decode(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn legacy_v1_records_still_decode() {
+        let line = "ckpt v1 job=5 progress=3fd0000000000000 pos=hpl-panel:9 at=100";
+        let ckpt = JobCheckpoint::decode(line).expect("v1 has no checksum to check");
+        assert_eq!(ckpt.job_id, 5);
+        assert_eq!(ckpt.progress(), 0.25);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_caught_by_the_crc() {
+        let line = sample().encode();
+        for byte in 0..line.len() {
+            for bit in 0..8u8 {
+                let mut bytes = line.clone().into_bytes();
+                bytes[byte] ^= 1 << bit;
+                let flipped = match String::from_utf8(bytes) {
+                    Ok(s) => s,
+                    // A flip that breaks UTF-8 can't even reach decode
+                    // through the store, which treats it as malformed.
+                    Err(_) => continue,
+                };
+                assert!(
+                    JobCheckpoint::decode(&flipped).is_err(),
+                    "flip byte {byte} bit {bit} went unnoticed"
+                );
+            }
+        }
+        let err = {
+            let mut bytes = line.into_bytes();
+            bytes[10] ^= 1;
+            JobCheckpoint::decode(std::str::from_utf8(&bytes).unwrap()).unwrap_err()
+        };
+        assert!(
+            matches!(err, CheckpointError::Corrupt { .. }),
+            "a body flip reports as corruption, got {err}"
+        );
+        assert!(err.to_string().contains("crc64"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_generation_falls_back_to_the_previous_one() {
+        let t = SimTime::from_secs;
+        let mut store = CheckpointStore::new();
+        for (i, progress) in [0.2, 0.4, 0.6].into_iter().enumerate() {
+            let ckpt = JobCheckpoint::new(
+                7,
+                progress,
+                CheckpointPosition::HplPanel(i),
+                t(100 * (i as u64 + 1)),
+            );
+            store.save(ckpt).expect("saves");
+        }
+        assert_eq!(store.generations_retained(7), 3);
+
+        // A clean walk restores the newest record and quarantines nothing.
+        let (clean, bad) = store.restore_verified(7, true);
+        assert_eq!(clean.map(|c| c.progress()), Some(0.6));
+        assert!(bad.is_empty());
+
+        // Corrupt the newest generation: restore falls back one.
+        assert!(store.corrupt_chain(7, 0, 0));
+        let (fell_back, bad) = store.restore_verified(7, true);
+        assert_eq!(fell_back.map(|c| c.progress()), Some(0.4));
+        assert_eq!(bad, vec![0], "the poisoned generation is quarantined");
+        assert_eq!(store.generations_retained(7), 2);
+        assert_eq!(store.load_durable(7).map(|c| c.progress()), Some(0.4));
+
+        // Corrupt everything that remains: the walk comes up empty.
+        assert!(store.corrupt_chain(7, 0, 17));
+        assert!(store.corrupt_chain(7, 1, 91));
+        let (none, bad) = store.restore_verified(7, true);
+        assert!(none.is_none());
+        assert_eq!(bad, vec![0, 1]);
+        assert!(store.load_durable(7).is_none(), "cache holds no ghost");
+
+        // An empty chain reports nothing to corrupt.
+        assert!(!store.corrupt_chain(99, 0, 0));
+    }
+
+    #[test]
+    fn generation_history_is_capped() {
+        let mut store = CheckpointStore::new();
+        for i in 0..10u64 {
+            let ckpt = JobCheckpoint::new(
+                3,
+                i as f64 / 10.0,
+                CheckpointPosition::Fraction,
+                SimTime::from_secs(i),
+            );
+            store.save(ckpt).expect("saves");
+        }
+        assert_eq!(store.generations_retained(3), GENERATION_DEPTH);
+        store.remove(3);
+        assert_eq!(store.generations_retained(3), 0);
+    }
+
+    #[test]
+    fn corrupt_spill_survives_the_flush_and_is_caught_on_restore() {
+        let t = SimTime::from_secs;
+        let mut store = CheckpointStore::new();
+        store.save(sample()).expect("saves");
+        store.set_export_offline(t(100));
+        let newer = JobCheckpoint::new(
+            42,
+            0.75,
+            CheckpointPosition::HplPanel(160),
+            SimTime::from_secs(90),
+        );
+        store.spill_write(newer);
+        // The corruption lands in the node-local buffer (chain index 0);
+        // salt 240 flips a progress-mantissa digit so the damage is in the
+        // checksummed body rather than the framing.
+        assert!(store.corrupt_chain(42, 0, 240));
+
+        // A restore that can see the spill quarantines it and falls back
+        // to the durable record.
+        let mut probe = store.clone();
+        let (restored, bad) = probe.restore_verified(42, true);
+        assert_eq!(restored, Some(sample()));
+        assert_eq!(bad, vec![0]);
+        assert_eq!(probe.spilled_jobs(), 0, "the poisoned spill is gone");
+
+        // Flushing instead moves the poisoned bytes verbatim onto the
+        // export; the durable cache keeps the last record that verified.
+        store.clear_export_offline();
+        let (flushed, _) = store.flush_spill(t(100)).expect("export is back");
+        assert_eq!(flushed, 1);
+        assert_eq!(store.load_durable(42), Some(&sample()));
+        assert!(matches!(
+            store.reload(42),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        let (restored, bad) = store.restore_verified(42, false);
+        assert_eq!(restored, Some(sample()), "fallback skips the bad flush");
+        assert_eq!(bad, vec![0]);
     }
 
     #[test]

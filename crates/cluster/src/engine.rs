@@ -6,7 +6,7 @@
 //! step the engine, read the results out of the scheduler's accounting and
 //! the ExaMon store.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +25,9 @@ use cimone_soc::power::PowerModel;
 use cimone_soc::units::{Celsius, Energy, Power, SimDuration, SimTime};
 use cimone_soc::workload::Workload;
 
+use cimone_kernels::abft::AbftMode;
 use cimone_kernels::pool::{default_threads, WorkerPool};
+use cimone_monitor::scrub::ScrubPolicy;
 
 use cimone_net::switch::MgmtSwitch;
 
@@ -34,7 +36,7 @@ use crate::checkpoint::{
     CheckpointError, CheckpointPosition, CheckpointSchedule, CheckpointStore, JobCheckpoint,
 };
 use crate::dpm::{GovernorAction, ThermalGovernor};
-use crate::faults::{FaultKind, FaultPlan, FaultPlanError, FaultQueue};
+use crate::faults::{FaultKind, FaultPlan, FaultPlanError, FaultQueue, SdcTarget};
 use crate::healing::{
     CapAction, ControlAction, ControlPlane, PowerCapConfig, PowerCapGovernor, RecoveryConfig,
 };
@@ -140,6 +142,13 @@ pub struct EngineConfig {
     /// letting its boards crash. `None` reproduces the crash-only
     /// machine — a brownout takes both boards down for its span.
     pub power_cap: Option<PowerCapConfig>,
+    /// ABFT protection the jobs' kernels run with, governing how an
+    /// injected [`FaultKind::BitFlip`] plays out: `Off` lets the flip ride
+    /// to a wrong answer, `Detect` catches it (panel checksum or the
+    /// end-of-run residual) and restarts the job from its last committed
+    /// checkpoint, `Correct` repairs the poisoned column in place at the
+    /// cost of one panel's recompute.
+    pub abft: AbftMode,
 }
 
 impl Default for EngineConfig {
@@ -155,6 +164,7 @@ impl Default for EngineConfig {
             parallel_grain: 8,
             clock: ClockMode::FixedDt,
             power_cap: Some(PowerCapConfig::rv007_default()),
+            abft: AbftMode::Off,
         }
     }
 }
@@ -372,6 +382,50 @@ pub enum EngineEvent {
         /// The machine-wide budget that could not be met, watts.
         budget_watts: f64,
     },
+    /// A stored checkpoint record failed its CRC64 on restore and was
+    /// quarantined; the restore walked back to an older generation.
+    CheckpointCorrupt {
+        /// The job whose record was poisoned.
+        id: JobId,
+        /// Chain index of the quarantined record (0 = newest).
+        generation: usize,
+        /// When the corruption was discovered.
+        at: SimTime,
+    },
+    /// The ingestion scrub quarantined an implausible telemetry sample —
+    /// the monitoring-path signature of silent data corruption.
+    SdcSuspected {
+        /// The node whose sample was implausible.
+        node: usize,
+        /// The sample's own timestamp.
+        at: SimTime,
+        /// The implausible value.
+        value: f64,
+    },
+    /// ABFT caught a bit flip in a running job's live state; the job
+    /// restarts from its last committed checkpoint.
+    SdcDetected {
+        /// The poisoned job.
+        id: JobId,
+        /// When the check fired.
+        at: SimTime,
+    },
+    /// ABFT caught *and repaired* a bit flip in place; the job continues,
+    /// paying one panel of recompute.
+    SdcCorrected {
+        /// The repaired job.
+        id: JobId,
+        /// When.
+        at: SimTime,
+    },
+    /// An unprotected run carried a bit flip to completion: the job
+    /// finished with a silently wrong result.
+    SdcUndetected {
+        /// The job.
+        id: JobId,
+        /// When it finished.
+        at: SimTime,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -392,6 +446,12 @@ struct RunningJob {
     /// Checkpoint/restart state machine (idle unless the engine runs with
     /// a checkpointing RecoveryConfig).
     ckpt: CheckpointSchedule,
+    /// Injected bit flips poisoning the job's trailing matrix — caught by
+    /// ABFT's column checksums at the next panel boundary.
+    sdc_trailing: u32,
+    /// Injected bit flips in already-factored panels — invisible to the
+    /// panel checksums, caught only by the end-of-run residual.
+    sdc_factored: u32,
 }
 
 /// Outcome of one fast-forward microstep.
@@ -433,7 +493,11 @@ pub struct SimEngine {
     thermal: ThermalModel,
     power: PowerModel,
     scheduler: Scheduler,
-    running: HashMap<JobId, RunningJob>,
+    // Keyed by `JobId` in a *sorted* map: several pump loops iterate the
+    // running set and emit same-timestamp events per job, so iteration
+    // order is observable through the event log and must be deterministic
+    // for the bit-identity contract.
+    running: BTreeMap<JobId, RunningJob>,
     workloads: HashMap<JobId, ClusterWorkload>,
     accounting: AccountingLog,
     broker: Broker,
@@ -456,6 +520,16 @@ pub struct SimEngine {
     faults: FaultQueue,
     sensor_dropout_until: Vec<SimTime>,
     sensor_stuck_until: Vec<SimTime>,
+    /// While `now < until`, a node's published power samples leave the NIC
+    /// with their sign bit flipped (a [`FaultKind::PayloadCorruption`]
+    /// span). The RNG draw is untouched — only the wire value changes.
+    payload_corrupt_until: Vec<SimTime>,
+    /// Bit flips ABFT caught and rolled back to a checkpoint.
+    sdc_detected: usize,
+    /// Bit flips ABFT caught and repaired in place.
+    sdc_corrected: usize,
+    /// Bit flips an unprotected run carried to a silently wrong answer.
+    sdc_undetected: usize,
     /// Last published power per node, for stuck-at sensor faults.
     last_power: Vec<Option<f64>>,
     broker_loss_until: Option<SimTime>,
@@ -549,7 +623,8 @@ impl SimEngine {
         let nodes: Vec<ComputeNode> = (0..8).map(ComputeNode::new).collect();
         let schema = ExamonSchema::monte_cimone();
         let broker = Broker::new();
-        let collector = Collector::attach(&broker, "#".parse().expect("valid filter"));
+        let collector = Collector::attach(&broker, "#".parse().expect("valid filter"))
+            .with_scrub(ScrubPolicy::monte_cimone());
         // The engine's power samples already include temperature-dependent
         // leakage, so the thermal model's own feedback term is disabled to
         // avoid double-counting the runaway loop.
@@ -616,7 +691,7 @@ impl SimEngine {
             thermal,
             power,
             scheduler,
-            running: HashMap::new(),
+            running: BTreeMap::new(),
             workloads: HashMap::new(),
             accounting: AccountingLog::new(),
             broker,
@@ -633,6 +708,10 @@ impl SimEngine {
             faults: FaultQueue::default(),
             sensor_dropout_until: vec![SimTime::ZERO; n],
             sensor_stuck_until: vec![SimTime::ZERO; n],
+            payload_corrupt_until: vec![SimTime::ZERO; n],
+            sdc_detected: 0,
+            sdc_corrected: 0,
+            sdc_undetected: 0,
             last_power: vec![None; n],
             broker_loss_until: None,
             collector_offline_until: None,
@@ -764,6 +843,15 @@ impl SimEngine {
     /// Events so far.
     pub fn events(&self) -> &[EngineEvent] {
         &self.events
+    }
+
+    /// Lifetime silent-data-corruption outcome counters:
+    /// `(detected, corrected, undetected)`. Detected corruptions rolled the
+    /// job back to its last checkpoint, corrected ones were repaired in
+    /// place by the ABFT checksums, undetected ones finished the job with a
+    /// wrong result (only possible with [`AbftMode::Off`]).
+    pub fn sdc_counts(&self) -> (usize, usize, usize) {
+        (self.sdc_detected, self.sdc_corrected, self.sdc_undetected)
     }
 
     /// Switches the enclosure airflow (the paper's mitigation) in place.
@@ -1088,18 +1176,93 @@ impl SimEngine {
                 // Communication phases take `degrade`× longer.
                 speed /= 1.0 + job.comm_fraction * (degrade - 1.0);
             }
+            let before = job.progress;
             job.progress += dt.as_secs_f64() / job.duration.as_secs_f64() * speed;
+            // 2a. ABFT panel verification: a flip in the trailing matrix is
+            //     caught at the first panel boundary the job crosses after
+            //     the hit (the column-checksum check runs once per panel).
+            //     Flips in already-factored panels escape this check and
+            //     are only caught by the end-of-run residual below.
+            if job.sdc_trailing > 0 && self.config.abft != AbftMode::Off {
+                let panels =
+                    (job.duration.as_micros() / job.panel_cycle.as_micros().max(1)).max(1) as f64;
+                let crossed = (before * panels).floor() != (job.progress * panels).floor();
+                if crossed {
+                    job.sdc_trailing = 0;
+                    match self.config.abft {
+                        AbftMode::Detect => {
+                            // Detected but unrepairable: restart from the
+                            // last committed checkpoint.
+                            let saved = job.ckpt.committed();
+                            let wasted = (job.progress - saved).max(0.0);
+                            if let Some(rec) = self.recovery.as_mut() {
+                                rec.wasted_node_secs += wasted
+                                    * job.duration.as_secs_f64()
+                                    * job.node_indices.len() as f64;
+                            }
+                            job.progress = saved;
+                            self.sdc_detected += 1;
+                            self.events.push(EngineEvent::SdcDetected {
+                                id: job.id,
+                                at: self.now,
+                            });
+                        }
+                        AbftMode::Correct => {
+                            // Repaired in place: one panel of recompute.
+                            job.progress = (job.progress - 1.0 / panels).max(0.0);
+                            self.sdc_corrected += 1;
+                            self.events.push(EngineEvent::SdcCorrected {
+                                id: job.id,
+                                at: self.now,
+                            });
+                        }
+                        AbftMode::Off => unreachable!("guarded above"),
+                    }
+                }
+            }
         }
         // 2b. Checkpoint state machine: commit finished writes, begin due
         //     ones.
         self.advance_checkpoints();
-        let finished: Vec<JobId> = self
+        let mut finished: Vec<JobId> = self
             .running
             .values()
             .filter(|job| job.progress >= 1.0)
             .map(|job| job.id)
             .collect();
+        // Deterministic completion order (HashMap iteration is not).
+        finished.sort_unstable();
         for id in finished {
+            // 2c. End-of-run residual check: a poisoned run that reached
+            //     completion either fails the residual (ABFT on — restart
+            //     from the last checkpoint, flip recomputed away) or ships
+            //     a silently wrong answer (ABFT off).
+            let poisoned = {
+                let job = &self.running[&id];
+                job.sdc_trailing > 0 || job.sdc_factored > 0
+            };
+            if poisoned {
+                if self.config.abft == AbftMode::Off {
+                    self.sdc_undetected += 1;
+                    self.events
+                        .push(EngineEvent::SdcUndetected { id, at: self.now });
+                } else {
+                    let job = self.running.get_mut(&id).expect("job is running");
+                    job.sdc_trailing = 0;
+                    job.sdc_factored = 0;
+                    let saved = job.ckpt.committed();
+                    let wasted = (job.progress - saved).max(0.0);
+                    job.progress = saved;
+                    let (duration, nodes) = (job.duration.as_secs_f64(), job.node_indices.len());
+                    if let Some(rec) = self.recovery.as_mut() {
+                        rec.wasted_node_secs += wasted * duration * nodes as f64;
+                    }
+                    self.sdc_detected += 1;
+                    self.events
+                        .push(EngineEvent::SdcDetected { id, at: self.now });
+                    continue; // the job re-runs the poisoned stretch
+                }
+            }
             self.finish_job(id, JobState::Completed);
         }
         // Wall-time enforcement: Slurm kills jobs at their limit.
@@ -1158,6 +1321,15 @@ impl SimEngine {
                     let watts = match (stuck, self.last_power[i]) {
                         (true, Some(frozen)) => frozen,
                         _ => measured,
+                    };
+                    // An active payload-corruption span flips the sign bit
+                    // of the value on the wire (after the RNG draw, so the
+                    // noise stream is untouched): the reading becomes
+                    // implausible and the ingestion scrub quarantines it.
+                    let watts = if self.now < self.payload_corrupt_until[i] {
+                        f64::from_bits(watts.to_bits() ^ (1u64 << 63))
+                    } else {
+                        watts
                     };
                     let topic = self.power_topic(i);
                     power_messages.push((topic, Payload::new(watts, self.now)));
@@ -1281,10 +1453,35 @@ impl SimEngine {
             if let Some(collector) = &mut self.collector {
                 collector.pump(&mut self.store);
             }
+            self.drain_scrub_quarantine();
         }
 
         self.ticks_stepped += 1;
         self.now += dt;
+    }
+
+    /// Turns every sample the ingestion scrub quarantined since the last
+    /// drain into an [`EngineEvent::SdcSuspected`], in arrival order. The
+    /// event carries the sample's own timestamp, so the one span-end pump
+    /// of the monitored fast-forward yields the same events as per-tick
+    /// pumping.
+    fn drain_scrub_quarantine(&mut self) {
+        let Some(collector) = self.collector.as_mut() else {
+            return;
+        };
+        for (topic, payload) in collector.take_quarantined() {
+            let node = topic
+                .segments()
+                .iter()
+                .find(|s| s.starts_with("mc-node-"))
+                .map(|s| hostname_index(s))
+                .expect("scrubbed topics carry a node segment");
+            self.events.push(EngineEvent::SdcSuspected {
+                node,
+                at: payload.timestamp,
+                value: payload.value,
+            });
+        }
     }
 
     /// Phase 5b: the thermal governor's per-node decision, shared by the
@@ -1843,6 +2040,12 @@ impl SimEngine {
                         (true, Some(frozen)) => frozen,
                         _ => measured,
                     };
+                    // Same wire-level sign flip as the full step's phase 4.
+                    let watts = if self.now < self.payload_corrupt_until[i] {
+                        f64::from_bits(watts.to_bits() ^ (1u64 << 63))
+                    } else {
+                        watts
+                    };
                     batch.push((*topic, Payload::new(watts, self.now)));
                     if !stuck {
                         self.last_power[i] = Some(measured);
@@ -1923,6 +2126,7 @@ impl SimEngine {
             if let Some(collector) = &mut self.collector {
                 collector.pump(&mut self.store);
             }
+            self.drain_scrub_quarantine();
         }
         self.now > start
     }
@@ -2090,6 +2294,8 @@ impl SimEngine {
                 mem_per_node,
                 energy: Energy::ZERO,
                 ckpt: CheckpointSchedule::new(next_ckpt_at, resumed.unwrap_or(0.0)),
+                sdc_trailing: 0,
+                sdc_factored: 0,
             },
         );
     }
@@ -2178,10 +2384,10 @@ impl SimEngine {
         }
         if self.collector_offline_until.is_some_and(|t| self.now >= t) {
             // Reconnect ingestion; everything published meanwhile is gone.
-            self.collector = Some(Collector::attach(
-                &self.broker,
-                "#".parse().expect("valid filter"),
-            ));
+            self.collector = Some(
+                Collector::attach(&self.broker, "#".parse().expect("valid filter"))
+                    .with_scrub(ScrubPolicy::monte_cimone()),
+            );
             self.collector_offline_until = None;
         }
         if self.switch.restore_due(self.now) {
@@ -2382,6 +2588,49 @@ impl SimEngine {
                 }
                 self.refresh_airflow_degradation();
             }
+            FaultKind::BitFlip { node, target, .. } => {
+                // The flip poisons a job actually computing on the struck
+                // node. HashMap iteration order is nondeterministic, so the
+                // victim is the *lowest-id* running job there — a pure
+                // function of engine state, identical in both clock modes.
+                let victim = self
+                    .running
+                    .values()
+                    .filter(|job| job.node_indices.contains(&node))
+                    .map(|job| job.id)
+                    .min();
+                if let Some(id) = victim {
+                    let job = self.running.get_mut(&id).expect("victim is running");
+                    match target {
+                        SdcTarget::TrailingMatrix => job.sdc_trailing += 1,
+                        SdcTarget::FactoredPanel => job.sdc_factored += 1,
+                    }
+                }
+                // An idle node has no live factorisation: the flip lands in
+                // memory nothing reads and is harmless by construction.
+            }
+            FaultKind::CheckpointCorruption { node, generation } => {
+                if let Some(rec) = self.recovery.as_mut() {
+                    let victim = self
+                        .running
+                        .values()
+                        .filter(|job| job.node_indices.contains(&node))
+                        .map(|job| job.id)
+                        .min();
+                    if let Some(id) = victim {
+                        // Deterministic bit choice: a pure function of the
+                        // engine seed and the victim's identity.
+                        let salt = self.config.seed ^ id.0.rotate_left(17) ^ generation as u64;
+                        rec.store.corrupt_chain(id.0, generation, salt);
+                    }
+                }
+                // The rot is silent here: it surfaces (as a
+                // `CheckpointCorrupt` event) only when a restore walks the
+                // chain and the CRC fails.
+            }
+            FaultKind::PayloadCorruption { node, span } => {
+                self.payload_corrupt_until[node] = self.now + span;
+            }
         }
         Vec::new()
     }
@@ -2443,12 +2692,14 @@ impl SimEngine {
                 // durable on the export, and the extra loss is attributed
                 // as wasted work (the crash landed inside the outage
                 // window).
-                let mut saved = run.ckpt.committed();
+                let mut include_spill = false;
                 if rec.store.spilled(id.0).is_some() {
                     let holder = rec.spill_holders.get(&id.0).copied();
                     let holder_ok =
                         holder.is_some_and(|h| rec.node_alive[h] && !rec.control.is_fenced(h));
-                    if !holder_ok {
+                    if holder_ok {
+                        include_spill = true;
+                    } else {
                         rec.store.drop_spill(id.0);
                         Self::release_spill_holder(
                             &mut rec.spill_holders,
@@ -2456,13 +2707,33 @@ impl SimEngine {
                             &self.nodes,
                             id.0,
                         );
-                        saved = rec
-                            .store
-                            .load_durable(id.0)
-                            .map(|c| c.progress())
-                            .unwrap_or(0.0);
                     }
                 }
+                // The restart point is read back through the CRC-verifying
+                // chain walk, never trusted from memory: a record rotted on
+                // the export (or in the spill buffer) is quarantined here
+                // and the job falls back to the next-newest generation that
+                // still verifies. On an uncorrupted store this returns
+                // exactly `run.ckpt.committed()`.
+                let (verified, quarantined) = rec.store.restore_verified(id.0, include_spill);
+                for generation in quarantined {
+                    self.events.push(EngineEvent::CheckpointCorrupt {
+                        id,
+                        generation,
+                        at: self.now,
+                    });
+                }
+                if verified.is_none() && include_spill {
+                    // The spill was the quarantined record: its holder mark
+                    // is stale now that the buffer is gone.
+                    Self::release_spill_holder(
+                        &mut rec.spill_holders,
+                        &mut self.scheduler,
+                        &self.nodes,
+                        id.0,
+                    );
+                }
+                let saved = verified.map(|c| c.progress()).unwrap_or(0.0);
                 let wasted = (run.progress - saved).max(0.0);
                 rec.wasted_node_secs +=
                     wasted * run.duration.as_secs_f64() * run.node_indices.len() as f64;

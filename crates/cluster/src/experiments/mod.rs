@@ -22,6 +22,7 @@
 //! | [`recovery`] | extension: checkpoint/restart + heartbeat detection under crashes |
 //! | [`degradation`] | extension: blade fault domains — brownout capping, blade placement, fan loss |
 //! | [`rack_outage`] | extension: rack fault domains — switch outage, /ckpt export failure, multi-rail arbitration |
+//! | [`sdc`] | extension: silent data corruption — ABFT kernels, CRC-verified checkpoints, telemetry scrub |
 
 pub mod availability;
 pub mod boot_trace;
@@ -35,6 +36,7 @@ pub mod power_traces;
 pub mod qe_lax;
 pub mod rack_outage;
 pub mod recovery;
+pub mod sdc;
 pub mod software_stack;
 pub mod stream_table;
 pub mod thermal_runaway;

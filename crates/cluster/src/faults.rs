@@ -18,6 +18,19 @@ use cimone_soc::units::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::GENERATION_DEPTH;
+
+/// Which live kernel state a [`FaultKind::BitFlip`] lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SdcTarget {
+    /// The trailing (not yet factored) submatrix — the region the
+    /// per-panel ABFT checksum verification covers.
+    TrailingMatrix,
+    /// An already-factored panel (final `L`/`U` state): silent at panel
+    /// granularity, caught only by the end-of-run residual verification.
+    FactoredPanel,
+}
+
 /// One injectable fault (or recovery).
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {
@@ -147,6 +160,40 @@ pub enum FaultKind {
         /// How long the fan stays dead.
         span: SimDuration,
     },
+    /// A single bit silently flips in the live kernel state of the job
+    /// running on `node` — the non-ECC DDR failure mode of the FU740
+    /// blades. Nothing crashes: whether anyone ever notices depends on
+    /// the ABFT mode the job runs under.
+    BitFlip {
+        /// 0-based node index the corrupted memory belongs to.
+        node: usize,
+        /// Which region of the factorisation state is hit.
+        target: SdcTarget,
+        /// Flat word index into the kernel state (reduced modulo its
+        /// size by the kernel-level injection).
+        word: usize,
+        /// Bit position within the word, in `0..64`.
+        bit: u32,
+    },
+    /// A stored checkpoint snapshot silently corrupts on disk: one bit of
+    /// `generation` (0 = newest) of the record chain belonging to the job
+    /// running on `node` flips. Caught only if restore verifies.
+    CheckpointCorruption {
+        /// 0-based node index whose job's checkpoint chain is hit.
+        node: usize,
+        /// Which generation of the chain corrupts (0 = newest, bounded
+        /// by the store's retained depth).
+        generation: usize,
+    },
+    /// The node's telemetry path corrupts in flight for `span`: published
+    /// power samples carry a bit-flipped (sign-flipped) value. Samples
+    /// keep arriving on time — only a plausibility scrub can tell.
+    PayloadCorruption {
+        /// 0-based node index whose samples corrupt.
+        node: usize,
+        /// How long the corruption window lasts.
+        span: SimDuration,
+    },
 }
 
 /// A structural defect in a [`FaultPlan`], caught by
@@ -216,6 +263,35 @@ pub enum FaultPlanError {
         /// Start of the machine-wide brownout.
         rack_at: SimTime,
     },
+    /// A [`FaultKind::BitFlip`]'s bit position is not a valid `f64` bit.
+    BitOutOfRange {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The targeted node.
+        node: usize,
+        /// The rejected bit position.
+        bit: u32,
+    },
+    /// A [`FaultKind::CheckpointCorruption`] targets a generation deeper
+    /// than the store retains.
+    GenerationOutOfRange {
+        /// When the offending event fires.
+        at: SimTime,
+        /// The targeted node.
+        node: usize,
+        /// The rejected generation index.
+        generation: usize,
+    },
+    /// Two payload-corruption windows overlap on one node; the telemetry
+    /// path carries one corruption state at a time.
+    OverlappingPayloadCorruption {
+        /// The doubly-corrupted node index.
+        node: usize,
+        /// Start of the earlier window.
+        first_at: SimTime,
+        /// Start of the later, overlapping window.
+        second_at: SimTime,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -279,6 +355,31 @@ impl std::fmt::Display for FaultPlanError {
                 "machine-wide brownout at t={rack_at} overlaps the per-rail \
                  brownout at t={rail_at} on blade {blade}; the rail would \
                  carry two budgets at once"
+            ),
+            FaultPlanError::BitOutOfRange { at, node, bit } => write!(
+                f,
+                "bit flip at t={at} on node {node} targets bit {bit}, \
+                 outside an f64's 0..64"
+            ),
+            FaultPlanError::GenerationOutOfRange {
+                at,
+                node,
+                generation,
+            } => write!(
+                f,
+                "checkpoint corruption at t={at} on node {node} targets \
+                 generation {generation}, but the store retains only \
+                 {GENERATION_DEPTH} generations (indices 0..{GENERATION_DEPTH})"
+            ),
+            FaultPlanError::OverlappingPayloadCorruption {
+                node,
+                first_at,
+                second_at,
+            } => write!(
+                f,
+                "payload-corruption windows at t={first_at} and \
+                 t={second_at} overlap on node {node}; the telemetry path \
+                 carries one corruption state at a time"
             ),
         }
     }
@@ -353,25 +454,35 @@ impl FaultPlan {
     }
 
     /// Checks the plan against a machine of `node_count` nodes in
-    /// `blade_count` blades: every node and blade index must be in range,
-    /// every brownout `budget_frac` in `(0, 1]`, no two brownouts may
-    /// overlap on the same rail, and machine-wide brownouts may overlap
-    /// neither each other nor any per-rail brownout. Returns the first
-    /// defect in schedule order, as a descriptive [`FaultPlanError`],
-    /// instead of letting the engine panic later.
+    /// `blade_count` blades: every node and blade index must be in range
+    /// (including the node-scoped SDC faults — a machine-scoped plan
+    /// built before the topology was known is caught here rather than
+    /// panicking mid-run), every brownout `budget_frac` in `(0, 1]`, no
+    /// two brownouts may overlap on the same rail, machine-wide brownouts
+    /// may overlap neither each other nor any per-rail brownout, bit-flip
+    /// positions must address an `f64`, checkpoint corruption must target
+    /// a retained generation, and payload-corruption windows must not
+    /// overlap per node. Returns the first defect in schedule order, as a
+    /// descriptive [`FaultPlanError`], instead of letting the engine
+    /// panic later.
     pub fn validate(&self, node_count: usize, blade_count: usize) -> Result<(), FaultPlanError> {
         // End time of the last seen brownout per blade (and the last
         // machine-wide one); the plan is time-sorted, so one pass catches
-        // every overlap.
+        // every overlap. Payload-corruption windows get the same per-node
+        // treatment.
         let mut rail_busy: Vec<Option<(SimTime, SimTime)>> = vec![None; blade_count];
         let mut rack_busy: Option<(SimTime, SimTime)> = None;
+        let mut payload_busy: Vec<Option<(SimTime, SimTime)>> = vec![None; node_count];
         for e in &self.events {
             let node = match e.kind {
                 FaultKind::NodeCrash { node }
                 | FaultKind::NodeRecover { node }
                 | FaultKind::SensorDropout { node, .. }
                 | FaultKind::SensorStuck { node, .. }
-                | FaultKind::SpuriousThermalTrip { node } => Some(node),
+                | FaultKind::SpuriousThermalTrip { node }
+                | FaultKind::BitFlip { node, .. }
+                | FaultKind::CheckpointCorruption { node, .. }
+                | FaultKind::PayloadCorruption { node, .. } => Some(node),
                 FaultKind::Partition { a, b, .. } => {
                     for n in [a, b] {
                         if n >= node_count {
@@ -470,6 +581,37 @@ impl FaultPlan {
                     }
                 }
                 rack_busy = Some((e.at, e.at + span));
+            }
+            match e.kind {
+                FaultKind::BitFlip { node, bit, .. } if bit >= 64 => {
+                    return Err(FaultPlanError::BitOutOfRange {
+                        at: e.at,
+                        node,
+                        bit,
+                    });
+                }
+                FaultKind::CheckpointCorruption { node, generation }
+                    if generation >= GENERATION_DEPTH =>
+                {
+                    return Err(FaultPlanError::GenerationOutOfRange {
+                        at: e.at,
+                        node,
+                        generation,
+                    });
+                }
+                FaultKind::PayloadCorruption { node, span } => {
+                    if let Some((first_at, busy_until)) = payload_busy[node] {
+                        if e.at < busy_until {
+                            return Err(FaultPlanError::OverlappingPayloadCorruption {
+                                node,
+                                first_at,
+                                second_at: e.at,
+                            });
+                        }
+                    }
+                    payload_busy[node] = Some((e.at, e.at + span));
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -914,6 +1056,138 @@ mod tests {
             rack_then_rail.validate(8, 4).unwrap_err(),
             FaultPlanError::RackRailBrownoutConflict { blade: 0, .. }
         ));
+    }
+
+    #[test]
+    fn validate_covers_the_sdc_fault_domain() {
+        let t = SimTime::from_secs;
+        // A well-formed SDC plan: one flip per region, a checkpoint
+        // corruption, and disjoint payload windows on two nodes.
+        let plan = FaultPlan::new()
+            .with(
+                t(10),
+                FaultKind::BitFlip {
+                    node: 3,
+                    target: SdcTarget::TrailingMatrix,
+                    word: 12345,
+                    bit: 62,
+                },
+            )
+            .with(
+                t(20),
+                FaultKind::BitFlip {
+                    node: 4,
+                    target: SdcTarget::FactoredPanel,
+                    word: 99,
+                    bit: 51,
+                },
+            )
+            .with(
+                t(30),
+                FaultKind::CheckpointCorruption {
+                    node: 1,
+                    generation: 0,
+                },
+            )
+            .with(
+                t(40),
+                FaultKind::PayloadCorruption {
+                    node: 5,
+                    span: SimDuration::from_secs(20),
+                },
+            )
+            .with(
+                t(45),
+                FaultKind::PayloadCorruption {
+                    node: 6,
+                    span: SimDuration::from_secs(20),
+                },
+            )
+            .with(
+                t(70),
+                FaultKind::PayloadCorruption {
+                    node: 5,
+                    span: SimDuration::from_secs(5),
+                },
+            );
+        assert_eq!(plan.validate(8, 4), Ok(()));
+
+        // Node range covers every SDC variant — the machine-scoped-plan
+        // fix: an index valid on a bigger machine is rejected on this one.
+        for kind in [
+            FaultKind::BitFlip {
+                node: 8,
+                target: SdcTarget::TrailingMatrix,
+                word: 0,
+                bit: 0,
+            },
+            FaultKind::CheckpointCorruption {
+                node: 11,
+                generation: 0,
+            },
+            FaultKind::PayloadCorruption {
+                node: 9,
+                span: SimDuration::from_secs(1),
+            },
+        ] {
+            let plan = FaultPlan::new().with(t(1), kind);
+            assert!(
+                matches!(
+                    plan.validate(8, 4).unwrap_err(),
+                    FaultPlanError::NodeOutOfRange { .. }
+                ),
+                "node-scoped SDC fault must be range-checked"
+            );
+        }
+
+        // Bit positions beyond an f64 are rejected.
+        let plan = FaultPlan::new().with(
+            t(1),
+            FaultKind::BitFlip {
+                node: 0,
+                target: SdcTarget::TrailingMatrix,
+                word: 0,
+                bit: 64,
+            },
+        );
+        let err = plan.validate(8, 4).unwrap_err();
+        assert!(matches!(err, FaultPlanError::BitOutOfRange { bit: 64, .. }));
+        assert!(err.to_string().contains("bit 64"), "{err}");
+
+        // Generations deeper than the retained chain are rejected.
+        let plan = FaultPlan::new().with(
+            t(1),
+            FaultKind::CheckpointCorruption {
+                node: 0,
+                generation: GENERATION_DEPTH,
+            },
+        );
+        let err = plan.validate(8, 4).unwrap_err();
+        assert!(matches!(err, FaultPlanError::GenerationOutOfRange { .. }));
+        assert!(err.to_string().contains("retains"), "{err}");
+
+        // Overlapping payload windows on one node are ambiguous…
+        let plan = FaultPlan::new()
+            .with(
+                t(10),
+                FaultKind::PayloadCorruption {
+                    node: 2,
+                    span: SimDuration::from_secs(60),
+                },
+            )
+            .with(
+                t(40),
+                FaultKind::PayloadCorruption {
+                    node: 2,
+                    span: SimDuration::from_secs(10),
+                },
+            );
+        let err = plan.validate(8, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::OverlappingPayloadCorruption { node: 2, .. }
+        ));
+        assert!(err.to_string().contains("overlap"), "{err}");
     }
 
     #[test]

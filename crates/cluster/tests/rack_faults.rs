@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use cimone_cluster::engine::{
     ClockMode, ClusterWorkload, EngineConfig, EngineEvent, JobRequest, SimEngine,
 };
-use cimone_cluster::faults::{FaultKind, FaultPlan};
+use cimone_cluster::faults::{FaultKind, FaultPlan, SdcTarget};
 use cimone_cluster::healing::{CheckpointConfig, RecoveryConfig};
 use cimone_soc::units::{SimDuration, SimTime};
 use cimone_soc::workload::Workload;
@@ -395,27 +395,44 @@ proptest! {
 }
 
 /// A random fault event for [`FaultPlan::validate`] fuzzing — including
-/// out-of-range nodes, blades and budgets, and overlapping windows.
+/// out-of-range nodes, blades, budgets, bits and generations, and
+/// overlapping windows (brownout and payload-corruption alike).
 fn arb_fault() -> impl Strategy<Value = FaultKind> {
-    (0u8..8, 0usize..12, 0usize..6, -0.5f64..1.5, 1u64..900).prop_map(
-        |(kind, node, blade, budget_frac, secs)| {
-            let span = SimDuration::from_secs(secs);
-            match kind {
-                0 => FaultKind::NodeCrash { node },
-                1 => FaultKind::NodeRecover { node },
-                2 => FaultKind::RailBrownout {
-                    blade,
-                    budget_frac,
-                    span,
-                },
-                3 => FaultKind::MultiRailBrownout { budget_frac, span },
-                4 => FaultKind::SwitchOutage { span },
-                5 => FaultKind::NfsExportDown { span },
-                6 => FaultKind::FanFailure { blade, span },
-                _ => FaultKind::PsuFailure { blade },
-            }
-        },
+    (
+        (0u8..11, 0usize..12, 0usize..6, -0.5f64..1.5, 1u64..900),
+        (0u32..80, 0usize..8),
     )
+        .prop_map(
+            |((kind, node, blade, budget_frac, secs), (bit, generation))| {
+                let span = SimDuration::from_secs(secs);
+                match kind {
+                    0 => FaultKind::NodeCrash { node },
+                    1 => FaultKind::NodeRecover { node },
+                    2 => FaultKind::RailBrownout {
+                        blade,
+                        budget_frac,
+                        span,
+                    },
+                    3 => FaultKind::MultiRailBrownout { budget_frac, span },
+                    4 => FaultKind::SwitchOutage { span },
+                    5 => FaultKind::NfsExportDown { span },
+                    6 => FaultKind::FanFailure { blade, span },
+                    7 => FaultKind::BitFlip {
+                        node,
+                        target: if secs % 2 == 0 {
+                            SdcTarget::TrailingMatrix
+                        } else {
+                            SdcTarget::FactoredPanel
+                        },
+                        word: blade * 4099,
+                        bit,
+                    },
+                    8 => FaultKind::CheckpointCorruption { node, generation },
+                    9 => FaultKind::PayloadCorruption { node, span },
+                    _ => FaultKind::PsuFailure { blade },
+                }
+            },
+        )
 }
 
 proptest! {

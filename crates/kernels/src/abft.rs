@@ -1,0 +1,640 @@
+//! Algorithm-based fault tolerance (ABFT) for the blocked LU and DGEMM
+//! paths — Huang–Abraham column checksums against silent data corruption.
+//!
+//! Monte Cimone's FU740 blades carry non-ECC DDR, so a bit can flip in a
+//! live panel and nothing crashes: the run completes and only the residual
+//! betrays it, hours later. ABFT closes that window at panel granularity.
+//! Before each trailing update the factorisation records the column sums
+//! of the trailing block and of the `L21` panel; after the update the sum
+//! of every trailing column must equal the checksum image of the same
+//! update (`s′_j = s_j − Σ_p lsum_p·u_pj`). A mismatch localises the
+//! corruption to one column of one panel, and [`AbftMode::Correct`]
+//! rebuilds exactly that column from a pre-update snapshot by replaying
+//! the identical per-element operation chain — so a repaired run is
+//! **bit-identical** to a clean one.
+//!
+//! All checksum arithmetic uses Neumaier compensated summation, keeping
+//! the verification tolerance near `kb·ε·scale` instead of `n·ε·scale`;
+//! every flip large enough to move the HPL residual sits orders of
+//! magnitude above it.
+
+use crate::lu::{
+    apply_deferred_swaps, factor_panel, solve_block_row, update_trailing, update_trailing_parallel,
+    LuError, LuFactorization,
+};
+use crate::matrix::Matrix;
+use crate::pool::WorkerPool;
+
+/// How much protection the checksummed kernels apply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AbftMode {
+    /// No checksums: the unprotected baseline path.
+    #[default]
+    Off,
+    /// Maintain and verify checksums; report mismatches but leave the
+    /// corrupted data in place.
+    Detect,
+    /// Verify, then rebuild any mismatching column from its pre-update
+    /// snapshot (bitwise equal to a clean run).
+    Correct,
+}
+
+/// What the checksummed kernels observed and spent.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AbftReport {
+    /// Panels whose trailing update was verified.
+    pub panels_verified: usize,
+    /// Column checksum mismatches raised.
+    pub mismatches: usize,
+    /// Columns rebuilt (and re-verified clean) in [`AbftMode::Correct`].
+    pub columns_recomputed: usize,
+    /// Arithmetic spent maintaining and verifying checksums.
+    pub checksum_flops: f64,
+    /// Arithmetic wasted rebuilding corrupted columns.
+    pub recompute_flops: f64,
+}
+
+impl AbftReport {
+    /// Checksum + recompute work relative to `base_flops` (the protected
+    /// kernel's own FLOP count): the ABFT overhead fraction.
+    pub fn overhead_vs(&self, base_flops: f64) -> f64 {
+        if base_flops <= 0.0 {
+            return 0.0;
+        }
+        (self.checksum_flops + self.recompute_flops) / base_flops
+    }
+
+    /// Folds another report into this one.
+    pub fn merge(&mut self, other: &AbftReport) {
+        self.panels_verified += other.panels_verified;
+        self.mismatches += other.mismatches;
+        self.columns_recomputed += other.columns_recomputed;
+        self.checksum_flops += other.checksum_flops;
+        self.recompute_flops += other.recompute_flops;
+    }
+}
+
+/// A deterministic single-bit fault against the factorisation's live
+/// state: after panel `panel`'s trailing update, bit `bit % 64` of word
+/// `word % n²` of the in-place factors is flipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdcInjection {
+    /// Zero-based panel index after whose update the flip lands.
+    pub panel: usize,
+    /// Flat column-major word index into the matrix (taken modulo `n²`).
+    pub word: usize,
+    /// Bit position within the word (taken modulo 64).
+    pub bit: u32,
+}
+
+/// Neumaier compensated accumulator: exact enough that the verification
+/// tolerance is set by the *update's* rounding, not the summation's.
+#[derive(Debug, Clone, Copy, Default)]
+struct Neumaier {
+    sum: f64,
+    comp: f64,
+}
+
+impl Neumaier {
+    fn seeded(v: f64) -> Self {
+        Neumaier { sum: v, comp: 0.0 }
+    }
+
+    fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// Flips one bit of the matrix backing store in place.
+fn flip_bit(a: &mut Matrix, word: usize, bit: u32) {
+    let data = a.as_mut_slice();
+    let idx = word % data.len();
+    data[idx] = f64::from_bits(data[idx].to_bits() ^ (1u64 << (bit % 64)));
+}
+
+/// Verification tolerance for one trailing column: the update performs
+/// `kb` multiply-accumulates per element, so the float drift between the
+/// direct sum and the checksum image is bounded by `~kb·ε` times the
+/// column's absolute mass. The `+4` and factor 8 absorb the compensated
+/// sums' own residue and the dot products on the checksum side.
+fn column_tolerance(kb: usize, abs_scale: f64) -> f64 {
+    8.0 * f64::EPSILON * (kb as f64 + 4.0) * abs_scale + 1e-290
+}
+
+/// Blocked LU with Huang–Abraham panel checksums.
+///
+/// Identical arithmetic to [`LuFactorization::factor`] (serial) or
+/// [`LuFactorization::factor_parallel`] (when `pool` is given): the
+/// checksum passes only *read* the factors, and a [`AbftMode::Correct`]
+/// repair replays the exact per-element update chain, so the returned
+/// factors are bit-identical to the unprotected path on a clean run —
+/// at any worker count.
+///
+/// `inject` plants a deterministic single-bit flip after the named
+/// panel's update (the SDC experiments' fault model); `None` runs clean.
+///
+/// # Errors
+///
+/// Returns [`LuError::NotSquare`] for rectangular inputs and
+/// [`LuError::Singular`] when an exact zero pivot appears.
+///
+/// # Panics
+///
+/// Panics if `block` is zero.
+pub fn factor_protected(
+    mut a: Matrix,
+    block: usize,
+    mode: AbftMode,
+    pool: Option<&WorkerPool>,
+    inject: Option<SdcInjection>,
+) -> Result<(LuFactorization, AbftReport), LuError> {
+    assert!(block > 0, "block size must be positive");
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LuError::NotSquare {
+            rows: n,
+            cols: a.cols(),
+        });
+    }
+    let mut pivots = vec![0usize; n];
+    let mut report = AbftReport::default();
+    let protect = mode != AbftMode::Off;
+    let mut snapshot: Vec<f64> = Vec::new();
+    let mut panel_index = 0usize;
+
+    for k in (0..n).step_by(block) {
+        let kb = block.min(n - k);
+        factor_panel(&mut a, k, kb, &mut pivots)?;
+        let t = n - (k + kb);
+        if t == 0 {
+            if matches!(inject, Some(i) if i.panel == panel_index) {
+                let i = inject.expect("just matched");
+                flip_bit(&mut a, i.word, i.bit);
+            }
+            panel_index += 1;
+            continue;
+        }
+
+        // Checksums are taken *after* the panel factorisation: its
+        // deferred-pivot pass swaps trailing-block rows across the
+        // `k+kb` boundary, so earlier sums would not survive it.
+        let mut s_pre = vec![0.0f64; t];
+        let mut s_abs = vec![0.0f64; t];
+        let mut lsum = vec![0.0f64; kb];
+        let mut labs = vec![0.0f64; kb];
+        if protect {
+            for (j, (s, sa)) in s_pre.iter_mut().zip(s_abs.iter_mut()).enumerate() {
+                let col = &a.col(k + kb + j)[k + kb..n];
+                let mut acc = Neumaier::default();
+                let mut abs = 0.0f64;
+                for &v in col {
+                    acc.add(v);
+                    abs += v.abs();
+                }
+                *s = acc.value();
+                *sa = abs;
+            }
+            for (p, (s, sa)) in lsum.iter_mut().zip(labs.iter_mut()).enumerate() {
+                let col = &a.col(k + p)[k + kb..n];
+                let mut acc = Neumaier::default();
+                let mut abs = 0.0f64;
+                for &v in col {
+                    acc.add(v);
+                    abs += v.abs();
+                }
+                *s = acc.value();
+                *sa = abs;
+            }
+            if mode == AbftMode::Correct {
+                snapshot.clear();
+                snapshot.reserve(t * t);
+                for j in 0..t {
+                    snapshot.extend_from_slice(&a.col(k + kb + j)[k + kb..n]);
+                }
+            }
+        }
+
+        match pool {
+            Some(p) => update_trailing_parallel(&mut a, k, kb, p),
+            None => {
+                solve_block_row(&mut a, k, kb);
+                update_trailing(&mut a, k, kb);
+            }
+        }
+
+        if matches!(inject, Some(i) if i.panel == panel_index) {
+            let i = inject.expect("just matched");
+            flip_bit(&mut a, i.word, i.bit);
+        }
+
+        if protect {
+            report.checksum_flops += (9 * t * t + 9 * t * kb) as f64;
+            for jj in k + kb..n {
+                let (pred, abs_scale) = {
+                    let col = a.col(jj);
+                    let mut pred = Neumaier::seeded(s_pre[jj - k - kb]);
+                    let mut dot_abs = 0.0f64;
+                    for (p, (&s, &sa)) in lsum.iter().zip(labs.iter()).enumerate() {
+                        let u = col[k + p];
+                        pred.add(-(s * u));
+                        dot_abs += sa * u.abs();
+                    }
+                    (pred.value(), s_abs[jj - k - kb] + 2.0 * dot_abs)
+                };
+                let tol = column_tolerance(kb, abs_scale);
+                let actual = trailing_sum(&a, jj, k + kb);
+                let delta = (actual - pred).abs();
+                // A NaN delta is a mismatch: corruption can turn sums into
+                // NaN, which every ordered comparison would wave through.
+                if delta > tol || delta.is_nan() {
+                    report.mismatches += 1;
+                    if mode == AbftMode::Correct {
+                        repair_column(&mut a, &snapshot, k, kb, jj, t);
+                        report.recompute_flops += (2 * kb * t + 4 * t + 4 * kb) as f64;
+                        let again = (trailing_sum(&a, jj, k + kb) - pred).abs();
+                        if again <= tol {
+                            report.columns_recomputed += 1;
+                        }
+                    }
+                }
+            }
+            report.panels_verified += 1;
+        }
+        panel_index += 1;
+    }
+    apply_deferred_swaps(&mut a, &pivots, block);
+
+    Ok((LuFactorization::from_parts(a, pivots, block), report))
+}
+
+/// Neumaier sum of column `jj`, rows `row0..n`.
+fn trailing_sum(a: &Matrix, jj: usize, row0: usize) -> f64 {
+    let n = a.rows();
+    let mut acc = Neumaier::default();
+    for &v in &a.col(jj)[row0..n] {
+        acc.add(v);
+    }
+    acc.value()
+}
+
+/// Rebuilds trailing column `jj` of panel `k`: restores the pre-update
+/// rows from `snapshot` and replays the update's exact per-element chain
+/// (`p` ascending, `c += l·(−mult)`) — bit-for-bit what both the serial
+/// and the pool update produce.
+fn repair_column(a: &mut Matrix, snapshot: &[f64], k: usize, kb: usize, jj: usize, t: usize) {
+    let n = a.rows();
+    let c0 = (jj - (k + kb)) * t;
+    a.col_mut(jj)[k + kb..n].copy_from_slice(&snapshot[c0..c0 + t]);
+    let data = a.as_mut_slice();
+    for p in 0..kb {
+        let mult = data[jj * n + k + p];
+        let neg = -mult;
+        let (l_off, c_off) = ((k + p) * n, jj * n);
+        for i in k + kb..n {
+            let lv = data[l_off + i];
+            data[c_off + i] += lv * neg;
+        }
+    }
+}
+
+/// Checksummed `C ← alpha·A·B + beta·C` over the blocked DGEMM kernel.
+///
+/// Column sums of `A` and the pre-call `C` give the checksum image
+/// `pred_j = beta·s0_j + alpha·Σ_p sA_p·B_pj`; after the multiply every
+/// column of `C` is verified against it. [`AbftMode::Correct`] rebuilds a
+/// mismatching column from the snapshot by the kernel's own per-element
+/// chain (`beta`-scale, then `k` ascending `c += a·(alpha·b)`), bitwise
+/// equal to an uncorrupted [`crate::dgemm::blocked`] run.
+///
+/// `inject` flips bit `.1` of word `.0` of `C` after the multiply;
+/// `None` runs clean. Returns the observation/cost report.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or a zero block size.
+#[allow(clippy::too_many_arguments)]
+pub fn checked_multiply(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    block: usize,
+    mode: AbftMode,
+    pool: Option<&WorkerPool>,
+    inject: Option<(usize, u32)>,
+) -> AbftReport {
+    let (m, kdim, ncols) = (a.rows(), a.cols(), b.cols());
+    let mut report = AbftReport::default();
+    let protect = mode != AbftMode::Off;
+
+    let mut s0 = vec![0.0f64; ncols];
+    let mut s0_abs = vec![0.0f64; ncols];
+    let mut sa = vec![0.0f64; kdim];
+    let mut sa_abs = vec![0.0f64; kdim];
+    let mut snapshot: Vec<f64> = Vec::new();
+    if protect {
+        for j in 0..ncols {
+            let mut acc = Neumaier::default();
+            let mut abs = 0.0f64;
+            for &v in c.col(j) {
+                acc.add(v);
+                abs += v.abs();
+            }
+            s0[j] = acc.value();
+            s0_abs[j] = abs;
+        }
+        for p in 0..kdim {
+            let mut acc = Neumaier::default();
+            let mut abs = 0.0f64;
+            for &v in a.col(p) {
+                acc.add(v);
+                abs += v.abs();
+            }
+            sa[p] = acc.value();
+            sa_abs[p] = abs;
+        }
+        if mode == AbftMode::Correct {
+            snapshot = c.as_slice().to_vec();
+        }
+        report.checksum_flops += (5 * m * ncols + 5 * m * kdim) as f64;
+    }
+
+    match pool {
+        Some(p) => crate::dgemm::blocked_parallel(alpha, a, b, beta, c, block, p),
+        None => crate::dgemm::blocked(alpha, a, b, beta, c, block),
+    }
+
+    if let Some((word, bit)) = inject {
+        flip_bit(c, word, bit);
+    }
+
+    if protect {
+        report.checksum_flops += (ncols * (4 * kdim + 4 * m + 4)) as f64;
+        for j in 0..ncols {
+            let bcol = b.col(j);
+            let mut pred = Neumaier::seeded(beta * s0[j]);
+            let mut dot_abs = 0.0f64;
+            for p in 0..kdim {
+                pred.add(alpha * (sa[p] * bcol[p]));
+                dot_abs += sa_abs[p] * bcol[p].abs();
+            }
+            let abs_scale = beta.abs() * s0_abs[j] + alpha.abs() * dot_abs;
+            let tol = column_tolerance(kdim, abs_scale);
+            let actual = full_col_sum(c, j);
+            let delta = (actual - pred.value()).abs();
+            // NaN counts as a mismatch, same as the factorization check.
+            if delta > tol || delta.is_nan() {
+                report.mismatches += 1;
+                if mode == AbftMode::Correct {
+                    repair_gemm_column(alpha, a, b, beta, c, &snapshot, j);
+                    report.recompute_flops += (2 * kdim * m + 4 * m) as f64;
+                    let again = (full_col_sum(c, j) - pred.value()).abs();
+                    if again <= tol {
+                        report.columns_recomputed += 1;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+fn full_col_sum(c: &Matrix, j: usize) -> f64 {
+    let mut acc = Neumaier::default();
+    for &v in c.col(j) {
+        acc.add(v);
+    }
+    acc.value()
+}
+
+/// Rebuilds `C`'s column `j` by the blocked kernel's per-element chain:
+/// `beta`-scale the snapshot, then accumulate `a·(alpha·b)` with `k`
+/// ascending — one rounding per multiply, one per add, exactly as the
+/// packed kernel retires them.
+fn repair_gemm_column(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+    snapshot: &[f64],
+    j: usize,
+) {
+    let (m, kdim) = (a.rows(), a.cols());
+    let col = c.col_mut(j);
+    col.copy_from_slice(&snapshot[j * m..(j + 1) * m]);
+    if beta != 1.0 {
+        for v in col.iter_mut() {
+            *v *= beta;
+        }
+    }
+    let a_data = a.as_slice();
+    let bcol = b.col(j);
+    for p in 0..kdim {
+        let f = alpha * bcol[p];
+        let acol = &a_data[p * m..(p + 1) * m];
+        for (cv, &av) in col.iter_mut().zip(acol) {
+            *cv += av * f;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dgemm;
+    use crate::lu::{hpl_flops, hpl_residual, HPL_RESIDUAL_THRESHOLD};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn system(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(n, n, &mut rng);
+        let b = Matrix::random(n, 1, &mut rng);
+        (a, b.as_slice().to_vec())
+    }
+
+    #[test]
+    fn clean_protected_factor_is_bitwise_the_baseline() {
+        let (a, _) = system(96, 7);
+        let base = LuFactorization::factor(a.clone(), 24).unwrap();
+        for mode in [AbftMode::Off, AbftMode::Detect, AbftMode::Correct] {
+            let (lu, report) = factor_protected(a.clone(), 24, mode, None, None).unwrap();
+            assert_eq!(lu.packed().as_slice(), base.packed().as_slice(), "{mode:?}");
+            assert_eq!(lu.pivots(), base.pivots());
+            assert_eq!(report.mismatches, 0);
+        }
+        let pool = WorkerPool::new(3);
+        let (lu, _) = factor_protected(a, 24, AbftMode::Detect, Some(&pool), None).unwrap();
+        assert_eq!(lu.packed().as_slice(), base.packed().as_slice());
+    }
+
+    #[test]
+    fn trailing_flip_is_detected_and_corrected_bitwise() {
+        let (a, b) = system(96, 11);
+        let clean = LuFactorization::factor(a.clone(), 24).unwrap();
+        // Panel 0, a word deep inside the trailing block, exponent bit.
+        let inject = SdcInjection {
+            panel: 0,
+            word: 60 * 96 + 70,
+            bit: 62,
+        };
+        let (_, detect) =
+            factor_protected(a.clone(), 24, AbftMode::Detect, None, Some(inject)).unwrap();
+        assert!(detect.mismatches >= 1, "flip must trip the panel checksum");
+        assert_eq!(detect.columns_recomputed, 0);
+
+        let (lu, correct) =
+            factor_protected(a.clone(), 24, AbftMode::Correct, None, Some(inject)).unwrap();
+        assert_eq!(correct.columns_recomputed, correct.mismatches);
+        assert_eq!(
+            lu.packed().as_slice(),
+            clean.packed().as_slice(),
+            "repair must reproduce the clean factors bit-for-bit"
+        );
+        let x = lu.solve(&b);
+        assert!(hpl_residual(&a, &x, &b) < HPL_RESIDUAL_THRESHOLD);
+    }
+
+    #[test]
+    fn off_mode_rides_the_flip_to_a_failed_residual() {
+        let (a, b) = system(96, 11);
+        let inject = SdcInjection {
+            panel: 0,
+            word: 60 * 96 + 70,
+            bit: 62,
+        };
+        let (lu, report) =
+            factor_protected(a.clone(), 24, AbftMode::Off, None, Some(inject)).unwrap();
+        assert_eq!(report.panels_verified, 0);
+        let x = lu.solve(&b);
+        assert!(
+            hpl_residual(&a, &x, &b) >= HPL_RESIDUAL_THRESHOLD,
+            "an exponent flip in the live panel must poison the residual"
+        );
+    }
+
+    #[test]
+    fn factored_region_flip_escapes_panel_checks_but_not_the_residual() {
+        let (a, b) = system(96, 13);
+        // Flip after the *last* panel: lands in finished factors, where no
+        // further panel verification runs.
+        let inject = SdcInjection {
+            panel: 3,
+            word: 10 * 96 + 50,
+            bit: 51,
+        };
+        let (lu, report) =
+            factor_protected(a.clone(), 24, AbftMode::Detect, None, Some(inject)).unwrap();
+        assert_eq!(report.mismatches, 0, "no trailing block left to check");
+        let x = lu.solve(&b);
+        let residual = hpl_residual(&a, &x, &b);
+        assert!(
+            residual >= HPL_RESIDUAL_THRESHOLD || residual.is_nan(),
+            "a top-mantissa flip in L must fail the residual, got {residual}"
+        );
+    }
+
+    #[test]
+    fn protected_parallel_detects_and_repairs_like_serial() {
+        let (a, _) = system(128, 17);
+        let clean = LuFactorization::factor(a.clone(), 32).unwrap();
+        let pool = WorkerPool::new(4);
+        let inject = SdcInjection {
+            panel: 1,
+            word: 90 * 128 + 100,
+            bit: 61,
+        };
+        let (lu, report) =
+            factor_protected(a, 32, AbftMode::Correct, Some(&pool), Some(inject)).unwrap();
+        assert!(report.mismatches >= 1);
+        assert_eq!(report.columns_recomputed, report.mismatches);
+        assert_eq!(lu.packed().as_slice(), clean.packed().as_slice());
+    }
+
+    #[test]
+    fn checksum_overhead_stays_modest() {
+        let (a, _) = system(256, 19);
+        let (_, report) = factor_protected(a, 64, AbftMode::Detect, None, None).unwrap();
+        let overhead = report.overhead_vs(hpl_flops(256));
+        assert!(overhead > 0.0 && overhead < 0.15, "overhead {overhead}");
+    }
+
+    #[test]
+    fn checked_dgemm_detects_and_repairs_a_flip() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::random(64, 48, &mut rng);
+        let b = Matrix::random(48, 56, &mut rng);
+        let c0 = Matrix::random(64, 56, &mut rng);
+
+        let mut reference = c0.clone();
+        dgemm::blocked(1.5, &a, &b, 0.5, &mut reference, 16);
+
+        let mut clean = c0.clone();
+        let report = checked_multiply(
+            1.5,
+            &a,
+            &b,
+            0.5,
+            &mut clean,
+            16,
+            AbftMode::Detect,
+            None,
+            None,
+        );
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(clean.as_slice(), reference.as_slice());
+
+        let mut poisoned = c0.clone();
+        let report = checked_multiply(
+            1.5,
+            &a,
+            &b,
+            0.5,
+            &mut poisoned,
+            16,
+            AbftMode::Correct,
+            None,
+            Some((17 * 64 + 30, 62)),
+        );
+        assert_eq!(report.mismatches, 1);
+        assert_eq!(report.columns_recomputed, 1);
+        assert_eq!(
+            poisoned.as_slice(),
+            reference.as_slice(),
+            "repair must reproduce the blocked kernel bit-for-bit"
+        );
+        assert!(report.recompute_flops > 0.0);
+    }
+
+    #[test]
+    fn report_merges_and_rates() {
+        let mut a = AbftReport {
+            panels_verified: 1,
+            mismatches: 1,
+            columns_recomputed: 1,
+            checksum_flops: 50.0,
+            recompute_flops: 10.0,
+        };
+        let b = AbftReport {
+            panels_verified: 2,
+            checksum_flops: 40.0,
+            ..AbftReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.panels_verified, 3);
+        assert!((a.overhead_vs(1000.0) - 0.1).abs() < 1e-12);
+        assert_eq!(AbftReport::default().overhead_vs(0.0), 0.0);
+    }
+}

@@ -11,6 +11,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::abft::{factor_protected, AbftMode, AbftReport, SdcInjection};
 use crate::lu::{hpl_flops, hpl_residual, LuError, LuFactorization, HPL_RESIDUAL_THRESHOLD};
 use crate::matrix::Matrix;
 
@@ -24,6 +25,8 @@ pub struct HplConfig {
     pub nb: usize,
     /// RNG seed for matrix generation.
     pub seed: u64,
+    /// ABFT protection applied to the factorisation.
+    pub abft: AbftMode,
 }
 
 impl HplConfig {
@@ -35,12 +38,23 @@ impl HplConfig {
     pub fn new(n: usize, nb: usize) -> Self {
         assert!(n > 0, "problem size must be positive");
         assert!(nb > 0, "block size must be positive");
-        HplConfig { n, nb, seed: 42 }
+        HplConfig {
+            n,
+            nb,
+            seed: 42,
+            abft: AbftMode::Off,
+        }
     }
 
     /// Overrides the generator seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the ABFT protection mode.
+    pub fn with_abft(mut self, abft: AbftMode) -> Self {
+        self.abft = abft;
         self
     }
 
@@ -68,6 +82,8 @@ pub struct HplResult {
     pub residual: f64,
     /// Whether the residual check passed (`residual < 16`).
     pub passed: bool,
+    /// ABFT observations, when protection was on.
+    pub abft: Option<AbftReport>,
 }
 
 /// Runs the native HPL driver.
@@ -88,23 +104,46 @@ pub struct HplResult {
 /// # Ok::<(), cimone_kernels::lu::LuError>(())
 /// ```
 pub fn run(config: HplConfig) -> Result<HplResult, LuError> {
+    let (result, _x) = run_with_injection(config, None)?;
+    Ok(result)
+}
+
+/// [`run`], optionally planting a deterministic single-bit flip in the
+/// live factors (the SDC experiments' fault model). Returns the result
+/// plus the computed solution vector, so callers can compare a poisoned
+/// run against a clean one.
+///
+/// # Errors
+///
+/// Propagates [`LuError`] if factorisation breaks down.
+pub fn run_with_injection(
+    config: HplConfig,
+    inject: Option<SdcInjection>,
+) -> Result<(HplResult, Vec<f64>), LuError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let a = Matrix::random(config.n, config.n, &mut rng);
     let b: Vec<f64> = Matrix::random(config.n, 1, &mut rng).as_slice().to_vec();
 
     let start = Instant::now();
-    let lu = LuFactorization::factor(a.clone(), config.nb)?;
+    let (lu, report) = if config.abft == AbftMode::Off && inject.is_none() {
+        (LuFactorization::factor(a.clone(), config.nb)?, None)
+    } else {
+        let (lu, report) = factor_protected(a.clone(), config.nb, config.abft, None, inject)?;
+        (lu, Some(report))
+    };
     let x = lu.solve(&b);
     let seconds = start.elapsed().as_secs_f64();
 
     let residual = hpl_residual(&a, &x, &b);
-    Ok(HplResult {
+    let result = HplResult {
         config,
         seconds,
         gflops: config.flops() / seconds / 1e9,
         residual,
         passed: residual < HPL_RESIDUAL_THRESHOLD,
-    })
+        abft: report.filter(|_| config.abft != AbftMode::Off),
+    };
+    Ok((result, x))
 }
 
 #[cfg(test)]
@@ -138,5 +177,32 @@ mod tests {
     #[should_panic(expected = "block size")]
     fn zero_block_panics() {
         let _ = HplConfig::new(10, 0);
+    }
+
+    #[test]
+    fn abft_modes_report_and_match_the_baseline_residual() {
+        let base = run(HplConfig::new(96, 24)).unwrap();
+        assert!(base.abft.is_none());
+        let detect = run(HplConfig::new(96, 24).with_abft(AbftMode::Detect)).unwrap();
+        let report = detect.abft.expect("protection was on");
+        assert_eq!(report.mismatches, 0);
+        assert!(report.panels_verified > 0);
+        assert_eq!(detect.residual.to_bits(), base.residual.to_bits());
+
+        // A planted exponent flip: Detect flags it, Correct heals it back
+        // to the clean residual bit-for-bit.
+        let inject = Some(SdcInjection {
+            panel: 1,
+            word: 70 * 96 + 80,
+            bit: 62,
+        });
+        let (poisoned, _) =
+            run_with_injection(HplConfig::new(96, 24).with_abft(AbftMode::Detect), inject).unwrap();
+        assert!(poisoned.abft.unwrap().mismatches >= 1);
+        let (healed, _) =
+            run_with_injection(HplConfig::new(96, 24).with_abft(AbftMode::Correct), inject)
+                .unwrap();
+        assert_eq!(healed.residual.to_bits(), base.residual.to_bits());
+        assert!(healed.passed);
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod abft;
 pub mod checkpoint;
 pub mod dgemm;
 pub mod eig;
@@ -35,6 +36,7 @@ pub mod matrix;
 pub mod pool;
 pub mod stream;
 
+pub use abft::{AbftMode, AbftReport, SdcInjection};
 pub use checkpoint::{Checkpoint, SteppableLu};
 pub use eig::EigenDecomposition;
 pub use lu::LuFactorization;

@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 
 use crate::broker::{Broker, PublishedMessage, Subscription};
 use crate::payload::Payload;
+use crate::scrub::ScrubPolicy;
 use crate::topic::{Topic, TopicFilter};
 use crate::tsdb::{Point, TimeSeriesStore};
 
@@ -65,6 +66,12 @@ pub struct Collector {
     buckets: Vec<Bucket>,
     /// Indices of buckets holding points from the current drain.
     active: Vec<usize>,
+    /// Plausibility scrubbing: when set, implausible samples are diverted
+    /// to [`Collector::take_quarantined`] instead of ingested.
+    scrub: Option<ScrubPolicy>,
+    /// Samples the scrub refused, in arrival order, awaiting the engine's
+    /// drain.
+    quarantine: Vec<(Topic, Payload)>,
 }
 
 /// One series' staged points within a single pump.
@@ -86,6 +93,8 @@ impl Collector {
             backfilled: 0,
             buckets: Vec::new(),
             active: Vec::new(),
+            scrub: None,
+            quarantine: Vec::new(),
         }
     }
 
@@ -102,6 +111,8 @@ impl Collector {
             backfilled: 0,
             buckets: Vec::new(),
             active: Vec::new(),
+            scrub: None,
+            quarantine: Vec::new(),
         }
     }
 
@@ -133,6 +144,21 @@ impl Collector {
         );
         self.backfill = true;
         self
+    }
+
+    /// Installs a plausibility scrub: samples `policy` rejects are held in
+    /// quarantine (see [`Collector::take_quarantined`]) instead of being
+    /// written to the store.
+    #[must_use]
+    pub fn with_scrub(mut self, policy: ScrubPolicy) -> Self {
+        self.scrub = Some(policy);
+        self
+    }
+
+    /// Drains the samples the scrub refused since the last call, in
+    /// arrival order.
+    pub fn take_quarantined(&mut self) -> Vec<(Topic, Payload)> {
+        std::mem::take(&mut self.quarantine)
     }
 
     /// Gaps detected so far, in detection order.
@@ -174,9 +200,17 @@ impl Collector {
             backfilled,
             buckets,
             active,
+            scrub,
+            quarantine,
         } = self;
         if expected_interval.is_none() {
             let drained = subscription.drain_each(|msg| {
+                if let Some(policy) = scrub {
+                    if !policy.is_plausible(&msg.topic, &msg.payload) {
+                        quarantine.push((msg.topic, msg.payload));
+                        return;
+                    }
+                }
                 let idx = msg.topic.id().index();
                 if buckets.len() <= idx {
                     buckets.resize_with(idx + 1, Bucket::default);
@@ -200,6 +234,15 @@ impl Collector {
             return drained;
         }
         subscription.drain_each(|msg| {
+            if let Some(policy) = scrub {
+                if !policy.is_plausible(&msg.topic, &msg.payload) {
+                    // A quarantined sample leaves no trace in the gap
+                    // bookkeeping either: the series genuinely has a hole
+                    // where the corrupt reading was.
+                    quarantine.push((msg.topic, msg.payload));
+                    return;
+                }
+            }
             observe_meta(
                 *expected_interval,
                 *backfill,
@@ -216,6 +259,12 @@ impl Collector {
     /// Ingests one message: gap bookkeeping plus the insert (the threaded
     /// [`Collector::spawn`] path, which has no batch to amortise).
     fn observe(&mut self, store: &mut TimeSeriesStore, msg: &PublishedMessage) {
+        if let Some(policy) = &self.scrub {
+            if !policy.is_plausible(&msg.topic, &msg.payload) {
+                self.quarantine.push((msg.topic, msg.payload));
+                return;
+            }
+        }
         observe_meta(
             self.expected_interval,
             self.backfill,
@@ -379,6 +428,44 @@ mod tests {
         assert_eq!(points[1], (SimTime::from_secs(5), 30.0));
         assert_eq!(points[3], (SimTime::from_secs(15), 30.0));
         assert_eq!(points[4], (SimTime::from_secs(20), 40.0));
+    }
+
+    #[test]
+    fn scrub_quarantines_implausible_samples_on_both_paths() {
+        let power: Topic =
+            "org/unibo/cluster/cimone/node/mc-node-00/plugin/pwr_pub/chnl/data/total_power"
+                .parse()
+                .unwrap();
+        // Columnar fast path (no expected interval).
+        let broker = Broker::new();
+        let mut collector = Collector::attach(&broker, "#".parse().unwrap())
+            .with_scrub(crate::scrub::ScrubPolicy::monte_cimone());
+        broker.publish(&power, Payload::new(5.5, SimTime::ZERO));
+        broker.publish(&power, Payload::new(-5.5, SimTime::from_secs(1)));
+        broker.publish(&power, Payload::new(6.0, SimTime::from_secs(2)));
+        let mut db = TimeSeriesStore::new();
+        collector.pump(&mut db);
+        assert_eq!(db.point_count(), 2, "the corrupt sample never landed");
+        let held = collector.take_quarantined();
+        assert_eq!(held.len(), 1);
+        assert_eq!(held[0].0, power);
+        assert_eq!(held[0].1.value, -5.5);
+        assert!(collector.take_quarantined().is_empty(), "drain is one-shot");
+
+        // Per-message path (gap detection on): the quarantined sample
+        // leaves a genuine hole, not a phantom gap endpoint.
+        let broker = Broker::new();
+        let mut collector = Collector::attach(&broker, "#".parse().unwrap())
+            .with_expected_interval(SimDuration::from_secs(1))
+            .with_scrub(crate::scrub::ScrubPolicy::monte_cimone());
+        for (t, v) in [(0u64, 5.0), (1, f64::NAN), (2, 5.2)] {
+            broker.publish(&power, Payload::new(v, SimTime::from_secs(t)));
+        }
+        let mut db = TimeSeriesStore::new();
+        collector.pump(&mut db);
+        assert_eq!(db.point_count(), 2);
+        assert_eq!(collector.take_quarantined().len(), 1);
+        assert_eq!(collector.gaps().len(), 1, "the hole is a real gap");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod json;
 pub mod payload;
 pub mod plugins;
 pub mod query;
+pub mod scrub;
 pub mod topic;
 pub mod tsdb;
 
@@ -67,5 +68,6 @@ pub use heartbeat::{HeartbeatMonitor, PhiAccrualDetector};
 pub use interner::TopicId;
 pub use payload::Payload;
 pub use plugins::{NodeSnapshot, Plugin, PluginRunner, PmuPlugin, StatsPlugin};
+pub use scrub::ScrubPolicy;
 pub use topic::{ExamonSchema, Topic, TopicFilter};
 pub use tsdb::{Aggregation, TimeSeriesStore};
